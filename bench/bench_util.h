@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Shared machinery for the reproduction benches: system construction
+ * per protocol configuration, workload runners and metric rows.
+ *
+ * Each bench binary regenerates one table/figure/performance result of
+ * the paper (see DESIGN.md's per-experiment index) and prints it to
+ * stdout; table benches additionally self-check against the golden
+ * transcriptions.
+ */
+
+#ifndef FBSIM_BENCH_BENCH_UTIL_H_
+#define FBSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/system.h"
+#include "trace/workloads.h"
+
+namespace fbsim::bench {
+
+/** A named cache configuration for protocol comparisons. */
+struct ProtocolSetup
+{
+    std::string name;
+    ProtocolKind protocol = ProtocolKind::Moesi;
+    ChooserKind chooser = ChooserKind::Preferred;
+    MoesiPolicy policy;
+    bool writeThrough = false;
+    bool nonCaching = false;   ///< processors have no caches at all
+};
+
+/** The standard lineup compared by the performance benches. */
+inline std::vector<ProtocolSetup>
+standardLineup()
+{
+    auto named = [](std::string name, ProtocolKind protocol) {
+        ProtocolSetup s;
+        s.name = std::move(name);
+        s.protocol = protocol;
+        return s;
+    };
+    std::vector<ProtocolSetup> setups;
+    setups.push_back(named("MOESI (update)", ProtocolKind::Moesi));
+    {
+        ProtocolSetup s = named("MOESI (invalidate)",
+                                ProtocolKind::Moesi);
+        s.chooser = ChooserKind::Policy;
+        s.policy.sharedWrite = MoesiPolicy::SharedWrite::Invalidate;
+        setups.push_back(s);
+    }
+    setups.push_back(named("Berkeley", ProtocolKind::Berkeley));
+    setups.push_back(named("Dragon", ProtocolKind::Dragon));
+    setups.push_back(named("Write-Once", ProtocolKind::WriteOnce));
+    setups.push_back(named("Illinois", ProtocolKind::Illinois));
+    setups.push_back(named("Firefly", ProtocolKind::Firefly));
+    {
+        ProtocolSetup s = named("write-through", ProtocolKind::Moesi);
+        s.writeThrough = true;
+        setups.push_back(s);
+    }
+    {
+        ProtocolSetup s = named("non-caching", ProtocolKind::Moesi);
+        s.nonCaching = true;
+        setups.push_back(s);
+    }
+    return setups;
+}
+
+/** Build an n-processor system per a ProtocolSetup. */
+inline std::unique_ptr<System>
+makeSystem(const ProtocolSetup &setup, std::size_t procs,
+           const SystemConfig &config = {}, std::size_t num_sets = 64,
+           std::size_t assoc = 2)
+{
+    auto sys = std::make_unique<System>(config);
+    for (std::size_t i = 0; i < procs; ++i) {
+        if (setup.nonCaching) {
+            sys->addNonCachingMaster(false);
+            continue;
+        }
+        CacheSpec spec;
+        spec.protocol = setup.protocol;
+        spec.chooser = setup.chooser;
+        spec.policy = setup.policy;
+        spec.writeThrough = setup.writeThrough;
+        spec.numSets = num_sets;
+        spec.assoc = assoc;
+        spec.seed = i + 1;
+        sys->addCache(spec);
+    }
+    return sys;
+}
+
+/** Metrics of one timed run. */
+struct RunMetrics
+{
+    double procUtilization = 0;   ///< mean per-processor utilization
+    double busUtilization = 0;
+    double systemPower = 0;       ///< effective processors
+    double busCyclesPerRef = 0;
+    double dataWordsPerRef = 0;
+    double transactionsPerRef = 0;
+    double missRatio = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t aborts = 0;
+    bool consistent = true;
+};
+
+/** Run per-processor streams for refs_per_proc and collect metrics. */
+inline RunMetrics
+runTimed(System &sys, const std::vector<RefStream *> &streams,
+         std::uint64_t refs_per_proc)
+{
+    Engine engine(sys, {});
+    EngineResult r = engine.run(streams, refs_per_proc);
+    RunMetrics m;
+    m.procUtilization = r.meanUtilization();
+    m.busUtilization = r.busUtilization();
+    m.systemPower = r.systemPower();
+    double total_refs =
+        static_cast<double>(refs_per_proc) * streams.size();
+    const BusStats &b = sys.bus().stats();
+    m.busCyclesPerRef = static_cast<double>(b.busyCycles) / total_refs;
+    m.dataWordsPerRef = static_cast<double>(b.dataWords) / total_refs;
+    m.transactionsPerRef =
+        static_cast<double>(b.transactions) / total_refs;
+    m.aborts = b.aborts;
+    std::uint64_t reads = 0, writes = 0, misses = 0;
+    for (MasterId id = 0; id < sys.numClients(); ++id) {
+        const SnoopingCache *cache = sys.cacheOf(id);
+        if (!cache)
+            continue;
+        reads += cache->stats().reads;
+        writes += cache->stats().writes;
+        misses += cache->stats().readMisses +
+                  cache->stats().writeMisses;
+        m.invalidations += cache->stats().invalidationsRecv;
+        m.updates += cache->stats().updatesRecv;
+    }
+    m.missRatio = (reads + writes) == 0
+                      ? 0.0
+                      : static_cast<double>(misses) / (reads + writes);
+    m.consistent = sys.checkNow().empty() && sys.violations().empty();
+    return m;
+}
+
+/** Run an Arch85 workload over a fresh system; convenience wrapper. */
+inline RunMetrics
+runArch85(const ProtocolSetup &setup, std::size_t procs,
+          const Arch85Params &params, std::uint64_t refs_per_proc,
+          std::uint64_t seed = 1, const SystemConfig &config = {})
+{
+    auto sys = makeSystem(setup, procs, config);
+    auto streams = makeArch85Streams(params, procs, seed);
+    std::vector<RefStream *> raw;
+    for (auto &s : streams)
+        raw.push_back(s.get());
+    return runTimed(*sys, raw, refs_per_proc);
+}
+
+/** Print "PASS"/"FAIL" and return an exit code for self-checks. */
+inline int
+verdict(bool ok, const char *what)
+{
+    std::printf("\n[%s] %s\n", ok ? "PASS" : "FAIL", what);
+    return ok ? 0 : 1;
+}
+
+} // namespace fbsim::bench
+
+#endif // FBSIM_BENCH_BENCH_UTIL_H_

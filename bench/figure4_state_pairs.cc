@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduction of Figure 4, "MOESI state pairs": regenerates the four
+ * overlapping state pairs and their protocol obligations from the
+ * live state-predicate code.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/state.h"
+
+using namespace fbsim;
+
+namespace {
+
+std::string
+membersOf(bool (*pred)(State))
+{
+    std::string out;
+    for (State s : kAllStates) {
+        if (pred(s)) {
+            if (!out.empty())
+                out += ", ";
+            out += stateName(s);
+        }
+    }
+    return out;
+}
+
+bool
+pairIs(bool (*pred)(State), State a, State b)
+{
+    for (State s : kAllStates) {
+        bool want = (s == a || s == b);
+        if (pred(s) != want)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+// Wrappers with uniform signatures for the table driver.
+static bool predIntervenient(State s) { return isIntervenient(s); }
+static bool predExclusive(State s) { return isExclusive(s); }
+static bool predUnowned(State s) { return isUnowned(s); }
+static bool predShareable(State s) { return isShareable(s); }
+
+int
+main()
+{
+    std::printf("=== Reproduction of paper Figure 4: MOESI state "
+                "pairs ===\n\n");
+
+    struct Row
+    {
+        const char *pair;
+        bool (*pred)(State);
+        const char *obligation;
+    };
+    const Row rows[] = {
+        {"intervenient (owned)", predIntervenient,
+         "responsible for accuracy system-wide: must intervene (DI) "
+         "when others access the line"},
+        {"only cached copy", predExclusive,
+         "may modify locally without warning any other cache"},
+        {"unowned", predUnowned,
+         "not responsible for the integrity of others' accesses"},
+        {"non-exclusive", predShareable,
+         "local modification requires a broadcast message (or "
+         "invalidation) to other caches"},
+    };
+    for (const Row &row : rows) {
+        std::printf("%-22s {%s}\n    %s\n\n", row.pair,
+                    membersOf(row.pred).c_str(), row.obligation);
+    }
+
+    bool ok = pairIs(predIntervenient, State::M, State::O) &&
+              pairIs(predExclusive, State::M, State::E) &&
+              pairIs(predUnowned, State::E, State::S) &&
+              pairIs(predShareable, State::O, State::S);
+
+    // Every valid state is covered by at least two pairs, exactly as
+    // the figure's overlapping ellipses show.
+    for (State s : kAllStates) {
+        if (s == State::I)
+            continue;
+        int pairs = (predIntervenient(s) ? 1 : 0) +
+                    (predExclusive(s) ? 1 : 0) +
+                    (predUnowned(s) ? 1 : 0) +
+                    (predShareable(s) ? 1 : 0);
+        std::printf("state %s participates in %d pairs\n",
+                    std::string(stateName(s)).c_str(), pairs);
+        ok = ok && pairs == 2;
+    }
+    return fbsim::bench::verdict(ok, "figure 4 state pairs");
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * M1: google-benchmark microbenchmarks of the simulator engine itself
+ * - transaction throughput, snoop fan-out scaling and checker
+ * overhead.  These measure fbsim, not the paper's system, and exist
+ * so performance regressions in the simulator are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+
+using namespace fbsim;
+using namespace fbsim::bench;
+
+namespace {
+
+/** Read hits: the fast path with no bus involvement. */
+void
+BM_ReadHit(benchmark::State &state)
+{
+    System sys{SystemConfig{}};
+    CacheSpec spec;
+    sys.addCache(spec);
+    sys.read(0, 0x100);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys.read(0, 0x100).value);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadHit);
+
+/** Miss + fill, alternating two conflicting lines (always misses). */
+void
+BM_ReadMissFill(benchmark::State &state)
+{
+    System sys{SystemConfig{}};
+    CacheSpec spec;
+    spec.numSets = 1;
+    spec.assoc = 1;
+    sys.addCache(spec);
+    Addr a = 0, b = 32;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.read(0, a).value);
+        std::swap(a, b);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadMissFill);
+
+/** Broadcast word write with n-1 snooping sharers. */
+void
+BM_BroadcastWriteFanout(benchmark::State &state)
+{
+    std::size_t caches = state.range(0);
+    System sys{SystemConfig{}};
+    for (std::size_t i = 0; i < caches; ++i) {
+        CacheSpec spec;
+        spec.seed = i + 1;
+        sys.addCache(spec);
+    }
+    for (std::size_t i = 0; i < caches; ++i)
+        sys.read(static_cast<MasterId>(i), 0x100);
+    Word v = 0;
+    for (auto _ : state)
+        sys.write(0, 0x100, ++v);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BroadcastWriteFanout)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/** End-to-end timed engine throughput (references per second). */
+void
+BM_EngineThroughput(benchmark::State &state)
+{
+    std::size_t procs = state.range(0);
+    Arch85Params params;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        ProtocolSetup setup;
+        auto sys = makeSystem(setup, procs);
+        auto streams = makeArch85Streams(params, procs, 3);
+        std::vector<RefStream *> raw;
+        for (auto &s : streams)
+            raw.push_back(s.get());
+        state.ResumeTiming();
+        Engine engine(*sys, {});
+        engine.run(raw, 2000);
+        total += 2000 * procs;
+    }
+    state.SetItemsProcessed(total);
+}
+BENCHMARK(BM_EngineThroughput)->Arg(2)->Arg(8);
+
+/** Full invariant scan cost as the line population grows. */
+void
+BM_CheckerScan(benchmark::State &state)
+{
+    System sys{SystemConfig{}};
+    CacheSpec spec;
+    spec.numSets = 64;
+    spec.assoc = 4;
+    sys.addCache(spec);
+    Rng rng(5);
+    for (int i = 0; i < 256; ++i)
+        sys.write(0, rng.below(1024) * 8, rng.next());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys.checkNow().empty());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckerScan);
+
+/** The abort/push/retry path (Illinois dirty read). */
+void
+BM_AbortPushRetry(benchmark::State &state)
+{
+    System sys{SystemConfig{}};
+    CacheSpec spec;
+    spec.protocol = ProtocolKind::Illinois;
+    sys.addCache(spec);
+    spec.seed = 2;
+    sys.addCache(spec);
+    Word v = 0;
+    for (auto _ : state) {
+        sys.write(0, 0x100, ++v);   // S->M via invalidate (after first)
+        benchmark::DoNotOptimize(sys.read(1, 0x100).value);   // BS path
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbortPushRetry);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Experiment P2 (section 5.2): "it was desirable to broadcast writes
+ * to other caches rather than to invalidate them, if those other
+ * caches have the line in them."
+ *
+ * Compares the MOESI class's two legal write-shared actions - the
+ * broadcast update (CA,IM,BC,W) and the address-only invalidate
+ * (CA,IM) - across sharing patterns, plus the section 5.2 refinement
+ * (discard broadcast-written lines that are nearing replacement).
+ *
+ * Expected shape: update wins for actively-shared data
+ * (producer-consumer, read-mostly tables); invalidate wins for
+ * migratory data (ping-pong read-modify-write), where updates keep
+ * feeding copies nobody will read again before the next writer takes
+ * over.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace fbsim;
+using namespace fbsim::bench;
+
+namespace {
+
+struct Pattern
+{
+    const char *name;
+    /** Build one stream per processor. */
+    std::vector<std::unique_ptr<RefStream>> (*make)(std::size_t);
+    /** Which policy should win (true = update). */
+    bool updateShouldWin;
+};
+
+std::vector<std::unique_ptr<RefStream>>
+makeProducerConsumer(std::size_t procs)
+{
+    std::vector<std::unique_ptr<RefStream>> out;
+    for (std::size_t p = 0; p < procs; ++p) {
+        out.push_back(std::make_unique<ProducerConsumerWorkload>(
+            32, 4, /*producer=*/p == 0, p + 1));
+    }
+    return out;
+}
+
+std::vector<std::unique_ptr<RefStream>>
+makeReadMostly(std::size_t procs)
+{
+    std::vector<std::unique_ptr<RefStream>> out;
+    for (std::size_t p = 0; p < procs; ++p) {
+        out.push_back(std::make_unique<ReadMostlyWorkload>(
+            32, 16, /*p_write=*/0.05, p + 1));
+    }
+    return out;
+}
+
+std::vector<std::unique_ptr<RefStream>>
+makePingPong(std::size_t procs)
+{
+    // Eight writes per ownership visit over a pool large enough that
+    // visits rarely overlap: the migratory regime, where one
+    // invalidation followed by silent M writes beats eight broadcasts
+    // feeding copies nobody reads before the next owner takes over.
+    std::vector<std::unique_ptr<RefStream>> out;
+    for (std::size_t p = 0; p < procs; ++p) {
+        out.push_back(std::make_unique<PingPongWorkload>(
+            32, 32, p, 100 + p, /*writes_per_visit=*/8));
+    }
+    return out;
+}
+
+RunMetrics
+runPattern(const Pattern &pattern, bool update, std::size_t procs,
+           std::uint64_t refs)
+{
+    ProtocolSetup setup;
+    setup.name = update ? "update" : "invalidate";
+    setup.chooser = ChooserKind::Policy;
+    setup.policy.sharedWrite = update
+                                   ? MoesiPolicy::SharedWrite::Broadcast
+                                   : MoesiPolicy::SharedWrite::Invalidate;
+    auto sys = makeSystem(setup, procs);
+    auto streams = pattern.make(procs);
+    std::vector<RefStream *> raw;
+    for (auto &s : streams)
+        raw.push_back(s.get());
+    return runTimed(*sys, raw, refs);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== P2: broadcast-update vs invalidate across "
+                "sharing patterns (section 5.2) ===\n\n");
+
+    const Pattern patterns[] = {
+        {"producer-consumer", makeProducerConsumer, true},
+        {"read-mostly table", makeReadMostly, true},
+        {"migratory ping-pong", makePingPong, false},
+    };
+    const std::size_t kProcs = 6;
+    const std::uint64_t kRefs = 8000;
+
+    std::printf("%-22s %26s %26s   %s\n", "",
+                "update: bus-cyc/ref util", "inval:  bus-cyc/ref util",
+                "winner");
+    bool ok = true;
+    for (const Pattern &p : patterns) {
+        RunMetrics up = runPattern(p, true, kProcs, kRefs);
+        RunMetrics inv = runPattern(p, false, kProcs, kRefs);
+        bool update_won = up.procUtilization > inv.procUtilization;
+        std::printf("%-22s %13.2f %11.3f %14.2f %11.3f   %s\n", p.name,
+                    up.busCyclesPerRef, up.procUtilization,
+                    inv.busCyclesPerRef, inv.procUtilization,
+                    update_won ? "update" : "invalidate");
+        ok = ok && up.consistent && inv.consistent;
+        ok = ok && (update_won == p.updateShouldWin);
+    }
+
+    // Section 5.2 refinement: near-replacement discard recovers part
+    // of the invalidate advantage on migratory data while keeping
+    // update's advantage on active sharing.
+    std::printf("\nrefinement (update + discard-near-replacement) on "
+                "migratory ping-pong:\n");
+    {
+        ProtocolSetup refined;
+        refined.chooser = ChooserKind::Policy;
+        refined.policy.sharedWrite = MoesiPolicy::SharedWrite::Broadcast;
+        auto sys = std::make_unique<System>(SystemConfig{});
+        for (std::size_t i = 0; i < kProcs; ++i) {
+            CacheSpec spec;
+            spec.chooser = ChooserKind::Policy;
+            spec.policy.sharedWrite = MoesiPolicy::SharedWrite::Broadcast;
+            spec.numSets = 64;
+            spec.assoc = 2;
+            spec.discardNearReplacement = true;
+            spec.seed = i + 1;
+            sys->addCache(spec);
+        }
+        auto streams = makePingPong(kProcs);
+        std::vector<RefStream *> raw;
+        for (auto &s : streams)
+            raw.push_back(s.get());
+        RunMetrics m = runTimed(*sys, raw, kRefs);
+        RunMetrics plain = runPattern(patterns[2], true, kProcs, kRefs);
+        std::printf("  plain update: %.2f bus-cyc/ref; refined: %.2f "
+                    "bus-cyc/ref\n",
+                    plain.busCyclesPerRef, m.busCyclesPerRef);
+        ok = ok && m.consistent;
+    }
+
+    return verdict(ok, "P2 update-vs-invalidate crossover");
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-bus hierarchy example (the paper's section 6: "how one might
+ * implement a system with multiple buses and still maintain
+ * consistency").
+ *
+ * Builds two clusters of MOESI caches behind bus bridges, runs a
+ * mixed cluster-local / global workload, and shows:
+ *   - cross-cluster intervention (a dirty line served across buses),
+ *   - E-state exclusivity maintained globally (CH crosses bridges),
+ *   - the bridge filters keeping private traffic off the root bus,
+ *   - the global coherence audit passing.
+ */
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "hier/hier_system.h"
+
+using namespace fbsim;
+
+int
+main()
+{
+    HierConfig config;
+    HierSystem sys(config, /*clusters=*/2);
+
+    std::vector<MasterId> cluster0, cluster1;
+    for (int i = 0; i < 3; ++i) {
+        CacheSpec spec;
+        spec.numSets = 32;
+        spec.assoc = 2;
+        spec.seed = i + 1;
+        cluster0.push_back(sys.addCache(0, spec));
+        spec.seed = i + 11;
+        cluster1.push_back(sys.addCache(1, spec));
+    }
+
+    std::printf("-- cross-cluster coherence walk-through ----------\n");
+    sys.write(cluster0[0], 0x1000, 7);
+    std::printf("c0/cpu0 wrote 0x1000: state %s, root bus saw %llu "
+                "transactions\n",
+                std::string(stateName(
+                    sys.cacheOf(cluster0[0])->lineState(0x1000)))
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    sys.rootBus().stats().transactions));
+    AccessOutcome r = sys.read(cluster1[0], 0x1000);
+    std::printf("c1/cpu0 read 0x1000 = %llu (served by cross-cluster "
+                "intervention; owner now %s, reader %s)\n",
+                static_cast<unsigned long long>(r.value),
+                std::string(stateName(
+                    sys.cacheOf(cluster0[0])->lineState(0x1000)))
+                    .c_str(),
+                std::string(stateName(
+                    sys.cacheOf(cluster1[0])->lineState(0x1000)))
+                    .c_str());
+
+    std::printf("\n-- cluster-local vs global sharing ---------------\n");
+    Rng rng(3);
+    const int kAccesses = 20000;
+    for (int i = 0; i < kAccesses; ++i) {
+        bool in_c0 = rng.chance(0.5);
+        const auto &members = in_c0 ? cluster0 : cluster1;
+        MasterId who = members[rng.below(members.size())];
+        Addr addr;
+        if (rng.chance(0.9)) {
+            // 90% cluster-private lines.
+            addr = (in_c0 ? 0x100000 : 0x200000) + rng.below(64) * 8;
+        } else {
+            addr = rng.below(64) * 8;   // globally shared lines
+        }
+        if (rng.chance(0.4))
+            sys.write(who, addr, rng.next());
+        else
+            sys.read(who, addr);
+    }
+
+    for (std::size_t c = 0; c < 2; ++c) {
+        const BridgeStats &b = sys.bridge(c).stats();
+        std::printf("bridge %zu: %llu up-forwards, %llu filtered "
+                    "(stayed local), %llu down-forwards, %llu "
+                    "filtered, %llu remote interventions\n",
+                    c, static_cast<unsigned long long>(b.upForwards),
+                    static_cast<unsigned long long>(b.upFiltered),
+                    static_cast<unsigned long long>(b.downForwards),
+                    static_cast<unsigned long long>(b.downFiltered),
+                    static_cast<unsigned long long>(
+                        b.remoteInterventions));
+    }
+    std::printf("root bus: %llu busy cycles; leaf buses: %llu + %llu\n",
+                static_cast<unsigned long long>(
+                    sys.rootBus().stats().busyCycles),
+                static_cast<unsigned long long>(
+                    sys.leafBus(0).stats().busyCycles),
+                static_cast<unsigned long long>(
+                    sys.leafBus(1).stats().busyCycles));
+
+    std::vector<std::string> violations = sys.checkNow();
+    std::printf("\nglobal coherence audit over %d accesses: %s\n",
+                kAccesses,
+                violations.empty() ? "CONSISTENT"
+                                   : violations.front().c_str());
+    return violations.empty() && sys.violations().empty() ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#include "analysis/bus_model.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+BusModelResult
+solveBusModel(const BusModelParams &params)
+{
+    fbsim_assert(params.processors >= 1);
+    fbsim_assert(params.computePerRequest > 0);
+    fbsim_assert(params.servicePerRequest > 0);
+
+    // Exact Mean Value Analysis for the closed machine-repairman
+    // network: one queueing station (the bus) with service s, and a
+    // delay station (compute) with think time z.  The arrival theorem
+    // gives the bus response time seen by a newly arriving request as
+    // s * (1 + Q(n-1)), where Q(n-1) is the bus population with one
+    // customer removed.
+    const double z = params.computePerRequest;
+    const double s = params.servicePerRequest;
+    double q = 0.0;   // bus population
+    double x = 0.0;   // system throughput (requests/cycle)
+    double r = s;     // bus response time
+    for (std::size_t n = 1; n <= params.processors; ++n) {
+        r = s * (1.0 + q);
+        x = static_cast<double>(n) / (z + r);
+        q = x * r;
+    }
+
+    BusModelResult result;
+    result.busUtilization = x * s;
+    result.throughputPerProc = x / params.processors;
+    result.waitingPerRequest = r - s;
+    // A processor computes for z of every z + r cycles of its own
+    // request cycle.
+    result.processorUtilization = z / (z + r);
+    result.iterations = static_cast<int>(params.processors);
+    return result;
+}
+
+BusModelParams
+busModelFromRates(std::size_t processors, double refs_per_request,
+                  double cycles_per_ref, double service_cycles)
+{
+    fbsim_assert(refs_per_request > 0);
+    BusModelParams params;
+    params.processors = processors;
+    params.computePerRequest = refs_per_request * cycles_per_ref;
+    params.servicePerRequest = service_cycles;
+    return params;
+}
+
+} // namespace fbsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bus arbitration.
+ *
+ * The Futurebus grants mastership through a distributed arbiter; at
+ * the transaction level all that matters is the selection discipline
+ * among simultaneous requesters.  fbsim provides the two classic
+ * disciplines: fixed priority (lowest id wins, simple but unfair) and
+ * round-robin (rotating highest priority, fair).  The timed engine in
+ * sim/ uses an Arbiter to order masters contending for the bus.
+ */
+
+#ifndef FBSIM_BUS_ARBITER_H_
+#define FBSIM_BUS_ARBITER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fbsim {
+
+/** Arbitration disciplines. */
+enum class ArbitrationKind { FixedPriority, RoundRobin };
+
+/** Printable discipline name. */
+std::string_view arbitrationKindName(ArbitrationKind kind);
+
+/** Selects one requester per grant; stateful for round-robin. */
+class Arbiter
+{
+  public:
+    /** @param kind discipline.
+     *  @param masters number of master ids (0 .. masters-1). */
+    Arbiter(ArbitrationKind kind, std::size_t masters);
+
+    ArbitrationKind kind() const { return kind_; }
+
+    /**
+     * Grant the bus to one of the requesting masters.
+     * @param requesting requesting[i] true if master i wants the bus.
+     * @return the granted id, or nullopt when nobody requests.
+     */
+    std::optional<MasterId> grant(const std::vector<bool> &requesting);
+
+  private:
+    ArbitrationKind kind_;
+    std::size_t masters_;
+    std::size_t nextPriority_ = 0;   ///< round-robin token
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_BUS_ARBITER_H_

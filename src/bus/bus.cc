@@ -1,0 +1,176 @@
+#include "bus/bus.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+Bus::Bus(MemorySlave &slave, const BusCostModel &cost,
+         unsigned max_retries)
+    : slave_(slave), cost_(cost), maxRetries_(max_retries)
+{
+}
+
+void
+Bus::addObserver(BusObserver *observer)
+{
+    fbsim_assert(observer != nullptr);
+    observers_.push_back(observer);
+}
+
+void
+Bus::attach(Snooper *snooper)
+{
+    fbsim_assert(snooper != nullptr);
+    for (const Snooper *s : snoopers_)
+        fbsim_assert(s->snooperId() != snooper->snooperId());
+    snoopers_.push_back(snooper);
+}
+
+BusResult
+Bus::execute(const BusRequest &req)
+{
+    fbsim_assert(classifyBusEvent(req.cmd, req.sig).has_value());
+    fbsim_assert(depth_ < 4);
+
+    BusResult result;
+    for (unsigned round = 0; round <= maxRetries_; ++round) {
+        bool aborted = false;
+        BusResult attempt_result = attempt(req, aborted);
+        result.cost += attempt_result.cost;
+        result.aborts += aborted ? 1 : 0;
+        if (!aborted) {
+            result.resp = attempt_result.resp;
+            result.line = std::move(attempt_result.line);
+            result.suppliedByCache = attempt_result.suppliedByCache;
+
+            ++stats_.transactions;
+            stats_.busyCycles += result.cost;
+            switch (req.cmd) {
+              case BusCmd::Read:
+                ++stats_.reads;
+                if (req.sig.im)
+                    ++stats_.readsForModify;
+                stats_.dataWords += result.line.size();
+                if (result.suppliedByCache)
+                    ++stats_.interventions;
+                break;
+              case BusCmd::WriteWord:
+                ++stats_.wordWrites;
+                if (req.sig.bc)
+                    ++stats_.broadcastWrites;
+                if (result.resp.di)
+                    ++stats_.writeCaptures;
+                stats_.dataWords += 1;
+                break;
+              case BusCmd::WriteLine:
+                ++stats_.linePushes;
+                stats_.dataWords += slave_.wordsPerLine();
+                break;
+              case BusCmd::AddrOnly:
+                ++stats_.invalidates;
+                break;
+              case BusCmd::Sync:
+                ++stats_.syncs;
+                break;
+            }
+            for (BusObserver *obs : observers_)
+                obs->onTransaction(req, result);
+            return result;
+        }
+        ++stats_.aborts;
+    }
+    fbsim_panic("bus transaction for line %llu did not converge after "
+                "%u retries",
+                static_cast<unsigned long long>(req.line), maxRetries_);
+}
+
+BusResult
+Bus::attempt(const BusRequest &req, bool &aborted)
+{
+    BusResult result;
+    ++stats_.addressCycles;
+
+    // Phase 1: broadcast address cycle; gather wired-OR responses.
+    // Every attached module other than the master participates.
+    std::vector<Snooper *> participants;
+    std::vector<SnoopReply> replies;
+    participants.reserve(snoopers_.size());
+    ResponseSignals wired;
+    Snooper *di_owner = nullptr;
+    Snooper *bs_owner = nullptr;
+    for (Snooper *s : snoopers_) {
+        if (s->snooperId() == req.master)
+            continue;
+        SnoopReply reply = s->snoop(req);
+        wired = wired | reply.resp;
+        if (reply.resp.di) {
+            // Ownership is unique, so at most one module intervenes.
+            fbsim_assert(di_owner == nullptr);
+            di_owner = s;
+        }
+        if (reply.resp.bs) {
+            fbsim_assert(bs_owner == nullptr);
+            bs_owner = s;
+        }
+        participants.push_back(s);
+        replies.push_back(reply);
+    }
+
+    // Phase 2: abort if anyone is busy; the owner pushes and we retry.
+    if (bs_owner) {
+        aborted = true;
+        result.cost = cost_.addrCycles + cost_.abortPenalty;
+        ++depth_;
+        bs_owner->performAbortPush(req);
+        --depth_;
+        return result;
+    }
+    aborted = false;
+
+    // Phase 3: data transfer.  A local intervening owner supplies (or
+    // captures) the data; the slave participates in every transaction
+    // that did not come down through a bridge, both to move data and
+    // to propagate coherence actions and CH responses across buses.
+    bool from_cache = false;
+    SlaveResult sres;
+    if (req.cmd == BusCmd::Read) {
+        result.line.assign(slave_.wordsPerLine(), 0);
+        if (di_owner) {
+            di_owner->supplyLine(req, result.line);
+            from_cache = true;
+        }
+    }
+    if (!req.fromBridge) {
+        sres = slave_.transact(req, di_owner != nullptr, wired.ch,
+                               result.line);
+        wired = wired | sres.resp;
+    }
+    result.suppliedByCache = from_cache;
+
+    // Phase 4: commit.  Each snooper resolves CH-conditional results
+    // against the OR of the *other* modules' CH (itself excluded),
+    // including retention signalled from beyond this bus.
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+        bool others_ch = sres.resp.ch || req.chHint;
+        for (std::size_t j = 0; j < replies.size() && !others_ch; ++j) {
+            if (j != i && replies[j].resp.ch)
+                others_ch = true;
+        }
+        participants[i]->commit(req, others_ch);
+    }
+
+    result.resp = wired;
+    result.cost = cost_.attemptCost(req.cmd, req.sig,
+                                    slave_.wordsPerLine(), from_cache);
+    // A bridged slave reports the cycles spent on the buses above;
+    // they replace the local-memory latency already included.
+    if (sres.cost > 0) {
+        Cycles assumed = (req.cmd == BusCmd::Read && !from_cache)
+                             ? cost_.memLatency
+                             : 0;
+        result.cost = result.cost - assumed + sres.cost;
+    }
+    return result;
+}
+
+} // namespace fbsim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The Futurebus transaction engine.
+ *
+ * The bus executes one transaction at a time (transactions are atomic;
+ * the timed layer in sim/ serializes masters onto it).  A transaction
+ * follows the paper's structure:
+ *
+ *  1. Broadcast address cycle: the master's address and intent signals
+ *     (CA, IM, BC) are presented to every other module; each snooper
+ *     decides its response (CH, DI, SL, BS) from its protocol table.
+ *     All responses combine by wired-OR.
+ *  2. If any module asserted BS, the transaction aborts; the asserting
+ *     (owner) module performs its push (a nested WriteLine transaction
+ *     that updates memory) and the original transaction retries.
+ *  3. Data transfer: on a read, the DI asserter (if any) supplies the
+ *     line, preempting memory - and memory is NOT updated (the
+ *     Futurebus limitation that motivates the O state).  On a
+ *     non-broadcast word write, the DI asserter captures the word and
+ *     memory is not updated; without DI memory captures it.  On a
+ *     broadcast (BC) word write, memory always captures the word and
+ *     every SL asserter snarfs it.  On a line push, memory captures
+ *     the line.
+ *  4. Commit: every snooper applies its state transition, resolving
+ *     CH-conditional results against the OR of the *other* modules'
+ *     CH; the master receives the OR of everyone's CH plus read data.
+ */
+
+#ifndef FBSIM_BUS_BUS_H_
+#define FBSIM_BUS_BUS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bus/cost_model.h"
+#include "common/types.h"
+#include "core/events.h"
+#include "bus/memory_slave.h"
+
+namespace fbsim {
+
+/** A master's transaction request. */
+struct BusRequest
+{
+    MasterId master = kNoMaster;
+    BusCmd cmd = BusCmd::Read;
+    MasterSignals sig;
+    LineAddr line = 0;            ///< line address
+    std::size_t wordIdx = 0;      ///< for WriteWord
+    Word wdata = 0;               ///< for WriteWord
+    std::span<const Word> wline;  ///< for WriteLine (push)
+    /**
+     * Transaction forwarded down from another bus by a BusBridge: this
+     * bus's slave does not participate (the data authority is above),
+     * only local snoopers respond.
+     */
+    bool fromBridge = false;
+    /**
+     * Wired-OR CH gathered on the buses the transaction has already
+     * traversed (the requester's cluster); snooper-side CH
+     * conditionals (e.g. CH:O/M on column 7) resolve against it in
+     * addition to this bus's own CH.
+     */
+    bool chHint = false;
+};
+
+/** What a snooper drives during the address cycle. */
+struct SnoopReply
+{
+    ResponseSignals resp;
+};
+
+/** Outcome handed back to the master. */
+struct BusResult
+{
+    ResponseSignals resp;         ///< wired-OR of all snooper responses
+    std::vector<Word> line;       ///< read data (BusCmd::Read only)
+    bool suppliedByCache = false; ///< read data came via DI
+    unsigned aborts = 0;          ///< BS abort/retry count
+    Cycles cost = 0;              ///< bus cycles incl. aborted attempts
+};
+
+/**
+ * Interface of a module that participates in the broadcast address
+ * cycle (every cache; non-caching masters need not register).
+ *
+ * Call protocol per transaction attempt: snoop() exactly once, then
+ * either commit() exactly once (with the same request) or nothing (the
+ * attempt aborted).  supplyLine()/captureWord() arrive between the two
+ * on the module that asserted DI/SL.  performAbortPush() is called on
+ * the module that asserted BS, instead of commit().
+ */
+class Snooper
+{
+  public:
+    virtual ~Snooper() = default;
+
+    /** The module's bus id. */
+    virtual MasterId snooperId() const = 0;
+
+    /** Address cycle: choose and latch a response; no state change. */
+    virtual SnoopReply snoop(const BusRequest &req) = 0;
+
+    /** Provide the line (this module latched DI on a Read). */
+    virtual void supplyLine(const BusRequest &req,
+                            std::span<Word> out) = 0;
+
+    /**
+     * Commit the latched transition.
+     * @param others_ch wired-OR of CH over all *other* modules.
+     */
+    virtual void commit(const BusRequest &req, bool others_ch) = 0;
+
+    /** Execute the push for a latched BS response (nested transaction),
+     *  then apply the push state. */
+    virtual void performAbortPush(const BusRequest &req) = 0;
+};
+
+/** Aggregate bus activity counters (one per transaction, not attempt). */
+struct BusStats
+{
+    std::uint64_t transactions = 0;
+    std::uint64_t reads = 0;             ///< line fills
+    std::uint64_t readsForModify = 0;    ///< fills with IM
+    std::uint64_t wordWrites = 0;
+    std::uint64_t broadcastWrites = 0;   ///< word writes with BC
+    std::uint64_t linePushes = 0;
+    std::uint64_t invalidates = 0;       ///< address-only transactions
+    std::uint64_t syncs = 0;             ///< consistency commands
+    std::uint64_t interventions = 0;     ///< reads supplied via DI
+    std::uint64_t writeCaptures = 0;     ///< word writes absorbed via DI
+    std::uint64_t aborts = 0;            ///< BS abort/retry rounds
+    std::uint64_t addressCycles = 0;     ///< incl. aborted attempts
+    std::uint64_t dataWords = 0;         ///< total words moved
+    Cycles busyCycles = 0;               ///< total bus occupancy
+};
+
+/**
+ * Observer of completed bus transactions (tracing, debugging, higher
+ * level instrumentation).  Notified once per transaction after commit,
+ * never for aborted attempts.
+ */
+class BusObserver
+{
+  public:
+    virtual ~BusObserver() = default;
+
+    /** One transaction completed with the given final result. */
+    virtual void onTransaction(const BusRequest &req,
+                               const BusResult &result) = 0;
+};
+
+/** The shared backplane bus. */
+class Bus
+{
+  public:
+    /** @param slave the memory side (main memory or a bridge).
+     *  @param cost timing model.
+     *  @param max_retries abort/retry bound before panicking. */
+    Bus(MemorySlave &slave, const BusCostModel &cost,
+        unsigned max_retries = 16);
+
+    Bus(const Bus &) = delete;
+    Bus &operator=(const Bus &) = delete;
+
+    /** Register a snooping module.  Registration order is bus order. */
+    void attach(Snooper *snooper);
+
+    /** Register a transaction observer (any number). */
+    void addObserver(BusObserver *observer);
+
+    /** Execute one transaction to completion (including retries). */
+    BusResult execute(const BusRequest &req);
+
+    const BusCostModel &costModel() const { return cost_; }
+    BusStats &stats() { return stats_; }
+    const BusStats &stats() const { return stats_; }
+    MemorySlave &slave() { return slave_; }
+    std::size_t wordsPerLine() const { return slave_.wordsPerLine(); }
+
+  private:
+    BusResult attempt(const BusRequest &req, bool &aborted);
+
+    MemorySlave &slave_;
+    BusCostModel cost_;
+    unsigned maxRetries_;
+    std::vector<Snooper *> snoopers_;
+    std::vector<BusObserver *> observers_;
+    BusStats stats_;
+    unsigned depth_ = 0;   ///< nested-push depth guard
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_BUS_BUS_H_

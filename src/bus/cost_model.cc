@@ -1,0 +1,30 @@
+#include "bus/cost_model.h"
+
+namespace fbsim {
+
+Cycles
+BusCostModel::attemptCost(BusCmd cmd, const MasterSignals &sig,
+                          std::size_t words, bool from_cache) const
+{
+    Cycles cost = addrCycles;
+    if (sig.bc)
+        cost += glitchPenalty;
+    switch (cmd) {
+      case BusCmd::Read:
+        cost += (from_cache ? cacheLatency : memLatency);
+        cost += words * dataCycle;
+        break;
+      case BusCmd::WriteWord:
+        cost += dataCycle;
+        break;
+      case BusCmd::WriteLine:
+        cost += words * dataCycle;
+        break;
+      case BusCmd::AddrOnly:
+      case BusCmd::Sync:
+        break;
+    }
+    return cost;
+}
+
+} // namespace fbsim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bus timing cost model.
+ *
+ * Transaction-level approximation of the Futurebus electrical protocol
+ * of section 2: every transaction pays a broadcast address handshake;
+ * data cycles run at one word per cycle between the participating
+ * units; broadcast data operations pay the wired-OR glitch filter
+ * penalty (the paper's "25 nanoseconds slower", section 2.2); an
+ * intervenient cache responds faster than main memory (which is why
+ * section 5.2 notes the preferred action depends on relative bus /
+ * memory / cache performance - bench_perf_cost_sensitivity sweeps
+ * these knobs).
+ */
+
+#ifndef FBSIM_BUS_COST_MODEL_H_
+#define FBSIM_BUS_COST_MODEL_H_
+
+#include "common/types.h"
+#include "core/events.h"
+
+namespace fbsim {
+
+/** Cycle costs of the primitive bus operations. */
+struct BusCostModel
+{
+    Cycles addrCycles = 2;       ///< broadcast address handshake
+    Cycles glitchPenalty = 1;    ///< extra for broadcast (BC) data ops
+    Cycles memLatency = 6;       ///< memory access before first word
+    Cycles cacheLatency = 2;     ///< intervenient cache before first word
+    Cycles dataCycle = 1;        ///< per word transferred
+    Cycles abortPenalty = 1;     ///< wasted cycles on a BS abort
+
+    /** Cost of one (non-aborted) transaction attempt.
+     *  @param cmd    transaction payload class
+     *  @param sig    master intent signals
+     *  @param words  words per line for line transfers
+     *  @param from_cache data supplied by an intervenient cache */
+    Cycles attemptCost(BusCmd cmd, const MasterSignals &sig,
+                       std::size_t words, bool from_cache) const;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_BUS_COST_MODEL_H_

@@ -1,0 +1,132 @@
+#include "bus/handshake.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+int
+SignalTrace::levelAt(double t) const
+{
+    int level = initialLevel;
+    for (const auto &[time, lv] : edges) {
+        if (time > t)
+            break;
+        level = lv;
+    }
+    return level;
+}
+
+double
+SignalTrace::lastEdge() const
+{
+    return edges.empty() ? 0.0 : edges.back().first;
+}
+
+namespace {
+
+SignalTrace
+makeTrace(std::string name, int initial)
+{
+    SignalTrace tr;
+    tr.name = std::move(name);
+    tr.initialLevel = initial;
+    return tr;
+}
+
+void
+addEdge(SignalTrace &tr, double t, int level)
+{
+    fbsim_assert(tr.edges.empty() || tr.edges.back().first <= t);
+    tr.edges.emplace_back(t, level);
+}
+
+} // namespace
+
+HandshakeResult
+simulateBroadcastHandshake(const std::vector<ModuleTiming> &modules,
+                           double filterNs)
+{
+    fbsim_assert(!modules.empty());
+    HandshakeResult out;
+
+    // The master presents the address at t=0 and asserts AS* (active
+    // low) shortly after the address settles.
+    const double t_as = 2.0;
+    SignalTrace addr = makeTrace("AD (address valid)", 0);
+    addEdge(addr, 0.0, 1);
+    SignalTrace as = makeTrace("AS*", 1);
+    addEdge(as, t_as, 0);
+
+    // Each module pulls AK* low after its ack delay; the wired line
+    // falls with the FIRST assertion (open-collector: any foot on the
+    // hose stops the flow).
+    double ak_fall = t_as + modules[0].ackDelayNs;
+    for (const ModuleTiming &m : modules)
+        ak_fall = std::min(ak_fall, t_as + m.ackDelayNs);
+    SignalTrace ak = makeTrace("AK*", 1);
+    addEdge(ak, ak_fall, 0);
+
+    // AI* is held low by every module from its acknowledgement; the
+    // wired line rises only when the LAST module releases, and the
+    // inertial (wired-OR glitch) filter delays the perceived rising
+    // edge by filterNs.
+    double ai_release_last = 0.0;
+    for (const ModuleTiming &m : modules) {
+        ai_release_last =
+            std::max(ai_release_last, t_as + m.releaseDelayNs);
+    }
+    double ai_rise = ai_release_last + filterNs;
+    SignalTrace ai = makeTrace("AI*", 0);
+    addEdge(ai, ai_rise, 1);
+
+    // Only after AI* has risen may the master remove the address and
+    // release AS*; every module then releases AK*.
+    double t_done = ai_rise + 2.0;
+    addEdge(addr, t_done, 0);
+    addEdge(as, t_done, 1);
+    addEdge(ak, t_done + filterNs, 1);
+
+    out.signals = {addr, as, ak, ai};
+    out.completionNs = t_done;
+    out.wiredOrPenaltyNs = filterNs;
+    return out;
+}
+
+HandshakeResult
+simulateParallelTransaction(const std::vector<ModuleTiming> &modules,
+                            int data_beats, double beat_ns,
+                            double filter_ns)
+{
+    fbsim_assert(data_beats >= 0);
+    HandshakeResult addr_phase =
+        simulateBroadcastHandshake(modules, filter_ns);
+    HandshakeResult out;
+    out.signals = addr_phase.signals;
+    out.wiredOrPenaltyNs = addr_phase.wiredOrPenaltyNs;
+
+    // Data beats: only the connected units participate (section 2.3:
+    // "only those units participating need monitor data transfer
+    // cycles, which can therefore proceed at a high rate"), so DS* and DK*
+    // toggle at the two-party rate without the broadcast filter.
+    SignalTrace ds = makeTrace("DS*", 1);
+    SignalTrace dk = makeTrace("DK*", 1);
+    double t = addr_phase.completionNs;
+    for (int beat = 0; beat < data_beats; ++beat) {
+        double t_strobe = t + 2.0;
+        double t_ack = t_strobe + beat_ns / 2.0;
+        double t_rel = t_strobe + beat_ns;
+        addEdge(ds, t_strobe, 0);
+        addEdge(dk, t_ack, 0);
+        addEdge(ds, t_rel, 1);
+        addEdge(dk, t_rel + beat_ns / 4.0, 1);
+        t = t_rel + beat_ns / 4.0;
+    }
+    out.signals.push_back(ds);
+    out.signals.push_back(dk);
+    out.completionNs = t;
+    return out;
+}
+
+} // namespace fbsim

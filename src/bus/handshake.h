@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Electrical-level model of the Futurebus broadcast handshake
+ * (sections 2.1 and 2.2; Figures 1 and 2 of the paper).
+ *
+ * All control lines are open-collector: drive low, float high; a line
+ * reads high only when *every* driver has released it ("a number of
+ * children stepping on a garden hose").  The broadcast address
+ * handshake is:
+ *
+ *   - the master presents the address and asserts AS* (address strobe);
+ *   - every module asserts AK* (address acknowledge) immediately and
+ *     holds AI* (address acknowledge inverse) low;
+ *   - each module releases AI* when it is done with the address (e.g.
+ *     after its snoop lookup); AI* rises when the LAST module lets go;
+ *   - when a driver releases a line still held by another, a wired-OR
+ *     glitch occurs; an asymmetrical inertial delay (low-pass) filter
+ *     suppresses it at the cost of a fixed delay on rising edges -
+ *     the paper's "broadcast handshaking is 25 nanoseconds slower".
+ *
+ * simulateBroadcastHandshake() produces edge-accurate waveforms for
+ * AS*, AK* and AI*; simulateParallelTransaction() extends it with the data
+ * strobe/acknowledge beats of Figure 2.  These drive the figure
+ * benches and the timing unit tests.
+ */
+
+#ifndef FBSIM_BUS_HANDSHAKE_H_
+#define FBSIM_BUS_HANDSHAKE_H_
+
+#include <string>
+#include <vector>
+
+namespace fbsim {
+
+/** Per-module handshake timing parameters, in nanoseconds. */
+struct ModuleTiming
+{
+    double ackDelayNs = 5.0;      ///< address strobe -> AK* assertion
+    double releaseDelayNs = 30.0; ///< address strobe -> AI* release
+};
+
+/** One recorded waveform: initial level plus (time, new level) edges. */
+struct SignalTrace
+{
+    std::string name;
+    int initialLevel = 1;                      ///< 1 = released (high)
+    std::vector<std::pair<double, int>> edges; ///< sorted by time
+
+    /** Level at time t (>= 0). */
+    int levelAt(double t) const;
+
+    /** Time of the last edge (0 if none). */
+    double lastEdge() const;
+};
+
+/** Result of a handshake / transaction simulation. */
+struct HandshakeResult
+{
+    std::vector<SignalTrace> signals;
+    double completionNs = 0;        ///< master may proceed at this time
+    double wiredOrPenaltyNs = 0;    ///< added by the glitch filter
+};
+
+/**
+ * Simulate the Figure 1 broadcast address handshake.
+ *
+ * @param modules   timing of each participating module (>= 1)
+ * @param filterNs  inertial delay of the wired-OR glitch filter
+ *                  applied to rising (release) edges of shared lines
+ */
+HandshakeResult
+simulateBroadcastHandshake(const std::vector<ModuleTiming> &modules,
+                           double filterNs = 25.0);
+
+/**
+ * Simulate a full Figure 2 parallel-protocol transaction: the address
+ * handshake followed by `dataBeats` data transfer beats of
+ * `beatNs` each (DS*, DK* strobing), then the closing handshake.
+ */
+HandshakeResult
+simulateParallelTransaction(const std::vector<ModuleTiming> &modules,
+                            int data_beats, double beat_ns = 20.0,
+                            double filter_ns = 25.0);
+
+} // namespace fbsim
+
+#endif // FBSIM_BUS_HANDSHAKE_H_

@@ -1,0 +1,52 @@
+#include "bus/memory_slave.h"
+
+#include "bus/bus.h"
+#include "common/logging.h"
+
+namespace fbsim {
+
+SlaveResult
+MainMemorySlave::transact(const BusRequest &req, bool local_owner,
+                          bool /* local_ch */,
+                          std::span<Word> read_out)
+{
+    switch (req.cmd) {
+      case BusCmd::Read:
+        if (local_owner) {
+            // Intervention preempts memory, which is NOT updated - the
+            // Futurebus limitation that motivates the O state.
+            ++memory_.stats().inhibited;
+        } else {
+            std::span<const Word> line = memory_.readLine(req.line);
+            fbsim_assert(read_out.size() == line.size());
+            std::copy(line.begin(), line.end(), read_out.begin());
+        }
+        break;
+
+      case BusCmd::WriteWord:
+        if (req.sig.bc) {
+            // Broadcast writes update main memory as well as every
+            // connected (SL) cache; see the Dragon discussion (4.2).
+            memory_.writeWord(req.line, req.wordIdx, req.wdata);
+        } else if (local_owner) {
+            // The owner captures the write; memory stays stale.
+            ++memory_.stats().inhibited;
+        } else {
+            memory_.writeWord(req.line, req.wordIdx, req.wdata);
+        }
+        break;
+
+      case BusCmd::WriteLine:
+        memory_.writeLine(req.line, req.wline);
+        break;
+
+      case BusCmd::AddrOnly:
+      case BusCmd::Sync:
+        // No data phase; a sync's memory update happens through the
+        // owner's push during the abort/retry rounds.
+        break;
+    }
+    return {};
+}
+
+} // namespace fbsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The memory side of a bus.
+ *
+ * On a single-bus system the slave is main memory.  In the multi-bus
+ * hierarchy of hier/ (the paper's section 6 future work), a leaf bus's
+ * slave is a BusBridge that forwards transactions to the root bus; the
+ * SlaveResult lets responses (CH from remote caches) and costs flow
+ * back into the local transaction.
+ */
+
+#ifndef FBSIM_BUS_MEMORY_SLAVE_H_
+#define FBSIM_BUS_MEMORY_SLAVE_H_
+
+#include <span>
+
+#include "common/types.h"
+#include "core/events.h"
+#include "memory/main_memory.h"
+
+namespace fbsim {
+
+struct BusRequest;
+
+/** What the slave contributes to a transaction. */
+struct SlaveResult
+{
+    /** Responses gathered beyond this bus (wired into the local OR). */
+    ResponseSignals resp;
+    /** Cycles spent beyond this bus (0 = plain local memory; the cost
+     *  model then applies its own memory latency). */
+    Cycles cost = 0;
+};
+
+/** Slave port of a bus. */
+class MemorySlave
+{
+  public:
+    virtual ~MemorySlave() = default;
+
+    /** Words per line served by this slave. */
+    virtual std::size_t wordsPerLine() const = 0;
+
+    /**
+     * Participate in a transaction on this bus.
+     *
+     * @param req          the transaction (never req.fromBridge).
+     * @param local_owner  a cache on this bus asserted DI (it supplies
+     *                     or captures the data itself).
+     * @param local_ch     wired-OR CH of this bus's snoopers (carried
+     *                     across bridges for CH conditionals).
+     * @param read_out     for reads without a local owner: the line
+     *                     buffer to fill.
+     */
+    virtual SlaveResult transact(const BusRequest &req, bool local_owner,
+                                 bool local_ch,
+                                 std::span<Word> read_out) = 0;
+};
+
+/** Main memory as a bus slave (the single-bus / root-bus case). */
+class MainMemorySlave : public MemorySlave
+{
+  public:
+    explicit MainMemorySlave(MainMemory &memory) : memory_(memory) {}
+
+    std::size_t
+    wordsPerLine() const override
+    {
+        return memory_.wordsPerLine();
+    }
+
+    SlaveResult transact(const BusRequest &req, bool local_owner,
+                         bool local_ch,
+                         std::span<Word> read_out) override;
+
+    MainMemory &memory() { return memory_; }
+
+  private:
+    MainMemory &memory_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_BUS_MEMORY_SLAVE_H_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A BusObserver that keeps a human-readable ring buffer of the most
+ * recent bus transactions - the debugging view a logic analyzer would
+ * give on a real backplane.
+ */
+
+#ifndef FBSIM_BUS_TRANSACTION_LOG_H_
+#define FBSIM_BUS_TRANSACTION_LOG_H_
+
+#include <deque>
+#include <string>
+
+#include "bus/bus.h"
+
+namespace fbsim {
+
+/** Ring buffer of formatted transaction records. */
+class TransactionLog : public BusObserver
+{
+  public:
+    /** @param capacity maximum retained entries (oldest dropped). */
+    explicit TransactionLog(std::size_t capacity = 64);
+
+    void onTransaction(const BusRequest &req,
+                       const BusResult &result) override;
+
+    /** Retained entries, oldest first. */
+    const std::deque<std::string> &entries() const { return entries_; }
+
+    /** Total transactions observed (including dropped entries). */
+    std::uint64_t observed() const { return observed_; }
+
+    /** All retained entries joined with newlines. */
+    std::string render() const;
+
+    /** Drop all retained entries (observed() keeps counting). */
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t observed_ = 0;
+    std::deque<std::string> entries_;
+};
+
+/** One-line description of a transaction ("m2 Read 0x40 CA | CH,DI"). */
+std::string formatTransaction(const BusRequest &req,
+                              const BusResult &result);
+
+} // namespace fbsim
+
+#endif // FBSIM_BUS_TRANSACTION_LOG_H_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cache geometry: line size, set count and associativity, plus the
+ * address arithmetic derived from them.
+ *
+ * Section 5.1 of the paper argues that a Futurebus system must
+ * standardize on a single line size; fbsim enforces this by making the
+ * line size a System-wide constant that every cache geometry must
+ * match (see sim/system.h).
+ */
+
+#ifndef FBSIM_CACHE_GEOMETRY_H_
+#define FBSIM_CACHE_GEOMETRY_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace fbsim {
+
+/** Shape of one cache: line size, sets and ways. */
+struct CacheGeometry
+{
+    std::size_t lineBytes = 32;   ///< bytes per line (power of two, >= 8)
+    std::size_t numSets = 64;     ///< sets (power of two)
+    std::size_t assoc = 4;        ///< ways per set (>= 1)
+
+    /** 64-bit words per line. */
+    std::size_t wordsPerLine() const { return lineBytes / kWordBytes; }
+
+    /** Total capacity in bytes. */
+    std::size_t capacityBytes() const
+    { return lineBytes * numSets * assoc; }
+
+    /** Line address containing the byte address. */
+    LineAddr lineOf(Addr a) const { return a / lineBytes; }
+
+    /** First byte address of a line. */
+    Addr lineBase(LineAddr la) const { return la * lineBytes; }
+
+    /** Index of the word within its line. */
+    std::size_t
+    wordIndex(Addr a) const
+    {
+        return (a % lineBytes) / kWordBytes;
+    }
+
+    /** Set index for a line address. */
+    std::size_t setOf(LineAddr la) const { return la % numSets; }
+
+    /** fatal()s if the geometry is malformed (sizes, powers of two). */
+    void validate() const;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_CACHE_GEOMETRY_H_

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Abstract line storage for cache controllers.
+ *
+ * Two implementations exist: the conventional set-associative TagStore
+ * (one tag per line) and the SectorStore (one tag per multi-line
+ * sector, per-subsector state - section 5.1's sector caches [Hill84]).
+ * The controller in protocols/ is written against this interface, so
+ * consistency status is always associated with the transfer subsector
+ * (= the system line), exactly as the paper concludes it must be.
+ */
+
+#ifndef FBSIM_CACHE_LINE_STORE_H_
+#define FBSIM_CACHE_LINE_STORE_H_
+
+#include <functional>
+#include <vector>
+
+#include "cache/tag_store.h"
+
+namespace fbsim {
+
+/** Storage abstraction: lines indexed by LineAddr. */
+class LineStore
+{
+  public:
+    virtual ~LineStore() = default;
+
+    /** Words per line (the system line size). */
+    virtual std::size_t wordsPerLine() const = 0;
+
+    /** Find a valid line; null on miss. */
+    virtual CacheLine *find(LineAddr la) = 0;
+
+    /** Const lookup for checkers/inspection. */
+    virtual const CacheLine *peek(LineAddr la) const = 0;
+
+    /**
+     * Valid lines that must be evicted before `la` can be installed.
+     * Empty when a slot is free (or already allocated, for a sector
+     * whose tag is resident).  The controller flushes each (pushing
+     * owned data) and marks it invalid, then calls install().
+     */
+    virtual std::vector<CacheLine *> evictionSet(LineAddr la) = 0;
+
+    /**
+     * Allocate `la` (the eviction set must have been invalidated) and
+     * return its line, tagged and zero-filled, in state `s`.
+     */
+    virtual CacheLine &install(LineAddr la, State s) = 0;
+
+    /** Replacement bookkeeping for a hit. */
+    virtual void touch(const CacheLine &line) = 0;
+
+    /** Section 5.2 near-replacement probe. */
+    virtual bool nearReplacement(const CacheLine &line) const = 0;
+
+    /** Visit every valid line. */
+    virtual void forEachValidLine(
+        const std::function<void(const CacheLine &)> &fn) const = 0;
+
+    /** Count of valid lines. */
+    virtual std::size_t validLineCount() const = 0;
+};
+
+/** Conventional store: adapts TagStore to the LineStore interface. */
+class PlainLineStore : public LineStore
+{
+  public:
+    PlainLineStore(const CacheGeometry &geometry, ReplacementKind repl,
+                   std::uint64_t seed)
+        : tags_(geometry, repl, seed)
+    {
+    }
+
+    std::size_t
+    wordsPerLine() const override
+    {
+        return tags_.geometry().wordsPerLine();
+    }
+
+    CacheLine *find(LineAddr la) override { return tags_.find(la); }
+
+    const CacheLine *
+    peek(LineAddr la) const override
+    {
+        return tags_.peek(la);
+    }
+
+    std::vector<CacheLine *>
+    evictionSet(LineAddr la) override
+    {
+        CacheLine &victim = tags_.victimFor(la);
+        if (victim.valid())
+            return {&victim};
+        return {};
+    }
+
+    CacheLine &
+    install(LineAddr la, State s) override
+    {
+        CacheLine &line = tags_.victimFor(la);
+        tags_.install(line, la, s);
+        return line;
+    }
+
+    void touch(const CacheLine &line) override { tags_.touch(line); }
+
+    bool
+    nearReplacement(const CacheLine &line) const override
+    {
+        return tags_.nearReplacement(line);
+    }
+
+    void
+    forEachValidLine(const std::function<void(const CacheLine &)> &fn)
+        const override
+    {
+        tags_.forEachValidLine(fn);
+    }
+
+    std::size_t
+    validLineCount() const override
+    {
+        return tags_.validLineCount();
+    }
+
+    const TagStore &tags() const { return tags_; }
+
+  private:
+    TagStore tags_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_CACHE_LINE_STORE_H_

@@ -1,0 +1,210 @@
+#include "cache/replacement.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fbsim {
+
+std::string_view
+replacementKindName(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:    return "LRU";
+      case ReplacementKind::FIFO:   return "FIFO";
+      case ReplacementKind::Random: return "Random";
+      case ReplacementKind::PLRU:   return "PLRU";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Timestamp-based policy covering both LRU (stamps on access and fill)
+ * and FIFO (stamps on fill only): the victim is the oldest stamp.
+ */
+class StampPolicy : public ReplacementPolicy
+{
+  public:
+    StampPolicy(bool stamp_on_access, std::string_view name,
+                std::size_t sets, std::size_t ways)
+        : stampOnAccess_(stamp_on_access), name_(name), ways_(ways),
+          stamps_(sets * ways, 0)
+    {
+    }
+
+    std::string_view name() const override { return name_; }
+
+    void
+    onAccess(std::size_t set, std::size_t way) override
+    {
+        if (stampOnAccess_)
+            stamps_[set * ways_ + way] = ++clock_;
+    }
+
+    void
+    onFill(std::size_t set, std::size_t way) override
+    {
+        stamps_[set * ways_ + way] = ++clock_;
+    }
+
+    std::size_t
+    victim(std::size_t set) override
+    {
+        std::size_t best = 0;
+        std::uint64_t best_stamp = stamps_[set * ways_];
+        for (std::size_t w = 1; w < ways_; ++w) {
+            std::uint64_t st = stamps_[set * ways_ + w];
+            if (st < best_stamp) {
+                best_stamp = st;
+                best = w;
+            }
+        }
+        return best;
+    }
+
+    bool
+    isNearReplacement(std::size_t set, std::size_t way) override
+    {
+        // Bottom half of the set by recency.
+        std::size_t older = 0;
+        std::uint64_t mine = stamps_[set * ways_ + way];
+        for (std::size_t w = 0; w < ways_; ++w) {
+            if (w != way && stamps_[set * ways_ + w] < mine)
+                ++older;
+        }
+        return older < (ways_ + 1) / 2;
+    }
+
+  private:
+    bool stampOnAccess_;
+    std::string_view name_;
+    std::size_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamps_;
+};
+
+/** Uniformly random victim. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::size_t ways, std::uint64_t seed)
+        : ways_(ways), rng_(seed)
+    {
+    }
+
+    std::string_view name() const override { return "Random"; }
+    void onAccess(std::size_t, std::size_t) override {}
+    void onFill(std::size_t, std::size_t) override {}
+
+    std::size_t victim(std::size_t) override { return rng_.below(ways_); }
+
+    bool
+    isNearReplacement(std::size_t, std::size_t) override
+    {
+        // No ordering information; split the difference.
+        return rng_.chance(0.5);
+    }
+
+  private:
+    std::size_t ways_;
+    Rng rng_;
+};
+
+/** Tree pseudo-LRU over a power-of-two (rounded-up) way count. */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(std::size_t sets, std::size_t ways) : ways_(ways)
+    {
+        leaves_ = 1;
+        while (leaves_ < ways_)
+            leaves_ *= 2;
+        bits_.assign(sets * leaves_, false);
+    }
+
+    std::string_view name() const override { return "PLRU"; }
+
+    void
+    onAccess(std::size_t set, std::size_t way) override
+    {
+        touch(set, way);
+    }
+
+    void
+    onFill(std::size_t set, std::size_t way) override
+    {
+        touch(set, way);
+    }
+
+    std::size_t
+    victim(std::size_t set) override
+    {
+        // Walk the tree following the "colder" direction; clamp to the
+        // real way count when leaves were rounded up.
+        std::size_t node = 1;
+        while (node < leaves_) {
+            // bit true = left child hot, so the victim is on the right.
+            bool bit = bits_[set * leaves_ + node];
+            node = node * 2 + (bit ? 1 : 0);
+        }
+        std::size_t way = node - leaves_;
+        return std::min(way, ways_ - 1);
+    }
+
+    bool
+    isNearReplacement(std::size_t set, std::size_t way) override
+    {
+        // The root bit points away from the most recently used half.
+        if (ways_ < 2)
+            return false;
+        bool bit = bits_[set * leaves_ + 1];
+        bool in_upper_half = way >= leaves_ / 2;
+        // bit true means lower half is hot, so upper half is near
+        // replacement.
+        return bit ? in_upper_half : !in_upper_half;
+    }
+
+  private:
+    void
+    touch(std::size_t set, std::size_t way)
+    {
+        std::size_t node = leaves_ + way;
+        while (node > 1) {
+            std::size_t parent = node / 2;
+            // Mark the direction of `node` as recently used: bit true
+            // means the left child is hot.
+            bits_[set * leaves_ + parent] = (node % 2 == 0);
+            node = parent;
+        }
+    }
+
+    std::size_t ways_;
+    std::size_t leaves_;
+    std::vector<bool> bits_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, std::size_t sets,
+                      std::size_t ways, std::uint64_t seed)
+{
+    fbsim_assert(ways > 0);
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return std::make_unique<StampPolicy>(true, "LRU", sets, ways);
+      case ReplacementKind::FIFO:
+        return std::make_unique<StampPolicy>(false, "FIFO", sets, ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(ways, seed);
+      case ReplacementKind::PLRU:
+        return std::make_unique<TreePlruPolicy>(sets, ways);
+    }
+    fbsim_panic("unknown replacement kind");
+}
+
+} // namespace fbsim

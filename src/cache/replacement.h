@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Replacement policies for set-associative tag stores.
+ *
+ * Section 5.2 of the paper suggests consulting replacement status when
+ * deciding whether to keep a remotely-written line (update if recently
+ * used, discard if near replacement); the policy interface exposes the
+ * hook (isNearReplacement) that protocols/ uses to implement that
+ * refinement.
+ */
+
+#ifndef FBSIM_CACHE_REPLACEMENT_H_
+#define FBSIM_CACHE_REPLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace fbsim {
+
+/** Available replacement algorithms. */
+enum class ReplacementKind { LRU, FIFO, Random, PLRU };
+
+/** Printable name of a replacement algorithm. */
+std::string_view replacementKindName(ReplacementKind kind);
+
+/**
+ * Replacement state for one tag store.  Policies see accesses and fills
+ * per (set, way) and nominate victims.  Way validity is handled by the
+ * tag store (invalid ways are always preferred as victims); policies
+ * only rank valid ways.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Algorithm name. */
+    virtual std::string_view name() const = 0;
+
+    /** A hit touched (set, way). */
+    virtual void onAccess(std::size_t set, std::size_t way) = 0;
+
+    /** A fill placed a new line into (set, way). */
+    virtual void onFill(std::size_t set, std::size_t way) = 0;
+
+    /** Nominate a victim way in the set (all ways valid). */
+    virtual std::size_t victim(std::size_t set) = 0;
+
+    /**
+     * True when the way ranks in the bottom half of the set's
+     * replacement order - the paper's "nearing time for replacement"
+     * test for discarding instead of updating a broadcast-written line.
+     */
+    virtual bool isNearReplacement(std::size_t set, std::size_t way) = 0;
+};
+
+/** Construct a policy instance for a (sets x ways) tag store. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, std::size_t sets,
+                      std::size_t ways, std::uint64_t seed);
+
+} // namespace fbsim
+
+#endif // FBSIM_CACHE_REPLACEMENT_H_

@@ -1,0 +1,102 @@
+#include "cache/tag_store.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+TagStore::TagStore(const CacheGeometry &geometry, ReplacementKind repl,
+                   std::uint64_t seed)
+    : geom_(geometry)
+{
+    geom_.validate();
+    repl_ = makeReplacementPolicy(repl, geom_.numSets, geom_.assoc, seed);
+    lines_.resize(geom_.numSets * geom_.assoc);
+}
+
+CacheLine *
+TagStore::find(LineAddr la)
+{
+    std::size_t set = geom_.setOf(la);
+    for (std::size_t w = 0; w < geom_.assoc; ++w) {
+        CacheLine &line = lines_[set * geom_.assoc + w];
+        if (line.valid() && line.addr == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+TagStore::peek(LineAddr la) const
+{
+    std::size_t set = geom_.setOf(la);
+    for (std::size_t w = 0; w < geom_.assoc; ++w) {
+        const CacheLine &line = lines_[set * geom_.assoc + w];
+        if (line.valid() && line.addr == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine &
+TagStore::victimFor(LineAddr la)
+{
+    std::size_t set = geom_.setOf(la);
+    for (std::size_t w = 0; w < geom_.assoc; ++w) {
+        CacheLine &line = lines_[set * geom_.assoc + w];
+        if (!line.valid())
+            return line;
+    }
+    return lines_[set * geom_.assoc + repl_->victim(set)];
+}
+
+void
+TagStore::install(CacheLine &line, LineAddr la, State s)
+{
+    fbsim_assert(!line.valid());
+    line.addr = la;
+    line.state = s;
+    line.data.assign(geom_.wordsPerLine(), 0);
+    repl_->onFill(geom_.setOf(la), wayOf(line));
+}
+
+void
+TagStore::touch(const CacheLine &line)
+{
+    repl_->onAccess(geom_.setOf(line.addr), wayOf(line));
+}
+
+bool
+TagStore::nearReplacement(const CacheLine &line) const
+{
+    return repl_->isNearReplacement(geom_.setOf(line.addr), wayOf(line));
+}
+
+void
+TagStore::forEachValidLine(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const CacheLine &line : lines_) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+std::size_t
+TagStore::validLineCount() const
+{
+    std::size_t n = 0;
+    for (const CacheLine &line : lines_) {
+        if (line.valid())
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+TagStore::wayOf(const CacheLine &line) const
+{
+    std::size_t idx = static_cast<std::size_t>(&line - lines_.data());
+    return idx % geom_.assoc;
+}
+
+} // namespace fbsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Set-associative tag/data store with MOESI per-line state.
+ *
+ * The tag store is purely mechanical: lookup, victim selection and
+ * fills.  All protocol decisions (what state to enter, when to push a
+ * victim) belong to the cache controller in protocols/.
+ */
+
+#ifndef FBSIM_CACHE_TAG_STORE_H_
+#define FBSIM_CACHE_TAG_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/replacement.h"
+#include "common/types.h"
+#include "core/state.h"
+
+namespace fbsim {
+
+/** One cache line: tag, consistency state and data words. */
+struct CacheLine
+{
+    LineAddr addr = 0;        ///< full line address (tag + index)
+    State state = State::I;
+    std::vector<Word> data;   ///< wordsPerLine() words once allocated
+
+    bool valid() const { return isValid(state); }
+};
+
+/** A set-associative array of CacheLine with a replacement policy. */
+class TagStore
+{
+  public:
+    /** @param geometry validated cache shape.
+     *  @param repl replacement algorithm.
+     *  @param seed randomness for the Random policy. */
+    TagStore(const CacheGeometry &geometry, ReplacementKind repl,
+             std::uint64_t seed);
+
+    TagStore(const TagStore &) = delete;
+    TagStore &operator=(const TagStore &) = delete;
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Find the line holding `la` in any valid state; null on miss. */
+    CacheLine *find(LineAddr la);
+
+    /** Const lookup for checkers/inspection; null on miss. */
+    const CacheLine *peek(LineAddr la) const;
+
+    /**
+     * Line that a fill of `la` would use: an invalid way if the set has
+     * one, otherwise the replacement victim (which the controller must
+     * flush first if it is owned).  Never returns a valid line holding
+     * a different address than the victim's own.
+     */
+    CacheLine &victimFor(LineAddr la);
+
+    /**
+     * Install `la` into `line` (obtained from victimFor): resets tag,
+     * state and data storage and informs the replacement policy.
+     */
+    void install(CacheLine &line, LineAddr la, State s);
+
+    /** Record a hit for replacement bookkeeping. */
+    void touch(const CacheLine &line);
+
+    /** Near-replacement test for the section 5.2 refinement. */
+    bool nearReplacement(const CacheLine &line) const;
+
+    /** Visit every valid line (for checkers and statistics). */
+    void forEachValidLine(
+        const std::function<void(const CacheLine &)> &fn) const;
+
+    /** Count of currently valid lines. */
+    std::size_t validLineCount() const;
+
+  private:
+    std::size_t wayOf(const CacheLine &line) const;
+
+    CacheGeometry geom_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::vector<CacheLine> lines_;   // sets x ways, row-major
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_CACHE_TAG_STORE_H_

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in
+ *            fbsim itself).  Aborts, so a debugger/core dump is useful.
+ * fatal()  - the simulation cannot continue because of a user-supplied
+ *            condition (bad configuration, malformed trace, ...).  Exits
+ *            with status 1.
+ * warn()   - something suspicious but survivable.
+ * inform() - status messages.
+ *
+ * All take printf-style format strings.
+ */
+
+#ifndef FBSIM_COMMON_LOGGING_H_
+#define FBSIM_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace fbsim {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+#define fbsim_panic(...) ::fbsim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fbsim_fatal(...) ::fbsim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert a simulator invariant; on failure panic with the condition. */
+#define fbsim_assert(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::fbsim::panicImpl(__FILE__, __LINE__,                           \
+                               "assertion failed: %s", #cond);               \
+        }                                                                    \
+    } while (0)
+
+} // namespace fbsim
+
+#endif // FBSIM_COMMON_LOGGING_H_

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation for fbsim.
+ *
+ * All stochastic behaviour in the simulator (synthetic workloads, random
+ * replacement, the section 3.4 "random action selection" cache) flows from
+ * explicitly seeded Rng instances so that runs are reproducible across
+ * platforms and standard library versions.  The generator is
+ * xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef FBSIM_COMMON_RANDOM_H_
+#define FBSIM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fbsim {
+
+/**
+ * xoshiro256** pseudo-random number generator.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator, but fbsim code
+ * uses the convenience members below rather than <random> distributions
+ * (whose outputs are implementation-defined).
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; any value (including 0) is fine. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric re-reference distance: returns k >= 0 with
+     * P(k) = p * (1-p)^k; used for temporal locality in workloads.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Fork an independent stream (e.g., one per processor). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_COMMON_RANDOM_H_

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every fbsim module.
+ *
+ * The simulator models a shared-backplane multiprocessor in the style of
+ * the IEEE Futurebus (P896).  Addresses are byte addresses in a single
+ * flat shared address space; caches operate on aligned lines of a
+ * system-wide constant size (the paper's section 5.1 argues a standard
+ * line size is mandatory, and fbsim enforces one per System).
+ */
+
+#ifndef FBSIM_COMMON_TYPES_H_
+#define FBSIM_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fbsim {
+
+/** Byte address in the shared system address space. */
+using Addr = std::uint64_t;
+
+/** Line-granular address: byte address divided by the line size. */
+using LineAddr = std::uint64_t;
+
+/** Word value stored in memory/caches; fbsim words are 64-bit. */
+using Word = std::uint64_t;
+
+/** Index of a bus module (cache master, non-caching master). */
+using MasterId = std::uint32_t;
+
+/** Simulated time, in bus clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Number of bytes per simulated word. */
+inline constexpr std::size_t kWordBytes = 8;
+
+/** Sentinel master id meaning "no master" / "main memory". */
+inline constexpr MasterId kNoMaster = 0xffffffffu;
+
+} // namespace fbsim
+
+#endif // FBSIM_COMMON_TYPES_H_

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Machine-readable encoding of the cells of the paper's protocol tables.
+ *
+ * Each cell of Tables 1-7 holds one or more *alternative* actions (the
+ * paper's "or" entries); where a choice exists, the first alternative is
+ * the paper's preferred one.  fbsim protocol engines interpret these
+ * cells directly, so the table benches are renders of the live engine
+ * data and the section 3.4 compatibility claim ("select an action at
+ * each instant ... using a random number generator") can be tested
+ * literally.
+ *
+ * Notation mapping (see "Notes on Tables" in the paper):
+ *   CH:O/M   -> StateSpec{ifCh = O, ifNotCh = M}
+ *   CH:S/E   -> StateSpec{ifCh = S, ifNotCh = E}
+ *   fixed X  -> StateSpec{X, X}
+ *   R        -> BusCmd::Read
+ *   W        -> BusCmd::WriteWord (local Write events) or
+ *               BusCmd::WriteLine (Pass/Flush pushes)
+ *   "M,CA,IM" with no R/W -> BusCmd::AddrOnly (pure invalidate)
+ *   Read>Write -> LocalAction::readThenWrite
+ *   BS;S,CA,W  -> SnoopAction{bs = true, pushState = S, pushCa = true}
+ *   BC?        -> two alternatives differing only in bc (renderer folds
+ *                 them back into "BC?")
+ *   CH?        -> Tri::DontCare
+ */
+
+#ifndef FBSIM_CORE_ACTIONS_H_
+#define FBSIM_CORE_ACTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/events.h"
+#include "core/state.h"
+
+namespace fbsim {
+
+/**
+ * Result-state specification, possibly conditional on the wired-OR CH
+ * response observed from *other* caches during the transaction.
+ */
+struct StateSpec
+{
+    State ifCh;      ///< result when some other cache asserted CH
+    State ifNotCh;   ///< result when no other cache asserted CH
+
+    constexpr bool conditional() const { return ifCh != ifNotCh; }
+
+    /** Resolve against the observed others-CH value. */
+    constexpr State resolve(bool others_ch) const
+    { return others_ch ? ifCh : ifNotCh; }
+
+    bool operator==(const StateSpec &) const = default;
+};
+
+/** Fixed (unconditional) result state. */
+constexpr StateSpec
+toState(State s)
+{
+    return {s, s};
+}
+
+/** The paper's CH:O/M notation. */
+inline constexpr StateSpec kChOM = {State::O, State::M};
+
+/** The paper's CH:S/E notation. */
+inline constexpr StateSpec kChSE = {State::S, State::E};
+
+/** Which kind of bus client may use an action (the *, ** table marks). */
+enum class ClientKind : std::uint8_t {
+    CopyBack = 1 << 0,      ///< unmarked entries
+    WriteThrough = 1 << 1,  ///< "*" entries
+    NonCaching = 1 << 2,    ///< "**" entries
+};
+
+/** Bitmask of ClientKind values. */
+using ClientKindMask = std::uint8_t;
+
+constexpr ClientKindMask
+kindBit(ClientKind k)
+{
+    return static_cast<ClientKindMask>(k);
+}
+
+inline constexpr ClientKindMask kAnyKind =
+    kindBit(ClientKind::CopyBack) | kindBit(ClientKind::WriteThrough) |
+    kindBit(ClientKind::NonCaching);
+
+/**
+ * One alternative action for a (state, local event) cell of a protocol
+ * table: the result state, the bus transaction to issue (if any) and the
+ * intent signals to assert on it.
+ */
+struct LocalAction
+{
+    StateSpec next = toState(State::I);
+    bool ca = false;           ///< assert CA on the transaction
+    bool im = false;           ///< assert IM on the transaction
+    bool bc = false;           ///< assert BC on the transaction
+    BusCmd cmd = BusCmd::Read; ///< transaction payload class
+    bool usesBus = false;      ///< false: purely local transition
+    bool readThenWrite = false;///< the composite "Read>Write" entry
+    /** Who may pick this alternative (default: copy-back caches). */
+    ClientKindMask kinds = kindBit(ClientKind::CopyBack);
+
+    bool operator==(const LocalAction &) const = default;
+};
+
+/** Three-valued response-signal specification ("CH?" = DontCare). */
+enum class Tri : std::uint8_t { No = 0, Assert = 1, DontCare = 2 };
+
+/**
+ * One alternative action for a (state, bus event) cell: the response
+ * signals this snooper drives and its resulting state.
+ *
+ * When bs is set the snooper aborts the transaction, performs a push
+ * (whole-line write-back, asserting CA if pushCa), transitions to
+ * pushState, and the aborted transaction then retries against the new
+ * state (section 3.2.2's Futurebus adaptation of Write-Once, Illinois
+ * and Firefly).
+ */
+struct SnoopAction
+{
+    StateSpec next = toState(State::I);
+    Tri ch = Tri::No;    ///< drive CH
+    bool di = false;     ///< drive DI (owner intervention)
+    bool sl = false;     ///< drive SL (connect on broadcast transfer)
+    bool bs = false;     ///< abort; push; retry
+    bool pushCa = true;  ///< CA asserted on the push transaction
+    State pushState = State::S; ///< state after the push, before retry
+
+    bool operator==(const SnoopAction &) const = default;
+};
+
+/** Alternatives for one Table-1 style cell; empty = illegal ("--"). */
+using LocalCell = std::vector<LocalAction>;
+
+/** Alternatives for one Table-2 style cell; empty = illegal ("--"). */
+using SnoopCell = std::vector<SnoopAction>;
+
+} // namespace fbsim
+
+#endif // FBSIM_CORE_ACTIONS_H_

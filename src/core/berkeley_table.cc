@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Transcription of Table 3: the Berkeley (SPUR) protocol [Katz85] on
+ * the Futurebus.  States M, O, S, I - there is no E state; read misses
+ * always load into S and all writes to shared data invalidate with an
+ * address-only transaction.
+ *
+ * As in the paper, the CH signal is generated for compatibility with
+ * the MOESI mechanism (the original protocol does not use it).
+ *
+ * Beyond the published rows/columns (local Read/Write, bus columns 5
+ * and 6) this table carries the cells a running cache needs (replacement
+ * Flush/Pass) and, since the paper shows Berkeley falls within the
+ * MOESI class, the foreign-event columns 7-10 filled with the class's
+ * preferred actions (with E degraded to S per the paper's note 10,
+ * because Berkeley has no E row).  The table benches render only the
+ * published cells.
+ */
+
+#include "core/protocol_table.h"
+#include "core/table_builders.h"
+
+namespace fbsim {
+
+using namespace table_builders;
+
+namespace {
+
+ProtocolTable
+buildBerkeleyTable()
+{
+    ProtocolTable t("Berkeley",
+                    {State::M, State::O, State::S, State::I});
+
+    // Local events (published: Read, Write).
+    t.setLocal(State::M, LocalEvent::Read, {stay(State::M)});
+    t.setLocal(State::M, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::O, LocalEvent::Read, {stay(State::O)});
+    t.setLocal(State::O, LocalEvent::Write,
+               {issue(toState(State::M), CA_IM, BusCmd::AddrOnly)});
+    t.setLocal(State::S, LocalEvent::Read, {stay(State::S)});
+    t.setLocal(State::S, LocalEvent::Write,
+               {issue(toState(State::M), CA_IM, BusCmd::AddrOnly)});
+    t.setLocal(State::I, LocalEvent::Read,
+               {issue(toState(State::S), CA, BusCmd::Read)});
+    t.setLocal(State::I, LocalEvent::Write,
+               {issue(toState(State::M), CA_IM, BusCmd::Read)});
+
+    // Replacement support (not shown in Table 3): dirty lines are
+    // pushed; S is dropped silently.  A Pass from M/O keeps the copy in
+    // S (no E row to enter).
+    t.setLocal(State::M, LocalEvent::Pass,
+               {issue(toState(State::S), CA, BusCmd::WriteLine)});
+    t.setLocal(State::M, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine)});
+    t.setLocal(State::O, LocalEvent::Pass,
+               {issue(toState(State::S), CA, BusCmd::WriteLine)});
+    t.setLocal(State::O, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine)});
+    t.setLocal(State::S, LocalEvent::Flush, {stay(State::I)});
+
+    // Bus events (published: columns 5 and 6).
+    t.setSnoop(State::M, BusEvent::ReadByCache,
+               {respond(toState(State::O), Tri::Assert, true)});
+    t.setSnoop(State::M, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true)});
+    t.setSnoop(State::O, BusEvent::ReadByCache,
+               {respond(toState(State::O), Tri::Assert, true)});
+    t.setSnoop(State::O, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true)});
+    t.setSnoop(State::S, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::I, BusEvent::ReadByCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::I, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+
+    // Foreign-event extension (columns 7-10), MOESI-preferred actions.
+    t.setSnoop(State::M, BusEvent::ReadNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::M, BusEvent::WriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::M, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, false, true)});
+    t.setSnoop(State::O, BusEvent::ReadNoCache,
+               {respond(kChOM, Tri::No, true)});
+    t.setSnoop(State::O, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::O, BusEvent::WriteNoCache,
+               {respond(toState(State::O), Tri::DontCare, true)});
+    t.setSnoop(State::O, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::O), Tri::Assert, false, true)});
+    t.setSnoop(State::S, BusEvent::ReadNoCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    for (BusEvent ev :
+         {BusEvent::ReadNoCache, BusEvent::BroadcastWriteCache,
+          BusEvent::WriteNoCache, BusEvent::BroadcastWriteNoCache}) {
+        t.setSnoop(State::I, ev, {respond(toState(State::I))});
+    }
+
+    return t;
+}
+
+} // namespace
+
+const ProtocolTable &
+berkeleyTable()
+{
+    static const ProtocolTable table = buildBerkeleyTable();
+    return table;
+}
+
+} // namespace fbsim

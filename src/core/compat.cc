@@ -1,0 +1,163 @@
+#include "core/compat.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+namespace {
+
+/** Demotion closure per the notes (see header). */
+bool
+inDemotionClosure(State prescribed, State actual)
+{
+    if (prescribed == actual)
+        return true;
+    switch (prescribed) {
+      case State::M:
+        return actual == State::O;                       // note 9
+      case State::E:
+        // note 10 (E->S), note 12 (E->M) and their compositions
+        // (E->M->O, E->S->I).
+        return actual == State::S || actual == State::M ||
+               actual == State::O || actual == State::I;
+      case State::S:
+        return actual == State::I;                       // silent drop
+      case State::O:
+      case State::I:
+        return false;
+    }
+    return false;
+}
+
+bool
+specDemotes(const StateSpec &prescribed, const StateSpec &actual)
+{
+    return inDemotionClosure(prescribed.ifCh, actual.ifCh) &&
+           inDemotionClosure(prescribed.ifNotCh, actual.ifNotCh);
+}
+
+/** Does local action `a` realize MOESI alternative `m`? */
+bool
+localMatches(const LocalAction &m, const LocalAction &a)
+{
+    if (m.readThenWrite || a.readThenWrite)
+        return m.readThenWrite && a.readThenWrite;
+    if (m.usesBus != a.usesBus)
+        return false;
+    if (m.usesBus &&
+        (m.cmd != a.cmd || m.ca != a.ca || m.im != a.im || m.bc != a.bc))
+        return false;
+    return specDemotes(m.next, a.next);
+}
+
+/** Does snoop action `a` realize MOESI alternative `m`? */
+bool
+snoopMatches(const SnoopAction &m, const SnoopAction &a)
+{
+    if (m.bs || a.bs)
+        return false;   // the class has no abort actions
+    if (!specDemotes(m.next, a.next))
+        return false;
+    // Ownership obligations are exact.
+    if (m.di != a.di)
+        return false;
+    // A snooper that drops its copy must not claim retention.
+    bool a_invalid = a.next == toState(State::I);
+    if (a_invalid)
+        return a.ch != Tri::Assert && !a.sl;
+    // Otherwise CH must agree unless the class marks it don't-care.
+    if (m.ch != Tri::DontCare && m.ch != a.ch)
+        return false;
+    return m.sl == a.sl;
+}
+
+/**
+ * A BS response is implementable on the Futurebus when the push leaves
+ * the owner in a legal post-Pass state: from M a Pass prescribes E;
+ * from O it prescribes CH:S/E (conservatively S).
+ */
+bool
+busyImplementable(State from, const SnoopAction &a)
+{
+    if (!a.bs)
+        return false;
+    if (!isIntervenient(from))
+        return false;
+    State prescribed = from == State::M ? State::E : State::S;
+    return inDemotionClosure(prescribed, a.pushState) ||
+           a.pushState == prescribed;
+}
+
+} // namespace
+
+bool
+isLegalDemotion(State prescribed, State actual)
+{
+    return inDemotionClosure(prescribed, actual);
+}
+
+ClassMembership
+checkClassMembership(const ProtocolTable &table)
+{
+    const ProtocolTable &klass = moesiTable();
+    ClassMembership out;
+    out.member = true;
+    out.implementableWithBusy = true;
+
+    auto reject = [&](const std::string &what, bool busy_ok) {
+        out.member = false;
+        out.violations.push_back(table.name() + ": " + what);
+        if (!busy_ok) {
+            out.implementableWithBusy = false;
+            out.violationsWithBusy.push_back(table.name() + ": " + what);
+        }
+    };
+
+    for (State s : table.states()) {
+        if (!klass.hasState(s)) {
+            reject("uses state " + std::string(stateName(s)) +
+                       " outside the class",
+                   false);
+            continue;
+        }
+        for (LocalEvent ev : kAllLocalEvents) {
+            const LocalCell &cell = table.local(s, ev);
+            const LocalCell &allowed = klass.local(s, ev);
+            for (std::size_t i = 0; i < cell.size(); ++i) {
+                bool ok = false;
+                for (const LocalAction &m : allowed)
+                    ok = ok || localMatches(m, cell[i]);
+                if (!ok) {
+                    reject(strprintf(
+                               "local[%s,%s] alt %zu matches no class "
+                               "alternative",
+                               std::string(stateName(s)).c_str(),
+                               std::string(localEventName(ev)).c_str(),
+                               i),
+                           false);
+                }
+            }
+        }
+        for (BusEvent ev : kAllBusEvents) {
+            const SnoopCell &cell = table.snoop(s, ev);
+            const SnoopCell &allowed = klass.snoop(s, ev);
+            for (std::size_t i = 0; i < cell.size(); ++i) {
+                bool ok = false;
+                for (const SnoopAction &m : allowed)
+                    ok = ok || snoopMatches(m, cell[i]);
+                if (!ok) {
+                    bool busy_ok = busyImplementable(s, cell[i]);
+                    reject(strprintf(
+                               "snoop[%s,col%d] alt %zu matches no "
+                               "class alternative",
+                               std::string(stateName(s)).c_str(),
+                               busEventColumn(ev), i),
+                           busy_ok);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace fbsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Mechanical verification of the paper's compatibility claims.
+ *
+ * Section 3.4 defines the *class* of compatible protocols: any protocol
+ * whose every action is one of the alternatives of Tables 1 and 2
+ * (possibly weakened by notes 9-12) may coexist with any other member
+ * on the same bus.  Section 4 then claims:
+ *
+ *   - Berkeley and Dragon fall within the class (Tables 3 and 4);
+ *   - Write-Once, Illinois and Firefly do not, and need the BS
+ *     abort/push/retry adaptation even to run on the Futurebus at all
+ *     (Tables 5-7).
+ *
+ * checkClassMembership() verifies these statements cell by cell against
+ * the encoded tables; the claims become unit tests.
+ *
+ * The note-based weakenings induce a "spontaneous demotion" preorder on
+ * states: M may demote to O (note 9); E may demote to S (10) or be
+ * implemented as M (12, hence transitively O); an unowned line may be
+ * dropped to I at any time (silent eviction / note 11).  A result state
+ * is acceptable when it is a legal demotion of what Table 1/2
+ * prescribes.
+ */
+
+#ifndef FBSIM_CORE_COMPAT_H_
+#define FBSIM_CORE_COMPAT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/protocol_table.h"
+
+namespace fbsim {
+
+/** Result of a class-membership check. */
+struct ClassMembership
+{
+    /** Every action is a (possibly weakened) Table 1/2 alternative. */
+    bool member = false;
+
+    /**
+     * Like member, but BS abort/push/retry responses are additionally
+     * accepted when the push is itself a legal Pass (the Futurebus
+     * adaptation of section 4).  Protocols that are implementable but
+     * not members (e.g. adapted Illinois) satisfy this.
+     */
+    bool implementableWithBusy = false;
+
+    /** Human-readable description of each non-member cell/action. */
+    std::vector<std::string> violations;
+
+    /** Violations remaining when BS responses are accepted. */
+    std::vector<std::string> violationsWithBusy;
+};
+
+/**
+ * True iff state `actual` is a legal spontaneous demotion of state
+ * `prescribed` (reflexive).
+ */
+bool isLegalDemotion(State prescribed, State actual);
+
+/** Check a protocol table against the MOESI class definition. */
+ClassMembership checkClassMembership(const ProtocolTable &table);
+
+} // namespace fbsim
+
+#endif // FBSIM_CORE_COMPAT_H_

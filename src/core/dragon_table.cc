@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Transcription of Table 4: the Dragon (Xerox PARC) protocol [McCr84]
+ * on the Futurebus.  A write-update protocol: writes to shared data are
+ * broadcast (CA,IM,BC) and other holders update their copies; no
+ * invalidations are ever generated.
+ *
+ * The paper notes the one Futurebus deviation: broadcast writes on the
+ * Futurebus also update main memory, which the Dragon proper defers to
+ * replacement - "extra memory updates, however, cause no
+ * incompatibility".  fbsim's bus implements the Futurebus behaviour.
+ *
+ * Published cells are local Read/Write and bus columns 5 and 8; the
+ * remaining cells (replacement, foreign events 6/7/9/10) are the MOESI
+ * class's preferred actions, making this engine a class member.
+ */
+
+#include "core/protocol_table.h"
+#include "core/table_builders.h"
+
+namespace fbsim {
+
+using namespace table_builders;
+
+namespace {
+
+ProtocolTable
+buildDragonTable()
+{
+    ProtocolTable t("Dragon",
+                    {State::M, State::O, State::E, State::S, State::I});
+
+    // Local events (published: Read, Write).
+    t.setLocal(State::M, LocalEvent::Read, {stay(State::M)});
+    t.setLocal(State::M, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::O, LocalEvent::Read, {stay(State::O)});
+    t.setLocal(State::O, LocalEvent::Write,
+               {issue(kChOM, CA_IM_BC, BusCmd::WriteWord)});
+    t.setLocal(State::E, LocalEvent::Read, {stay(State::E)});
+    t.setLocal(State::E, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::S, LocalEvent::Read, {stay(State::S)});
+    t.setLocal(State::S, LocalEvent::Write,
+               {issue(kChOM, CA_IM_BC, BusCmd::WriteWord)});
+    t.setLocal(State::I, LocalEvent::Read,
+               {issue(kChSE, CA, BusCmd::Read)});
+    t.setLocal(State::I, LocalEvent::Write, {readThenWrite()});
+
+    // Replacement support (not shown in Table 4).
+    t.setLocal(State::M, LocalEvent::Pass,
+               {issue(toState(State::E), CA, BusCmd::WriteLine)});
+    t.setLocal(State::M, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine)});
+    t.setLocal(State::O, LocalEvent::Pass,
+               {issue(kChSE, CA, BusCmd::WriteLine)});
+    t.setLocal(State::O, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine)});
+    t.setLocal(State::E, LocalEvent::Flush, {stay(State::I)});
+    t.setLocal(State::S, LocalEvent::Flush, {stay(State::I)});
+
+    // Bus events (published: columns 5 and 8).
+    t.setSnoop(State::M, BusEvent::ReadByCache,
+               {respond(toState(State::O), Tri::Assert, true)});
+    t.setSnoop(State::O, BusEvent::ReadByCache,
+               {respond(toState(State::O), Tri::Assert, true)});
+    t.setSnoop(State::E, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::I, BusEvent::ReadByCache,
+               {respond(toState(State::I))});
+    // Column 8: holders connect and update; M/E are illegal (a
+    // broadcast write implies the master holds a copy).
+    t.setSnoop(State::O, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true)});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true)});
+    t.setSnoop(State::I, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::I))});
+
+    // Foreign-event extension (columns 6, 7, 9, 10).
+    t.setSnoop(State::M, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true)});
+    t.setSnoop(State::O, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true)});
+    t.setSnoop(State::E, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::M, BusEvent::ReadNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::O, BusEvent::ReadNoCache,
+               {respond(kChOM, Tri::No, true)});
+    t.setSnoop(State::E, BusEvent::ReadNoCache,
+               {respond(toState(State::E), Tri::DontCare)});
+    t.setSnoop(State::S, BusEvent::ReadNoCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::M, BusEvent::WriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::O, BusEvent::WriteNoCache,
+               {respond(toState(State::O), Tri::DontCare, true)});
+    t.setSnoop(State::E, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::M, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, false, true)});
+    t.setSnoop(State::O, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::O), Tri::Assert, false, true)});
+    t.setSnoop(State::E, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::E), Tri::DontCare, false, true)});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::S), Tri::Assert, false, true)});
+    for (BusEvent ev :
+         {BusEvent::ReadForModify, BusEvent::ReadNoCache,
+          BusEvent::WriteNoCache, BusEvent::BroadcastWriteNoCache}) {
+        t.setSnoop(State::I, ev, {respond(toState(State::I))});
+    }
+
+    return t;
+}
+
+} // namespace
+
+const ProtocolTable &
+dragonTable()
+{
+    static const ProtocolTable table = buildDragonTable();
+    return table;
+}
+
+} // namespace fbsim

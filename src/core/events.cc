@@ -1,0 +1,115 @@
+#include "core/events.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+int
+busEventColumn(BusEvent ev)
+{
+    switch (ev) {
+      case BusEvent::ReadByCache:           return 5;
+      case BusEvent::ReadForModify:         return 6;
+      case BusEvent::ReadNoCache:           return 7;
+      case BusEvent::BroadcastWriteCache:   return 8;
+      case BusEvent::WriteNoCache:          return 9;
+      case BusEvent::BroadcastWriteNoCache: return 10;
+      case BusEvent::Push:                  return 0;
+      case BusEvent::Sync:                  return 0;
+    }
+    return 0;
+}
+
+std::optional<BusEvent>
+classifyBusEvent(BusCmd cmd, const MasterSignals &sig)
+{
+    switch (cmd) {
+      case BusCmd::Read:
+        // Reads never broadcast modifications.
+        if (sig.bc)
+            return std::nullopt;
+        if (sig.ca) {
+            return sig.im ? BusEvent::ReadForModify
+                          : BusEvent::ReadByCache;
+        }
+        if (sig.im)
+            return std::nullopt;
+        return BusEvent::ReadNoCache;
+
+      case BusCmd::AddrOnly:
+        // The only address-only transaction in the class is the
+        // invalidate, which shares column 6 with the read-for-modify.
+        if (sig.ca && sig.im && !sig.bc)
+            return BusEvent::ReadForModify;
+        return std::nullopt;
+
+      case BusCmd::WriteWord:
+        if (!sig.im)
+            return std::nullopt;   // data writes always signal intent
+        if (sig.ca) {
+            // CA,IM,~BC with a data phase is the Write-Once protocol's
+            // write-through-with-invalidate; the column is determined by
+            // the signals alone, so snoopers see it as column 6.
+            return sig.bc ? BusEvent::BroadcastWriteCache
+                          : BusEvent::ReadForModify;
+        }
+        return sig.bc ? BusEvent::BroadcastWriteNoCache
+                      : BusEvent::WriteNoCache;
+
+      case BusCmd::WriteLine:
+        // A push: write of a whole dirty line back to memory by its
+        // (unique) owner.  CA asserted on a Pass (copy retained), clear
+        // on a Flush.  Holders respond only with CH; no state changes.
+        if (!sig.im)
+            return BusEvent::Push;
+        return std::nullopt;
+
+      case BusCmd::Sync:
+        // The section 6 consistency command.  IM selects the purge
+        // variant (invalidate every copy); BC is meaningless.
+        if (sig.bc)
+            return std::nullopt;
+        return BusEvent::Sync;
+    }
+    return std::nullopt;
+}
+
+MasterSignals
+signalsForBusEvent(BusEvent ev)
+{
+    switch (ev) {
+      case BusEvent::ReadByCache:           return {true, false, false};
+      case BusEvent::ReadForModify:         return {true, true, false};
+      case BusEvent::ReadNoCache:           return {false, false, false};
+      case BusEvent::BroadcastWriteCache:   return {true, true, true};
+      case BusEvent::WriteNoCache:          return {false, true, false};
+      case BusEvent::BroadcastWriteNoCache: return {false, true, true};
+      case BusEvent::Push:                  return {true, false, false};
+      case BusEvent::Sync:                  return {false, false, false};
+    }
+    return {};
+}
+
+std::string
+masterSignalsName(const MasterSignals &sig)
+{
+    std::string out;
+    out += sig.ca ? "CA" : "~CA";
+    out += sig.im ? ",IM" : ",~IM";
+    out += sig.bc ? ",BC" : ",~BC";
+    return out;
+}
+
+std::string_view
+localEventName(LocalEvent ev)
+{
+    switch (ev) {
+      case LocalEvent::Read:  return "Read";
+      case LocalEvent::Write: return "Write";
+      case LocalEvent::Pass:  return "Pass";
+      case LocalEvent::Flush: return "Flush";
+    }
+    return "?";
+}
+
+} // namespace fbsim

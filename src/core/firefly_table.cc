@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Transcription of Table 7: the DEC SRC Firefly protocol (as defined in
+ * [Arch85]), adapted to the Futurebus.  States M, E, S, I.  A write-
+ * update protocol like Dragon, but without ownership: writes to S are
+ * broadcast and the writer stays S (or upgrades to E when no other
+ * cache responds CH - sharing is detected dynamically).
+ *
+ * Firefly requires memory to be updated when an intervenient cache
+ * provides data; as in the paper this becomes a BS abort / push / retry
+ * ("BS;E,CA,W": the pusher keeps its copy in E and the retried read
+ * then finds memory current and the copy shared).  Firefly's S and E
+ * are consistent with main memory, unlike the MOESI class's S, so
+ * Firefly is not a class member (see core/compat.h).
+ */
+
+#include "core/protocol_table.h"
+#include "core/table_builders.h"
+
+namespace fbsim {
+
+using namespace table_builders;
+
+namespace {
+
+ProtocolTable
+buildFireflyTable()
+{
+    ProtocolTable t("Firefly",
+                    {State::M, State::E, State::S, State::I});
+
+    // Local events (published: Read, Write).
+    t.setLocal(State::M, LocalEvent::Read, {stay(State::M)});
+    t.setLocal(State::M, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::E, LocalEvent::Read, {stay(State::E)});
+    t.setLocal(State::E, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::S, LocalEvent::Read, {stay(State::S)});
+    t.setLocal(State::S, LocalEvent::Write,
+               {issue(kChSE, CA_IM_BC, BusCmd::WriteWord)});
+    t.setLocal(State::I, LocalEvent::Read,
+               {issue(kChSE, CA, BusCmd::Read)});
+    t.setLocal(State::I, LocalEvent::Write, {readThenWrite()});
+
+    // Replacement support.
+    t.setLocal(State::M, LocalEvent::Pass,
+               {issue(toState(State::E), CA, BusCmd::WriteLine)});
+    t.setLocal(State::M, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine)});
+    t.setLocal(State::E, LocalEvent::Flush, {stay(State::I)});
+    t.setLocal(State::S, LocalEvent::Flush, {stay(State::I)});
+
+    // Bus events (published: columns 5 and 8).
+    t.setSnoop(State::M, BusEvent::ReadByCache, {abortPush(State::E)});
+    t.setSnoop(State::E, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::I, BusEvent::ReadByCache,
+               {respond(toState(State::I))});
+    // Column 8: S holders connect and update; M and E are illegal (the
+    // broadcasting master holds a copy, contradicting exclusivity).
+    t.setSnoop(State::S, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true)});
+    t.setSnoop(State::I, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::I))});
+
+    // Foreign-event extension (columns 6, 7, 9, 10).
+    t.setSnoop(State::M, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true)});
+    t.setSnoop(State::E, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::M, BusEvent::ReadNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::E, BusEvent::ReadNoCache,
+               {respond(toState(State::E), Tri::DontCare)});
+    t.setSnoop(State::S, BusEvent::ReadNoCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::M, BusEvent::WriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::E, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::M, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, false, true)});
+    t.setSnoop(State::E, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::E), Tri::DontCare, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    for (BusEvent ev :
+         {BusEvent::ReadForModify, BusEvent::ReadNoCache,
+          BusEvent::WriteNoCache, BusEvent::BroadcastWriteNoCache}) {
+        t.setSnoop(State::I, ev, {respond(toState(State::I))});
+    }
+
+    return t;
+}
+
+} // namespace
+
+const ProtocolTable &
+fireflyTable()
+{
+    static const ProtocolTable table = buildFireflyTable();
+    return table;
+}
+
+} // namespace fbsim

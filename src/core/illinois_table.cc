@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Transcription of Table 6: the Illinois protocol [Papa84], adapted to
+ * the Futurebus.  States M, E, S, I; a read miss loads into E when no
+ * other cache holds the line (CH:S/E), otherwise S; writes to S
+ * invalidate with an address-only transaction (Illinois S is consistent
+ * with memory in the original, so no data need move).
+ *
+ * Two Futurebus adaptations, as in the paper: (1) memory update during
+ * a dirty transfer is replaced with a BS abort / push / retry; (2) the
+ * original's "all caches respond, bus priority picks one" is replaced
+ * with the unique-respondent rule (intervenient cache or memory).
+ */
+
+#include "core/protocol_table.h"
+#include "core/table_builders.h"
+
+namespace fbsim {
+
+using namespace table_builders;
+
+namespace {
+
+ProtocolTable
+buildIllinoisTable()
+{
+    ProtocolTable t("Illinois",
+                    {State::M, State::E, State::S, State::I});
+
+    // Local events (published: Read, Write).
+    t.setLocal(State::M, LocalEvent::Read, {stay(State::M)});
+    t.setLocal(State::M, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::E, LocalEvent::Read, {stay(State::E)});
+    t.setLocal(State::E, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::S, LocalEvent::Read, {stay(State::S)});
+    t.setLocal(State::S, LocalEvent::Write,
+               {issue(toState(State::M), CA_IM, BusCmd::AddrOnly)});
+    t.setLocal(State::I, LocalEvent::Read,
+               {issue(kChSE, CA, BusCmd::Read)});
+    t.setLocal(State::I, LocalEvent::Write,
+               {issue(toState(State::M), CA_IM, BusCmd::Read)});
+
+    // Replacement support.
+    t.setLocal(State::M, LocalEvent::Pass,
+               {issue(toState(State::E), CA, BusCmd::WriteLine)});
+    t.setLocal(State::M, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine)});
+    t.setLocal(State::E, LocalEvent::Flush, {stay(State::I)});
+    t.setLocal(State::S, LocalEvent::Flush, {stay(State::I)});
+
+    // Bus events (published: columns 5 and 6).  A dirty line always
+    // aborts, pushes and retries so that memory is current before the
+    // other master's transaction completes.
+    t.setSnoop(State::M, BusEvent::ReadByCache, {abortPush(State::S)});
+    t.setSnoop(State::M, BusEvent::ReadForModify, {abortPush(State::S)});
+    t.setSnoop(State::E, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::E, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::I, BusEvent::ReadByCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::I, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+
+    // Foreign-event extension (columns 7-10).
+    t.setSnoop(State::M, BusEvent::ReadNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::M, BusEvent::WriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::M, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, false, true)});
+    t.setSnoop(State::E, BusEvent::ReadNoCache,
+               {respond(toState(State::E), Tri::DontCare)});
+    t.setSnoop(State::E, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::E, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::E), Tri::DontCare, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::ReadNoCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    for (BusEvent ev :
+         {BusEvent::ReadNoCache, BusEvent::BroadcastWriteCache,
+          BusEvent::WriteNoCache, BusEvent::BroadcastWriteNoCache}) {
+        t.setSnoop(State::I, ev, {respond(toState(State::I))});
+    }
+
+    return t;
+}
+
+} // namespace
+
+const ProtocolTable &
+illinoisTable()
+{
+    static const ProtocolTable table = buildIllinoisTable();
+    return table;
+}
+
+} // namespace fbsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Transcription of Tables 1 and 2 of the paper: the MOESI class of
+ * compatible consistency protocols, as result state + bus signals for
+ * every (state, event) pair.  Where the paper shows a choice ("or"
+ * entries, "BC?"), every alternative is encoded and the first is the
+ * paper's preferred one.  Entries marked "*" (write-through cache) and
+ * "**" (no cache) carry the corresponding ClientKind mask.
+ */
+
+#include "core/protocol_table.h"
+#include "core/table_builders.h"
+
+namespace fbsim {
+
+using namespace table_builders;
+
+namespace {
+
+ProtocolTable
+buildMoesiTable()
+{
+    ProtocolTable t("MOESI",
+                    {State::M, State::O, State::E, State::S, State::I});
+
+    // ---------------- Table 1: local events -------------------------
+
+    // M row: hits stay M; Pass writes the line back keeping an (again
+    // exclusive) copy; Flush writes back and discards.  The pushes may
+    // optionally broadcast ("BC?"); non-broadcast is preferred since
+    // broadcast transactions pay the wired-OR glitch penalty.
+    t.setLocal(State::M, LocalEvent::Read, {stay(State::M)});
+    t.setLocal(State::M, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::M, LocalEvent::Pass,
+               {issue(toState(State::E), CA, BusCmd::WriteLine),
+                issue(toState(State::E), {true, false, true},
+                      BusCmd::WriteLine)});
+    t.setLocal(State::M, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine),
+                issue(toState(State::I), {false, false, true},
+                      BusCmd::WriteLine)});
+
+    // O row: a write to shareable owned data must either broadcast the
+    // change (staying O, or reclaiming M if nobody retains a copy) or
+    // invalidate the other copies with an address-only transaction.
+    t.setLocal(State::O, LocalEvent::Read, {stay(State::O)});
+    t.setLocal(State::O, LocalEvent::Write,
+               {issue(kChOM, CA_IM_BC, BusCmd::WriteWord),
+                issue(toState(State::M), CA_IM, BusCmd::AddrOnly)});
+    t.setLocal(State::O, LocalEvent::Pass,
+               {issue(kChSE, CA, BusCmd::WriteLine),
+                issue(kChSE, {true, false, true}, BusCmd::WriteLine)});
+    t.setLocal(State::O, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine),
+                issue(toState(State::I), {false, false, true},
+                      BusCmd::WriteLine)});
+
+    // E row: silent upgrade on write (the whole point of E); clean data
+    // is discarded without bus traffic.  Pass of a clean line is not a
+    // legal case.
+    t.setLocal(State::E, LocalEvent::Read, {stay(State::E)});
+    t.setLocal(State::E, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::E, LocalEvent::Flush, {stay(State::I)});
+
+    // S row: copy-back caches behave as for O (minus ownership); the
+    // "*" alternatives are the write-through cache writing through with
+    // or without broadcast (a write-through cache's V state is S).
+    {
+        // A read hit in S applies to copy-back and write-through caches
+        // alike (the write-through V state is S).
+        LocalAction s_read = stay(State::S);
+        s_read.kinds = kCB | kWT;
+        t.setLocal(State::S, LocalEvent::Read, {s_read});
+    }
+    {
+        LocalCell cell;
+        cell.push_back(issue(kChOM, CA_IM_BC, BusCmd::WriteWord));
+        cell.push_back(issue(toState(State::M), CA_IM, BusCmd::AddrOnly));
+        cell.push_back(issue(toState(State::S), IM_BC, BusCmd::WriteWord,
+                             kWT));
+        cell.push_back(issue(toState(State::S), IM, BusCmd::WriteWord,
+                             kWT));
+        t.setLocal(State::S, LocalEvent::Write, cell);
+    }
+    {
+        LocalAction flush = stay(State::I);
+        flush.kinds = kCB | kWT;
+        t.setLocal(State::S, LocalEvent::Flush, {flush});
+    }
+
+    // I row: a read miss loads into S or E depending on CH ("*": a
+    // write-through cache always loads into S; "**": a non-caching
+    // processor reads without asserting CA).  A write miss either
+    // requests the copy and invalidates others simultaneously
+    // (read-with-intent-to-modify) or uses two transactions.
+    {
+        LocalCell cell;
+        cell.push_back(issue(kChSE, CA, BusCmd::Read));
+        cell.push_back(issue(toState(State::S), CA, BusCmd::Read, kWT));
+        cell.push_back(issue(toState(State::I), NONE, BusCmd::Read, kNC));
+        t.setLocal(State::I, LocalEvent::Read, cell);
+    }
+    {
+        LocalCell cell;
+        cell.push_back(issue(toState(State::M), CA_IM, BusCmd::Read));
+        cell.push_back(readThenWrite());
+        cell.push_back(issue(toState(State::I), IM_BC, BusCmd::WriteWord,
+                             kWT | kNC));
+        cell.push_back(issue(toState(State::I), IM, BusCmd::WriteWord,
+                             kWT | kNC));
+        cell.push_back(readThenWrite(kWT));
+        t.setLocal(State::I, LocalEvent::Write, cell);
+    }
+
+    // ---------------- Table 2: bus events ---------------------------
+
+    // M row.
+    t.setSnoop(State::M, BusEvent::ReadByCache,
+               {respond(toState(State::O), Tri::Assert, true)});
+    t.setSnoop(State::M, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true)});
+    t.setSnoop(State::M, BusEvent::ReadNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    // col 8 is not a legal case from M: a broadcast write by another
+    // cache master implies it holds a copy, contradicting exclusivity.
+    t.setSnoop(State::M, BusEvent::WriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::M, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, false, true)});
+
+    // O row.  On a read by a non-caching master (col 7) the owner does
+    // not drive CH itself and listens: if no other cache retains a copy
+    // it silently reclaims M.
+    t.setSnoop(State::O, BusEvent::ReadByCache,
+               {respond(toState(State::O), Tri::Assert, true)});
+    t.setSnoop(State::O, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true)});
+    t.setSnoop(State::O, BusEvent::ReadNoCache,
+               {respond(kChOM, Tri::No, true)});
+    t.setSnoop(State::O, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::O, BusEvent::WriteNoCache,
+               {respond(toState(State::O), Tri::DontCare, true)});
+    t.setSnoop(State::O, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::O), Tri::Assert, false, true)});
+
+    // E row.
+    t.setSnoop(State::E, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::E, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::E, BusEvent::ReadNoCache,
+               {respond(toState(State::E), Tri::DontCare)});
+    // col 8 illegal from E (exclusivity), as for M.
+    t.setSnoop(State::E, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::E, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::E), Tri::DontCare, false, true),
+                respond(toState(State::I))});
+
+    // S row.
+    t.setSnoop(State::S, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::ReadNoCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+
+    // I row: invalid data is unaffected by any bus event.
+    for (BusEvent ev : kAllBusEvents)
+        t.setSnoop(State::I, ev, {respond(toState(State::I))});
+
+    return t;
+}
+
+} // namespace
+
+const ProtocolTable &
+moesiTable()
+{
+    static const ProtocolTable table = buildMoesiTable();
+    return table;
+}
+
+} // namespace fbsim

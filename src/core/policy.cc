@@ -1,0 +1,165 @@
+#include "core/policy.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+namespace {
+
+State
+weakenState(const MoesiPolicy &policy, State s)
+{
+    // Note 10: never enter E; Note 12: enter M instead of E.  Note 12
+    // is only consulted when E is still in play.
+    if (s == State::E) {
+        if (!policy.useExclusive)
+            return State::S;
+        if (policy.exclusiveAsModified)
+            return State::M;
+    }
+    return s;
+}
+
+} // namespace
+
+StateSpec
+applyStateWeakenings(const MoesiPolicy &policy, StateSpec spec)
+{
+    StateSpec out{weakenState(policy, spec.ifCh),
+                  weakenState(policy, spec.ifNotCh)};
+    // Note 9: never silently reclaim M from O; CH:O/M becomes plain O.
+    if (!policy.useOwnedReclaim && spec == kChOM)
+        out = toState(State::O);
+    return out;
+}
+
+LocalAction
+PreferredChooser::chooseLocal(ClientKind, State, LocalEvent,
+                              std::span<const LocalAction> alts)
+{
+    fbsim_assert(!alts.empty());
+    return alts[0];
+}
+
+SnoopAction
+PreferredChooser::chooseSnoop(ClientKind, State, BusEvent,
+                              std::span<const SnoopAction> alts)
+{
+    fbsim_assert(!alts.empty());
+    return alts[0];
+}
+
+LocalAction
+PolicyChooser::chooseLocal(ClientKind kind, State s, LocalEvent ev,
+                           std::span<const LocalAction> alts)
+{
+    fbsim_assert(!alts.empty());
+    const LocalAction *pick = nullptr;
+
+    auto prefer = [&](auto &&pred) {
+        if (pick)
+            return;
+        for (const LocalAction &a : alts) {
+            if (pred(a)) {
+                pick = &a;
+                return;
+            }
+        }
+    };
+
+    if (ev == LocalEvent::Write && isValid(s)) {
+        // Writes to shared data: broadcast-update vs invalidate (for a
+        // write-through cache: broadcast vs plain write-through).
+        if (policy_.sharedWrite == MoesiPolicy::SharedWrite::Broadcast)
+            prefer([](const LocalAction &a) { return a.usesBus && a.bc; });
+        else
+            prefer([](const LocalAction &a) {
+                return a.usesBus && !a.bc;
+            });
+    } else if (ev == LocalEvent::Write) {
+        // Write miss.
+        if (kind == ClientKind::WriteThrough) {
+            if (policy_.wtWriteAllocate) {
+                prefer([](const LocalAction &a) {
+                    return a.readThenWrite;
+                });
+            }
+            bool want_bc = policy_.sharedWrite ==
+                           MoesiPolicy::SharedWrite::Broadcast;
+            prefer([&](const LocalAction &a) {
+                return a.usesBus && a.cmd == BusCmd::WriteWord &&
+                       a.bc == want_bc;
+            });
+        } else if (policy_.missWrite ==
+                   MoesiPolicy::MissWrite::ReadForOwnership) {
+            prefer([](const LocalAction &a) {
+                return a.usesBus && a.im && a.cmd == BusCmd::Read;
+            });
+        } else {
+            prefer([](const LocalAction &a) { return a.readThenWrite; });
+        }
+    } else if (ev == LocalEvent::Pass || ev == LocalEvent::Flush) {
+        prefer([&](const LocalAction &a) {
+            return !a.usesBus || a.bc == policy_.broadcastPush;
+        });
+    }
+
+    LocalAction chosen = pick ? *pick : alts[0];
+    if (!chosen.readThenWrite)
+        chosen.next = applyStateWeakenings(policy_, chosen.next);
+    return chosen;
+}
+
+SnoopAction
+PolicyChooser::chooseSnoop(ClientKind, State s, BusEvent ev,
+                           std::span<const SnoopAction> alts)
+{
+    fbsim_assert(!alts.empty());
+    const SnoopAction *pick = nullptr;
+
+    if (ev == BusEvent::BroadcastWriteCache ||
+        ev == BusEvent::BroadcastWriteNoCache) {
+        bool want_update =
+            policy_.snoopedBroadcast ==
+            MoesiPolicy::SnoopedBroadcast::Update;
+        for (const SnoopAction &a : alts) {
+            bool updates = a.next.ifCh != State::I || a.sl;
+            if (updates == want_update) {
+                pick = &a;
+                break;
+            }
+        }
+    }
+
+    SnoopAction chosen = pick ? *pick : alts[0];
+    if (!chosen.bs)
+        chosen.next = applyStateWeakenings(policy_, chosen.next);
+
+    // Note 11: on bus events an unowned holder may always drop to I
+    // (and must then not claim retention via CH or SL).  Ownership
+    // obligations (DI/BS) cannot be dropped.
+    if (policy_.dropOnSnoop && !chosen.bs && !chosen.di && isUnowned(s)) {
+        chosen.next = toState(State::I);
+        chosen.ch = Tri::No;
+        chosen.sl = false;
+    }
+    return chosen;
+}
+
+LocalAction
+RandomChooser::chooseLocal(ClientKind, State, LocalEvent,
+                           std::span<const LocalAction> alts)
+{
+    fbsim_assert(!alts.empty());
+    return alts[rng_.below(alts.size())];
+}
+
+SnoopAction
+RandomChooser::chooseSnoop(ClientKind, State, BusEvent,
+                           std::span<const SnoopAction> alts)
+{
+    fbsim_assert(!alts.empty());
+    return alts[rng_.below(alts.size())];
+}
+
+} // namespace fbsim

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Action selection within the MOESI class of protocols.
+ *
+ * Tables 1 and 2 define, for many (state, event) pairs, a *choice* of
+ * legal actions; section 3.4 stresses that each bus client can make
+ * that choice statically, dynamically, per page, or even at random,
+ * without breaking consistency.  fbsim represents the choice as an
+ * ActionChooser:
+ *
+ *   - PreferredChooser: always the paper's preferred (first) entry;
+ *   - PolicyChooser:    a MoesiPolicy selects along the named choice
+ *                       points and applies the paper's notes 9-12
+ *                       weakenings;
+ *   - RandomChooser:    a different uniformly random legal action at
+ *                       every decision (the paper's "extreme case").
+ */
+
+#ifndef FBSIM_CORE_POLICY_H_
+#define FBSIM_CORE_POLICY_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/random.h"
+#include "core/actions.h"
+
+namespace fbsim {
+
+/**
+ * The named choice points of the MOESI class, plus the notes 9-12
+ * weakenings, as a static per-cache configuration.
+ */
+struct MoesiPolicy
+{
+    /** Local write to O/S data: broadcast the change or invalidate the
+     *  other copies. */
+    enum class SharedWrite { Broadcast, Invalidate };
+
+    /** Write miss: one read-for-ownership transaction, or a read
+     *  followed by a separate write. */
+    enum class MissWrite { ReadForOwnership, ReadThenWrite };
+
+    /** Snooped broadcast write to a line we hold: update our copy or
+     *  invalidate it. */
+    enum class SnoopedBroadcast { Update, Invalidate };
+
+    SharedWrite sharedWrite = SharedWrite::Broadcast;
+    MissWrite missWrite = MissWrite::ReadForOwnership;
+    SnoopedBroadcast snoopedBroadcast = SnoopedBroadcast::Update;
+
+    /** Note 10 off-switch: replace CH:S/E with S (never enter E). */
+    bool useExclusive = true;
+
+    /** Note 9 off-switch: replace CH:O/M with O (never reclaim M). */
+    bool useOwnedReclaim = true;
+
+    /** Note 11: on bus events, drop to I instead of staying E/S. */
+    bool dropOnSnoop = false;
+
+    /** Note 12: enter M wherever the table says E (forces write-back of
+     *  clean lines; models caches without a distinct E encoding). */
+    bool exclusiveAsModified = false;
+
+    /** Assert BC on Pass/Flush pushes ("BC?" entries). */
+    bool broadcastPush = false;
+
+    /** Write-through caches only: allocate on a write miss by reading
+     *  first (the table's "Read>Write*" alternative). */
+    bool wtWriteAllocate = false;
+
+    /** The paper's preferred configuration (first table entries). */
+    static MoesiPolicy preferred() { return {}; }
+
+    /** A Berkeley-flavoured policy: no E, invalidating writes. */
+    static MoesiPolicy
+    berkeleyLike()
+    {
+        MoesiPolicy p;
+        p.sharedWrite = SharedWrite::Invalidate;
+        p.useExclusive = false;
+        return p;
+    }
+
+    /** A Dragon-flavoured policy: update-based, uses E. */
+    static MoesiPolicy
+    dragonLike()
+    {
+        MoesiPolicy p;
+        p.sharedWrite = SharedWrite::Broadcast;
+        p.missWrite = MissWrite::ReadThenWrite;
+        return p;
+    }
+};
+
+/** Apply the policy's notes 9/10/12 weakenings to a result state. */
+StateSpec applyStateWeakenings(const MoesiPolicy &policy,
+                               StateSpec spec);
+
+/**
+ * Strategy interface deciding which legal alternative a cache takes.
+ *
+ * The spans passed in are the table cell's alternatives, already
+ * filtered to the client's kind; they are never empty.  Implementations
+ * return a *copy* of the chosen action, which they may legally weaken
+ * (notes 9-12).
+ */
+class ActionChooser
+{
+  public:
+    virtual ~ActionChooser() = default;
+
+    /** Pick the action for a local processor event.  `alts` is already
+     *  filtered to the client kind and never empty. */
+    virtual LocalAction chooseLocal(ClientKind kind, State s,
+                                    LocalEvent ev,
+                                    std::span<const LocalAction> alts) = 0;
+
+    /** Pick the response to a snooped bus event. */
+    virtual SnoopAction chooseSnoop(ClientKind kind, State s, BusEvent ev,
+                                    std::span<const SnoopAction> alts) = 0;
+};
+
+/** Always the paper's preferred (first) alternative. */
+class PreferredChooser : public ActionChooser
+{
+  public:
+    LocalAction chooseLocal(ClientKind kind, State s, LocalEvent ev,
+                            std::span<const LocalAction> alts) override;
+    SnoopAction chooseSnoop(ClientKind kind, State s, BusEvent ev,
+                            std::span<const SnoopAction> alts) override;
+};
+
+/** Selection directed by a MoesiPolicy. */
+class PolicyChooser : public ActionChooser
+{
+  public:
+    explicit PolicyChooser(const MoesiPolicy &policy) : policy_(policy) {}
+
+    const MoesiPolicy &policy() const { return policy_; }
+
+    LocalAction chooseLocal(ClientKind kind, State s, LocalEvent ev,
+                            std::span<const LocalAction> alts) override;
+    SnoopAction chooseSnoop(ClientKind kind, State s, BusEvent ev,
+                            std::span<const SnoopAction> alts) override;
+
+  private:
+    MoesiPolicy policy_;
+};
+
+/**
+ * A uniformly random legal alternative at every decision - the paper's
+ * section 3.4 extreme case, used by the compatibility property tests.
+ */
+class RandomChooser : public ActionChooser
+{
+  public:
+    explicit RandomChooser(std::uint64_t seed) : rng_(seed) {}
+
+    LocalAction chooseLocal(ClientKind kind, State s, LocalEvent ev,
+                            std::span<const LocalAction> alts) override;
+    SnoopAction chooseSnoop(ClientKind kind, State s, BusEvent ev,
+                            std::span<const SnoopAction> alts) override;
+
+  private:
+    Rng rng_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_CORE_POLICY_H_

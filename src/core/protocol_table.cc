@@ -1,0 +1,131 @@
+#include "core/protocol_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+ProtocolTable::ProtocolTable(std::string name, std::vector<State> states)
+    : name_(std::move(name)), states_(std::move(states))
+{
+}
+
+bool
+ProtocolTable::hasState(State s) const
+{
+    return std::find(states_.begin(), states_.end(), s) != states_.end();
+}
+
+void
+ProtocolTable::setLocal(State s, LocalEvent ev, LocalCell cell)
+{
+    local_[stateIndex(s)][localIndex(ev)] = std::move(cell);
+}
+
+void
+ProtocolTable::setSnoop(State s, BusEvent ev, SnoopCell cell)
+{
+    snoop_[stateIndex(s)][busIndex(ev)] = std::move(cell);
+}
+
+void
+ProtocolTable::addLocal(State s, LocalEvent ev, const LocalAction &a)
+{
+    local_[stateIndex(s)][localIndex(ev)].push_back(a);
+}
+
+void
+ProtocolTable::addSnoop(State s, BusEvent ev, const SnoopAction &a)
+{
+    snoop_[stateIndex(s)][busIndex(ev)].push_back(a);
+}
+
+const LocalCell &
+ProtocolTable::local(State s, LocalEvent ev) const
+{
+    return local_[stateIndex(s)][localIndex(ev)];
+}
+
+const SnoopCell &
+ProtocolTable::snoop(State s, BusEvent ev) const
+{
+    return snoop_[stateIndex(s)][busIndex(ev)];
+}
+
+std::vector<std::string>
+ProtocolTable::validate() const
+{
+    std::vector<std::string> problems;
+    auto complain = [&](const std::string &msg) {
+        problems.push_back(name_ + ": " + msg);
+    };
+
+    auto checkResultState = [&](const StateSpec &spec,
+                                const std::string &where) {
+        for (State s : {spec.ifCh, spec.ifNotCh}) {
+            if (!hasState(s)) {
+                complain(where + ": result state " +
+                         std::string(stateName(s)) +
+                         " is not a row of this protocol");
+            }
+        }
+    };
+
+    for (State s : states_) {
+        for (LocalEvent ev : kAllLocalEvents) {
+            const LocalCell &cell = local(s, ev);
+            for (std::size_t i = 0; i < cell.size(); ++i) {
+                const LocalAction &a = cell[i];
+                std::string where =
+                    strprintf("local[%s,%s] alt %zu",
+                              std::string(stateName(s)).c_str(),
+                              std::string(localEventName(ev)).c_str(), i);
+                if (a.readThenWrite) {
+                    if (ev != LocalEvent::Write) {
+                        complain(where +
+                                 ": Read>Write outside a Write cell");
+                    }
+                    continue;
+                }
+                checkResultState(a.next, where);
+                if (a.usesBus) {
+                    MasterSignals sig{a.ca, a.im, a.bc};
+                    if (!classifyBusEvent(a.cmd, sig)) {
+                        complain(where + ": signals " +
+                                 masterSignalsName(sig) +
+                                 " illegal for this bus command");
+                    }
+                } else if (a.ca || a.im || a.bc) {
+                    complain(where + ": signals asserted without a bus "
+                                     "transaction");
+                }
+            }
+        }
+        for (BusEvent ev : kAllBusEvents) {
+            const SnoopCell &cell = snoop(s, ev);
+            for (std::size_t i = 0; i < cell.size(); ++i) {
+                const SnoopAction &a = cell[i];
+                std::string where =
+                    strprintf("snoop[%s,col%d] alt %zu",
+                              std::string(stateName(s)).c_str(),
+                              busEventColumn(ev), i);
+                if (a.bs) {
+                    if (!isIntervenient(s)) {
+                        complain(where +
+                                 ": BS abort from a non-owner state");
+                    }
+                    if (!hasState(a.pushState))
+                        complain(where + ": push result state not a row");
+                    continue;
+                }
+                checkResultState(a.next, where);
+                if (a.di && !isIntervenient(s))
+                    complain(where + ": DI driven from a non-owner state");
+            }
+        }
+    }
+    return problems;
+}
+
+} // namespace fbsim

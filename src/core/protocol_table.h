@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Declarative protocol definition: a pair of transition tables in the
+ * exact shape of the paper's Tables 1-7.
+ *
+ * A ProtocolTable maps
+ *   (current state, local event 1-4)  -> alternatives of LocalAction
+ *   (current state, bus event 5-10)   -> alternatives of SnoopAction
+ *
+ * An empty cell is the paper's "--" (not a legal case / error
+ * condition).  Protocol engines interpret these tables; the text module
+ * renders them back in paper format; the compat module checks class
+ * membership cell by cell.
+ */
+
+#ifndef FBSIM_CORE_PROTOCOL_TABLE_H_
+#define FBSIM_CORE_PROTOCOL_TABLE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/actions.h"
+#include "core/events.h"
+#include "core/state.h"
+
+namespace fbsim {
+
+/** A full protocol definition (one of the paper's tables). */
+class ProtocolTable
+{
+  public:
+    ProtocolTable() = default;
+
+    /** @param name display name, e.g. "MOESI" or "Berkeley".
+     *  @param states the rows present, in display order. */
+    ProtocolTable(std::string name, std::vector<State> states);
+
+    const std::string &name() const { return name_; }
+
+    /** Rows of the table, in display order. */
+    const std::vector<State> &states() const { return states_; }
+
+    /** True if the protocol uses the given state at all. */
+    bool hasState(State s) const;
+
+    /** Define (replace) a local-event cell. */
+    void setLocal(State s, LocalEvent ev, LocalCell cell);
+
+    /** Define (replace) a bus-event cell. */
+    void setSnoop(State s, BusEvent ev, SnoopCell cell);
+
+    /** Append one more alternative to a local-event cell. */
+    void addLocal(State s, LocalEvent ev, const LocalAction &a);
+
+    /** Append one more alternative to a bus-event cell. */
+    void addSnoop(State s, BusEvent ev, const SnoopAction &a);
+
+    /** Cell lookup; an empty cell means "--" (illegal). */
+    const LocalCell &local(State s, LocalEvent ev) const;
+
+    /** Cell lookup; an empty cell means "--" (illegal). */
+    const SnoopCell &snoop(State s, BusEvent ev) const;
+
+    /**
+     * Structural sanity checks: result states must be rows of this
+     * table, bus-issuing actions must map to a legal bus-event column,
+     * DI is only driven from intervenient states, only owners abort.
+     * Returns a list of human-readable problems (empty = OK).
+     */
+    std::vector<std::string> validate() const;
+
+  private:
+    static int stateIndex(State s) { return static_cast<int>(s); }
+    static int localIndex(LocalEvent ev) { return static_cast<int>(ev); }
+    static int busIndex(BusEvent ev) { return static_cast<int>(ev); }
+
+    std::string name_;
+    std::vector<State> states_;
+    std::array<std::array<LocalCell, kNumLocalEvents>, kNumStates> local_{};
+    std::array<std::array<SnoopCell, kNumBusEvents>, kNumStates> snoop_{};
+};
+
+/**
+ * The MOESI class definition, Tables 1 and 2 of the paper, including the
+ * "*" (write-through) and "**" (non-caching) alternatives and every "or"
+ * choice.  First alternative in each cell is the paper's preferred one.
+ */
+const ProtocolTable &moesiTable();
+
+/** Table 3: the Berkeley (SPUR) protocol, with CH added for class
+ *  compatibility as in the paper. */
+const ProtocolTable &berkeleyTable();
+
+/** Table 4: the Dragon (Xerox PARC) protocol on Futurebus. */
+const ProtocolTable &dragonTable();
+
+/** Table 5: Goodman's Write-Once protocol, adapted with BS abort-push. */
+const ProtocolTable &writeOnceTable();
+
+/** Table 6: the Illinois protocol, adapted with BS abort-push. */
+const ProtocolTable &illinoisTable();
+
+/** Table 7: the DEC Firefly protocol, adapted with BS abort-push. */
+const ProtocolTable &fireflyTable();
+
+} // namespace fbsim
+
+#endif // FBSIM_CORE_PROTOCOL_TABLE_H_

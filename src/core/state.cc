@@ -1,0 +1,75 @@
+#include "core/state.h"
+
+namespace fbsim {
+
+std::optional<State>
+stateFromAttributes(const StateAttributes &attrs)
+{
+    if (!attrs.valid) {
+        // Exclusiveness/ownership of invalid data is pointless; only the
+        // all-false combination denotes a real state.
+        if (attrs.exclusive || attrs.owned)
+            return std::nullopt;
+        return State::I;
+    }
+    if (attrs.exclusive)
+        return attrs.owned ? State::M : State::E;
+    return attrs.owned ? State::O : State::S;
+}
+
+std::string_view
+stateName(State s)
+{
+    switch (s) {
+      case State::M: return "M";
+      case State::O: return "O";
+      case State::E: return "E";
+      case State::S: return "S";
+      case State::I: return "I";
+    }
+    return "?";
+}
+
+std::string_view
+stateLongName(State s)
+{
+    switch (s) {
+      case State::M: return "Exclusive owned";
+      case State::O: return "Shareable owned";
+      case State::E: return "Exclusive unowned";
+      case State::S: return "Shareable unowned";
+      case State::I: return "Invalid";
+    }
+    return "?";
+}
+
+std::string_view
+stateModifiedName(State s)
+{
+    switch (s) {
+      case State::M: return "Exclusive modified";
+      case State::O: return "Shareable modified";
+      case State::E: return "Exclusive unmodified";
+      case State::S: return "Shareable unmodified";
+      case State::I: return "Invalid";
+    }
+    return "?";
+}
+
+std::optional<State>
+stateFromName(std::string_view name)
+{
+    if (name.size() != 1)
+        return std::nullopt;
+    switch (name[0]) {
+      case 'M': return State::M;
+      case 'O': return State::O;
+      case 'E': return State::E;
+      case 'S': return State::S;
+      case 'I': return State::I;
+      case 'V': return State::S;   // write-through "valid" maps to S
+      default:  return std::nullopt;
+    }
+}
+
+} // namespace fbsim

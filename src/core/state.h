@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The MOESI cache-line state model (paper section 3.1).
+ *
+ * Each valid cached line is characterized by three orthogonal attributes
+ * (Figure 3 of the paper):
+ *
+ *   - validity:      the line holds data at all;
+ *   - exclusiveness: the line is the only cached copy in the system;
+ *   - ownership:     this cache is responsible for the accuracy of the
+ *                    data for the entire system (a.k.a. "modified").
+ *
+ * Of the eight attribute combinations only five are meaningful, because
+ * exclusiveness and ownership of invalid data are moot:
+ *
+ *   M  Modified   = exclusive owned     (exclusive modified)
+ *   O  Owned      = shareable owned     (shareable modified)
+ *   E  Exclusive  = exclusive unowned   (exclusive unmodified)
+ *   S  Shareable  = shareable unowned   (shareable unmodified)
+ *   I  Invalid
+ *
+ * The state-pair qualities of Figure 4 are exposed as predicates:
+ * intervenient (M,O), "only cached copy" (M,E), unowned (E,S) and
+ * non-exclusive (O,S).
+ */
+
+#ifndef FBSIM_CORE_STATE_H_
+#define FBSIM_CORE_STATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fbsim {
+
+/** The five MOESI line states. */
+enum class State : std::uint8_t { M = 0, O = 1, E = 2, S = 3, I = 4 };
+
+/** Number of distinct states (table row count). */
+inline constexpr int kNumStates = 5;
+
+/** All states in the paper's display order (M, O, E, S, I). */
+inline constexpr State kAllStates[kNumStates] = {
+    State::M, State::O, State::E, State::S, State::I,
+};
+
+/** The three orthogonal characteristics of cached data (Figure 3). */
+struct StateAttributes
+{
+    bool valid;
+    bool exclusive;
+    bool owned;
+
+    bool operator==(const StateAttributes &) const = default;
+};
+
+/** True unless the state is I. */
+constexpr bool
+isValid(State s)
+{
+    return s != State::I;
+}
+
+/** True for M and E: the only cached copy system-wide. */
+constexpr bool
+isExclusive(State s)
+{
+    return s == State::M || s == State::E;
+}
+
+/** True for M and O: this cache owns (is responsible for) the data. */
+constexpr bool
+isOwned(State s)
+{
+    return s == State::M || s == State::O;
+}
+
+/**
+ * True for M and O: the cache must intervene (preempt memory) when
+ * another module accesses the line (Figure 4, "intervention").
+ */
+constexpr bool
+isIntervenient(State s)
+{
+    return isOwned(s);
+}
+
+/** True for O and S: other cached copies may exist. */
+constexpr bool
+isShareable(State s)
+{
+    return s == State::O || s == State::S;
+}
+
+/** True for E and S: not responsible for the line's integrity. */
+constexpr bool
+isUnowned(State s)
+{
+    return isValid(s) && !isOwned(s);
+}
+
+/** Decompose a state into its Figure 3 attributes. */
+constexpr StateAttributes
+attributesOf(State s)
+{
+    return {isValid(s), isExclusive(s), isOwned(s)};
+}
+
+/**
+ * Compose a state from attributes.  Returns std::nullopt for the three
+ * meaningless combinations (exclusiveness/ownership of invalid data).
+ */
+std::optional<State> stateFromAttributes(const StateAttributes &attrs);
+
+/** One-letter abbreviation: "M", "O", "E", "S" or "I". */
+std::string_view stateName(State s);
+
+/** Long name, e.g. "Exclusive owned" for M (paper's first terminology). */
+std::string_view stateLongName(State s);
+
+/** Alternate ("modified") terminology, e.g. "Exclusive modified" for M. */
+std::string_view stateModifiedName(State s);
+
+/** Parse a one-letter abbreviation; nullopt if unrecognized. */
+std::optional<State> stateFromName(std::string_view name);
+
+} // namespace fbsim
+
+#endif // FBSIM_CORE_STATE_H_

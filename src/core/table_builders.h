@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small constructors that make the transition-table transcriptions in
+ * core/ read like the paper's cells.  Internal to table definition
+ * files; not part of the public API.
+ */
+
+#ifndef FBSIM_CORE_TABLE_BUILDERS_H_
+#define FBSIM_CORE_TABLE_BUILDERS_H_
+
+#include "core/actions.h"
+
+namespace fbsim {
+namespace table_builders {
+
+/** Signal bundle selector for local actions. */
+struct Sig
+{
+    bool ca = false;
+    bool im = false;
+    bool bc = false;
+};
+
+inline constexpr Sig CA{true, false, false};
+inline constexpr Sig CA_IM{true, true, false};
+inline constexpr Sig CA_IM_BC{true, true, true};
+inline constexpr Sig IM{false, true, false};
+inline constexpr Sig IM_BC{false, true, true};
+inline constexpr Sig NONE{false, false, false};
+
+/** Purely local transition (a hit): "M", "S", "I", ... */
+inline LocalAction
+stay(State s)
+{
+    LocalAction a;
+    a.next = toState(s);
+    a.usesBus = false;
+    return a;
+}
+
+/** Local transition issuing a bus transaction, e.g. "CH:S/E,CA,R". */
+inline LocalAction
+issue(StateSpec next, Sig sig, BusCmd cmd,
+      ClientKindMask kinds = kindBit(ClientKind::CopyBack))
+{
+    LocalAction a;
+    a.next = next;
+    a.ca = sig.ca;
+    a.im = sig.im;
+    a.bc = sig.bc;
+    a.cmd = cmd;
+    a.usesBus = true;
+    a.kinds = kinds;
+    return a;
+}
+
+/** The composite "Read>Write" entry. */
+inline LocalAction
+readThenWrite(ClientKindMask kinds = kindBit(ClientKind::CopyBack))
+{
+    LocalAction a;
+    a.readThenWrite = true;
+    a.kinds = kinds;
+    return a;
+}
+
+/** Snoop response, e.g. "O,CH,DI" or "S,SL,CH". */
+inline SnoopAction
+respond(StateSpec next, Tri ch = Tri::No, bool di = false, bool sl = false)
+{
+    SnoopAction a;
+    a.next = next;
+    a.ch = ch;
+    a.di = di;
+    a.sl = sl;
+    return a;
+}
+
+/** The "BS;<state>,CA,W" abort-push-retry response. */
+inline SnoopAction
+abortPush(State push_state, bool push_ca = true)
+{
+    SnoopAction a;
+    a.bs = true;
+    a.pushState = push_state;
+    a.pushCa = push_ca;
+    return a;
+}
+
+inline constexpr ClientKindMask kCB = kindBit(ClientKind::CopyBack);
+inline constexpr ClientKindMask kWT = kindBit(ClientKind::WriteThrough);
+inline constexpr ClientKindMask kNC = kindBit(ClientKind::NonCaching);
+
+} // namespace table_builders
+} // namespace fbsim
+
+#endif // FBSIM_CORE_TABLE_BUILDERS_H_

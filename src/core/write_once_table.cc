@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Transcription of Table 5: Goodman's Write-Once protocol [Good83],
+ * adapted to the Futurebus.  States M ("dirty"), E ("reserved"),
+ * S ("valid"), I.  The first write to a valid line is written through
+ * (entering E); the second dirties it locally (M).
+ *
+ * Write-Once as defined requires memory to be updated while an
+ * intervenient cache supplies data, which the Futurebus cannot do; as
+ * in the paper, intervention on column 5 is replaced with a BS abort, a
+ * push of the dirty line to memory, and a retry of the aborted
+ * transaction ("BS;S,CA,W").  For column 6 the paper notes the original
+ * definition is ambiguous and shows both readings ("I,DI or
+ * BS;S,CA,W"); both are encoded, supply-and-invalidate first.
+ *
+ * Write-Once is NOT a member of the MOESI class (its S-write leaves an
+ * unowned E copy whose correctness depends on memory being current,
+ * which only holds in homogeneous Write-Once systems); see
+ * core/compat.h.  The foreign-event extension cells below make the
+ * engine total, but mixing it with owner-based protocols is checked and
+ * flagged by the compatibility validator.
+ */
+
+#include "core/protocol_table.h"
+#include "core/table_builders.h"
+
+namespace fbsim {
+
+using namespace table_builders;
+
+namespace {
+
+ProtocolTable
+buildWriteOnceTable()
+{
+    ProtocolTable t("Write-Once",
+                    {State::M, State::E, State::S, State::I});
+
+    // Local events (published: Read, Write).
+    t.setLocal(State::M, LocalEvent::Read, {stay(State::M)});
+    t.setLocal(State::M, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::E, LocalEvent::Read, {stay(State::E)});
+    t.setLocal(State::E, LocalEvent::Write, {stay(State::M)});
+    t.setLocal(State::S, LocalEvent::Read, {stay(State::S)});
+    // The "write once": write through and reserve the line.
+    t.setLocal(State::S, LocalEvent::Write,
+               {issue(toState(State::E), CA_IM, BusCmd::WriteWord)});
+    t.setLocal(State::I, LocalEvent::Read,
+               {issue(toState(State::S), CA, BusCmd::Read)});
+    t.setLocal(State::I, LocalEvent::Write,
+               {issue(toState(State::M), CA_IM, BusCmd::Read),
+                readThenWrite()});
+
+    // Replacement support.
+    t.setLocal(State::M, LocalEvent::Pass,
+               {issue(toState(State::E), CA, BusCmd::WriteLine)});
+    t.setLocal(State::M, LocalEvent::Flush,
+               {issue(toState(State::I), NONE, BusCmd::WriteLine)});
+    t.setLocal(State::E, LocalEvent::Flush, {stay(State::I)});
+    t.setLocal(State::S, LocalEvent::Flush, {stay(State::I)});
+
+    // Bus events (published: columns 5 and 6).
+    t.setSnoop(State::M, BusEvent::ReadByCache, {abortPush(State::S)});
+    t.setSnoop(State::M, BusEvent::ReadForModify,
+               {respond(toState(State::I), Tri::No, true),
+                abortPush(State::S)});
+    t.setSnoop(State::E, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::E, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::ReadByCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+    t.setSnoop(State::I, BusEvent::ReadByCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::I, BusEvent::ReadForModify,
+               {respond(toState(State::I))});
+
+    // Foreign-event extension (columns 7-10).
+    t.setSnoop(State::M, BusEvent::ReadNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::M, BusEvent::WriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, true)});
+    t.setSnoop(State::M, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::M), Tri::DontCare, false, true)});
+    t.setSnoop(State::E, BusEvent::ReadNoCache,
+               {respond(toState(State::E), Tri::DontCare)});
+    t.setSnoop(State::E, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::E, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::E), Tri::DontCare, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::ReadNoCache,
+               {respond(toState(State::S), Tri::Assert)});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::WriteNoCache,
+               {respond(toState(State::I))});
+    t.setSnoop(State::S, BusEvent::BroadcastWriteNoCache,
+               {respond(toState(State::S), Tri::Assert, false, true),
+                respond(toState(State::I))});
+    for (BusEvent ev :
+         {BusEvent::ReadNoCache, BusEvent::BroadcastWriteCache,
+          BusEvent::WriteNoCache, BusEvent::BroadcastWriteNoCache}) {
+        t.setSnoop(State::I, ev, {respond(toState(State::I))});
+    }
+
+    return t;
+}
+
+} // namespace
+
+const ProtocolTable &
+writeOnceTable()
+{
+    static const ProtocolTable table = buildWriteOnceTable();
+    return table;
+}
+
+} // namespace fbsim

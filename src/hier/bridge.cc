@@ -1,0 +1,226 @@
+#include "hier/bridge.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+BusBridge::BusBridge(MasterId root_id, MasterId leaf_id, Bus &root,
+                     std::size_t words_per_line)
+    : rootId_(root_id), leafId_(leaf_id), root_(root),
+      wordsPerLine_(words_per_line)
+{
+    fbsim_assert(words_per_line == root.wordsPerLine());
+}
+
+void
+BusBridge::setLeafBus(Bus *leaf)
+{
+    fbsim_assert(leaf_ == nullptr && leaf != nullptr);
+    fbsim_assert(leaf->wordsPerLine() == wordsPerLine_);
+    leaf_ = leaf;
+}
+
+SlaveResult
+BusBridge::forwardUp(const BusRequest &req, BusCmd cmd,
+                     MasterSignals sig, bool local_ch,
+                     std::span<Word> read_out,
+                     std::span<const Word> wline)
+{
+    BusRequest up;
+    up.master = rootId_;
+    up.cmd = cmd;
+    up.sig = sig;
+    up.line = req.line;
+    up.wordIdx = req.wordIdx;
+    up.wdata = req.wdata;
+    up.wline = wline;
+    // Carry the requesting bus's CH upward so snooper-side CH
+    // conditionals in other clusters resolve against it.
+    up.chHint = req.chHint || local_ch;
+
+    ++stats_.upForwards;
+    BusResult r = root_.execute(up);
+    if (cmd == BusCmd::Read && !read_out.empty()) {
+        fbsim_assert(r.line.size() == read_out.size());
+        std::copy(r.line.begin(), r.line.end(), read_out.begin());
+    }
+    SlaveResult out;
+    out.resp = r.resp;
+    out.cost = r.cost;
+    return out;
+}
+
+SlaveResult
+BusBridge::transact(const BusRequest &req, bool local_owner,
+                    bool local_ch,
+                    std::span<Word> read_out)
+{
+    fbsim_assert(leaf_ != nullptr);
+    if (req.cmd == BusCmd::Sync)
+        fbsim_fatal("Sync commands do not propagate across bus bridges");
+
+    // The canonical invalidation used when a locally-absorbed write
+    // must still kill remote copies.
+    const MasterSignals kInvalidate{true, true, false};
+
+    switch (req.cmd) {
+      case BusCmd::Read:
+        if (!local_owner) {
+            // Fill: the data authority is above this bus.
+            SlaveResult res =
+                forwardUp(req, BusCmd::Read, req.sig, local_ch, read_out, {});
+            if (req.sig.ca)
+                localHeld_.insert(req.line);
+            if (req.sig.im)
+                remoteShared_.erase(req.line);
+            return res;
+        }
+        // Served by a cluster owner.  Remote copies only matter if
+        // they may exist: a read-for-ownership must invalidate them; a
+        // plain read must gather their CH (for the owner's CH:O/M).
+        if (!mayBeRemote(req.line)) {
+            ++stats_.upFiltered;
+            return {};
+        }
+        if (req.sig.im) {
+            SlaveResult res =
+                forwardUp(req, BusCmd::AddrOnly, kInvalidate, local_ch, {}, {});
+            remoteShared_.erase(req.line);
+            return res;
+        }
+        return forwardUp(req, BusCmd::Read, req.sig, local_ch, {}, {});
+
+      case BusCmd::WriteWord:
+        if (req.sig.bc) {
+            if (req.sig.ca) {
+                localHeld_.insert(req.line);
+                // A broadcasting cache master ends the transaction as
+                // the line's owner (CH:O/M), so root memory need not
+                // see the write when no remote copy may exist - the
+                // ownership invariant covers the stale memory.
+                if (!mayBeRemote(req.line)) {
+                    ++stats_.upFiltered;
+                    return {};
+                }
+            }
+            // Otherwise (remote copies possible, or a non-owning
+            // col-10 broadcast) the write must reach the root.
+            return forwardUp(req, BusCmd::WriteWord, req.sig, local_ch,
+                             {}, {});
+        }
+        if (local_owner) {
+            // Captured by the cluster owner; invalidate remote copies.
+            if (!mayBeRemote(req.line)) {
+                ++stats_.upFiltered;
+                return {};
+            }
+            SlaveResult res =
+                forwardUp(req, BusCmd::AddrOnly, kInvalidate, local_ch, {}, {});
+            remoteShared_.erase(req.line);
+            return res;
+        }
+        // Write-through to memory (a remote owner may capture via DI).
+        return forwardUp(req, BusCmd::WriteWord, req.sig, local_ch, {}, {});
+
+      case BusCmd::WriteLine:
+        // Pushes always update root memory; remote holders respond CH
+        // (resolving a Pass's CH:S/E).
+        return forwardUp(req, BusCmd::WriteLine, req.sig, local_ch, {},
+                         req.wline);
+
+      case BusCmd::AddrOnly:
+        if (!mayBeRemote(req.line)) {
+            ++stats_.upFiltered;
+            return {};
+        }
+        {
+            SlaveResult res =
+                forwardUp(req, BusCmd::AddrOnly, req.sig, local_ch, {},
+                          {});
+            remoteShared_.erase(req.line);
+            return res;
+        }
+
+      case BusCmd::Sync:
+        break;
+    }
+    fbsim_panic("unreachable");
+}
+
+SnoopReply
+BusBridge::snoop(const BusRequest &req)
+{
+    fbsim_assert(leaf_ != nullptr);
+    pendingValid_ = false;
+    SnoopReply reply;
+    if (req.cmd == BusCmd::Sync)
+        fbsim_fatal("Sync commands do not propagate across bus bridges");
+
+    // Track what the rest of the system caches: any transaction whose
+    // master asserts CA leaves a retained copy somewhere remote.
+    bool will_retain_remote = req.sig.ca;
+
+    if (!mayBeLocal(req.line)) {
+        ++stats_.downFiltered;
+        if (will_retain_remote)
+            remoteShared_.insert(req.line);
+        return reply;
+    }
+
+    BusRequest down = req;
+    down.master = leafId_;
+    down.fromBridge = true;
+    if (conservativeCh_)
+        down.chHint = true;
+    ++stats_.downForwards;
+    BusResult r = leaf_->execute(down);
+
+    if (req.cmd == BusCmd::Read && r.resp.di) {
+        pendingLine_ = std::move(r.line);
+        pendingValid_ = true;
+        ++stats_.remoteInterventions;
+    }
+
+    // Did the down-forward clear the cluster?  A read-for-modify or
+    // invalidate kills every copy; a plain (col 9) write leaves a
+    // capturing owner alive.
+    if (req.sig.im && !req.sig.bc && !r.resp.di)
+        localHeld_.erase(req.line);
+    if (req.cmd == BusCmd::AddrOnly ||
+        (req.cmd == BusCmd::Read && req.sig.im)) {
+        localHeld_.erase(req.line);
+    }
+
+    if (will_retain_remote)
+        remoteShared_.insert(req.line);
+
+    reply.resp.ch = r.resp.ch;
+    reply.resp.di = r.resp.di;
+    reply.resp.sl = r.resp.sl;
+    fbsim_assert(!r.resp.bs);
+    return reply;
+}
+
+void
+BusBridge::supplyLine(const BusRequest &req, std::span<Word> out)
+{
+    fbsim_assert(pendingValid_);
+    fbsim_assert(out.size() == pendingLine_.size());
+    (void)req;
+    std::copy(pendingLine_.begin(), pendingLine_.end(), out.begin());
+}
+
+void
+BusBridge::commit(const BusRequest &, bool)
+{
+    // The cluster already committed during the down-forward.
+    pendingValid_ = false;
+}
+
+void
+BusBridge::performAbortPush(const BusRequest &)
+{
+    fbsim_panic("bridges never assert BS");
+}
+
+} // namespace fbsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Inter-bus bridge for the multi-bus hierarchy (the paper's section 6:
+ * "how one might implement a system with multiple buses and still
+ * maintain consistency" - flagged there as future work; fbsim's answer
+ * follows the hierarchical-snooping approach).
+ *
+ * A BusBridge couples one leaf bus (a cluster of caches) to the root
+ * bus (which hosts main memory and the other clusters):
+ *
+ *   - On the leaf side, the bridge IS the bus's memory slave: every
+ *     leaf transaction that needs memory or cross-cluster visibility
+ *     is forwarded up as a root transaction, and the root responses
+ *     (CH from remote caches, DI from remote owners, data) flow back
+ *     into the leaf transaction.
+ *   - On the root side, the bridge is a snooper: a transaction by
+ *     another root master is forwarded down into the leaf bus (marked
+ *     fromBridge, so the leaf slave stays out of it), and the cluster's
+ *     aggregated responses - including an owning cache's intervention
+ *     data - are presented on the root bus.
+ *
+ * Two conservative filters give the hierarchy its point (locality):
+ *
+ *   - remoteShared: lines that may be cached outside this cluster.
+ *     Maintained from observed root traffic; invalidating forwards
+ *     clear it.  Up-forwards that exist only to maintain remote copies
+ *     (CH gathering on locally-served reads, invalidations) are
+ *     skipped when the line cannot be remote.
+ *   - localHeld: lines that may be cached inside this cluster
+ *     (inclusion set; silent drops leave stale entries, which is safe).
+ *     Down-forwards are skipped when the cluster cannot hold the line.
+ *
+ * Restrictions (checked): the hierarchy supports MOESI-class caches
+ * (no BS abort protocols on leaf buses below a shared line - aborts
+ * cannot propagate across buses) and no Sync commands across bridges.
+ */
+
+#ifndef FBSIM_HIER_BRIDGE_H_
+#define FBSIM_HIER_BRIDGE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "bus/bus.h"
+
+namespace fbsim {
+
+/** Statistics of one bridge. */
+struct BridgeStats
+{
+    std::uint64_t upForwards = 0;      ///< leaf -> root transactions
+    std::uint64_t upFiltered = 0;      ///< skipped by remoteShared
+    std::uint64_t downForwards = 0;    ///< root -> leaf transactions
+    std::uint64_t downFiltered = 0;    ///< skipped by localHeld
+    std::uint64_t remoteInterventions = 0; ///< data served from cluster
+};
+
+/** Couples a leaf bus to the root bus. */
+class BusBridge : public MemorySlave, public Snooper
+{
+  public:
+    /**
+     * @param root_id this bridge's master id on the root bus.
+     * @param leaf_id this bridge's master id on the leaf bus (for
+     *        down-forwarded transactions).
+     * @param root the root bus (attach() this bridge separately).
+     * @param words_per_line system line size in words.
+     */
+    BusBridge(MasterId root_id, MasterId leaf_id, Bus &root,
+              std::size_t words_per_line);
+
+    /** Late-bind the leaf bus (constructed after the bridge, since the
+     *  leaf Bus needs this bridge as its slave). */
+    void setLeafBus(Bus *leaf);
+
+    // MemorySlave (leaf side).
+    std::size_t wordsPerLine() const override { return wordsPerLine_; }
+    SlaveResult transact(const BusRequest &req, bool local_owner,
+                         bool local_ch,
+                         std::span<Word> read_out) override;
+
+    /**
+     * Conservative CH mode for hierarchies with more than two
+     * clusters: down-forwarded transactions resolve CH conditionals as
+     * if remote sharers existed (a legal note 9/10 weakening), since a
+     * third cluster's CH is not yet known during this bus's address
+     * phase.
+     */
+    void setConservativeCh(bool on) { conservativeCh_ = on; }
+
+    // Snooper (root side).
+    MasterId snooperId() const override { return rootId_; }
+    SnoopReply snoop(const BusRequest &req) override;
+    void supplyLine(const BusRequest &req, std::span<Word> out) override;
+    void commit(const BusRequest &req, bool others_ch) override;
+    void performAbortPush(const BusRequest &req) override;
+
+    BridgeStats &stats() { return stats_; }
+    const BridgeStats &stats() const { return stats_; }
+
+    /** Conservative test: may the line be cached in this cluster? */
+    bool mayBeLocal(LineAddr la) const { return localHeld_.count(la); }
+
+    /** Conservative test: may the line be cached outside it? */
+    bool mayBeRemote(LineAddr la) const
+    { return remoteShared_.count(la); }
+
+  private:
+    /** Forward a leaf transaction up to the root bus. */
+    SlaveResult forwardUp(const BusRequest &req, BusCmd cmd,
+                          MasterSignals sig, bool local_ch,
+                          std::span<Word> read_out,
+                          std::span<const Word> wline);
+
+    MasterId rootId_;
+    MasterId leafId_;
+    Bus &root_;
+    Bus *leaf_ = nullptr;
+    std::size_t wordsPerLine_;
+    BridgeStats stats_;
+
+    bool conservativeCh_ = false;
+    std::unordered_set<LineAddr> remoteShared_;
+    std::unordered_set<LineAddr> localHeld_;
+
+    /** Line data fetched from the cluster between snoop and supply. */
+    std::vector<Word> pendingLine_;
+    bool pendingValid_ = false;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_HIER_BRIDGE_H_

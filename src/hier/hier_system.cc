@@ -1,0 +1,184 @@
+#include "hier/hier_system.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+namespace {
+
+/** Leaf-bus master id reserved for the bridge's down-forwards. */
+constexpr MasterId kBridgeLeafId = 0xfffe;
+
+} // namespace
+
+HierSystem::HierSystem(const HierConfig &config, std::size_t clusters)
+    : config_(config)
+{
+    fbsim_assert(clusters >= 1);
+    std::size_t words = config_.lineBytes / kWordBytes;
+    memory_ = std::make_unique<MainMemory>(words);
+    rootSlave_ = std::make_unique<MainMemorySlave>(*memory_);
+    rootBus_ = std::make_unique<Bus>(*rootSlave_, config_.rootCost,
+                                     config_.maxBusRetries);
+    checker_ =
+        std::make_unique<CoherenceChecker>(*memory_, config_.lineBytes);
+
+    clusters_.resize(clusters);
+    for (std::size_t i = 0; i < clusters; ++i) {
+        Cluster &cluster = clusters_[i];
+        cluster.bridge = std::make_unique<BusBridge>(
+            static_cast<MasterId>(i), kBridgeLeafId, *rootBus_, words);
+        cluster.bus = std::make_unique<Bus>(
+            *cluster.bridge, config_.leafCost, config_.maxBusRetries);
+        cluster.bridge->setLeafBus(cluster.bus.get());
+        rootBus_->attach(cluster.bridge.get());
+        // With three or more clusters a third cluster's CH cannot be
+        // gathered during another leaf's address phase; resolve CH
+        // conditionals conservatively (legal per notes 9/10).
+        cluster.bridge->setConservativeCh(clusters > 2);
+    }
+}
+
+HierSystem::~HierSystem() = default;
+
+MasterId
+HierSystem::addCache(std::size_t cluster, const CacheSpec &spec)
+{
+    fbsim_assert(cluster < clusters_.size());
+    switch (spec.protocol) {
+      case ProtocolKind::Moesi:
+      case ProtocolKind::Berkeley:
+      case ProtocolKind::Dragon:
+        break;
+      default:
+        fbsim_fatal("hierarchical systems require MOESI-class "
+                    "protocols (no BS aborts); %s is not one",
+                    std::string(protocolKindName(spec.protocol))
+                        .c_str());
+    }
+
+    Cluster &c = clusters_[cluster];
+    SnoopingCacheConfig cfg;
+    cfg.geometry = {config_.lineBytes, spec.numSets, spec.assoc};
+    cfg.replacement = spec.replacement;
+    cfg.kind = spec.writeThrough ? ClientKind::WriteThrough
+                                 : ClientKind::CopyBack;
+    cfg.seed = spec.seed;
+    cfg.discardNearReplacement = spec.discardNearReplacement;
+
+    auto cache = std::make_unique<SnoopingCache>(
+        c.nextLeafId++, *c.bus, protocolTable(spec.protocol),
+        makeChooser(spec.chooser, spec.policy, spec.seed), cfg);
+    c.bus->attach(cache.get());
+    checker_->addCache(cache.get());
+
+    MasterId id = static_cast<MasterId>(clients_.size());
+    SnoopingCache *raw = cache.get();
+    clients_.push_back({cluster, std::move(cache), raw});
+    return id;
+}
+
+MasterId
+HierSystem::addNonCachingMaster(std::size_t cluster,
+                                bool broadcast_writes)
+{
+    fbsim_assert(cluster < clusters_.size());
+    Cluster &c = clusters_[cluster];
+    auto master = std::make_unique<NonCachingMaster>(
+        c.nextLeafId++, *c.bus, config_.lineBytes, broadcast_writes);
+    MasterId id = static_cast<MasterId>(clients_.size());
+    clients_.push_back({cluster, std::move(master), nullptr});
+    return id;
+}
+
+AccessOutcome
+HierSystem::read(MasterId id, Addr addr)
+{
+    fbsim_assert(id < clients_.size());
+    AccessOutcome outcome = clients_[id].client->read(addr);
+    std::string err = checker_->noteRead(addr, outcome.value);
+    if (!err.empty() && violations_.size() < 1000)
+        violations_.push_back(err);
+    if (config_.checkEveryAccess)
+        afterAccess();
+    return outcome;
+}
+
+AccessOutcome
+HierSystem::write(MasterId id, Addr addr, Word value)
+{
+    fbsim_assert(id < clients_.size());
+    AccessOutcome outcome = clients_[id].client->write(addr, value);
+    checker_->noteWrite(addr, value);
+    if (config_.checkEveryAccess)
+        afterAccess();
+    return outcome;
+}
+
+AccessOutcome
+HierSystem::flush(MasterId id, Addr addr, bool keep_copy)
+{
+    fbsim_assert(id < clients_.size());
+    AccessOutcome outcome = clients_[id].client->flush(addr, keep_copy);
+    if (config_.checkEveryAccess)
+        afterAccess();
+    return outcome;
+}
+
+std::vector<std::string>
+HierSystem::checkNow() const
+{
+    return checker_->checkInvariants();
+}
+
+SnoopingCache *
+HierSystem::cacheOf(MasterId id)
+{
+    fbsim_assert(id < clients_.size());
+    return clients_[id].cache;
+}
+
+std::size_t
+HierSystem::clusterOf(MasterId id) const
+{
+    fbsim_assert(id < clients_.size());
+    return clients_[id].cluster;
+}
+
+bool
+HierSystem::wouldUseBus(MasterId id, bool is_write, Addr addr) const
+{
+    fbsim_assert(id < clients_.size());
+    const SnoopingCache *cache = clients_[id].cache;
+    if (!cache)
+        return true;
+    State s = cache->lineState(addr);
+    if (!is_write)
+        return s == State::I;
+    if (cache->kind() == ClientKind::WriteThrough)
+        return true;
+    return !(s == State::M || s == State::E);
+}
+
+Bus &
+HierSystem::leafBus(std::size_t cluster)
+{
+    fbsim_assert(cluster < clusters_.size());
+    return *clusters_[cluster].bus;
+}
+
+BusBridge &
+HierSystem::bridge(std::size_t cluster)
+{
+    fbsim_assert(cluster < clusters_.size());
+    return *clusters_[cluster].bridge;
+}
+
+void
+HierSystem::afterAccess()
+{
+    std::vector<std::string> v = checker_->checkInvariants();
+    violations_.insert(violations_.end(), v.begin(), v.end());
+}
+
+} // namespace fbsim

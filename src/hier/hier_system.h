@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Two-level multi-bus system (the paper's section 6 future work): a
+ * root Futurebus hosting main memory, and any number of leaf buses
+ * ("clusters") of caches, coupled by BusBridges.
+ *
+ * Consistency is maintained hierarchically: the MOESI invariants hold
+ * globally (the same CoherenceChecker audits all clusters against the
+ * single root memory), while the bridges' conservative filters keep
+ * cluster-private coherence traffic off the root bus.
+ *
+ * Restrictions: leaf caches must run MOESI-class protocols (no BS
+ * abort protocols - an abort cannot propagate across a bridge), and
+ * Sync commands do not cross bridges.
+ */
+
+#ifndef FBSIM_HIER_HIER_SYSTEM_H_
+#define FBSIM_HIER_HIER_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "checker/coherence_checker.h"
+#include "hier/bridge.h"
+#include "sim/system.h"
+
+namespace fbsim {
+
+/** Configuration of a hierarchical system. */
+struct HierConfig
+{
+    std::size_t lineBytes = 32;
+    BusCostModel rootCost;   ///< root bus timing
+    BusCostModel leafCost;   ///< leaf bus timing
+    unsigned maxBusRetries = 16;
+    /** Run the full invariant check after every access (tests). */
+    bool checkEveryAccess = false;
+};
+
+/** A root bus plus clusters of caches behind bridges. */
+class HierSystem
+{
+  public:
+    /** @param clusters number of leaf buses (>= 1). */
+    HierSystem(const HierConfig &config, std::size_t clusters);
+    ~HierSystem();
+
+    HierSystem(const HierSystem &) = delete;
+    HierSystem &operator=(const HierSystem &) = delete;
+
+    std::size_t numClusters() const { return clusters_.size(); }
+
+    /**
+     * Add a cache to a cluster; returns a system-wide client id.
+     * The protocol must be a MOESI-class member (MOESI, Berkeley,
+     * Dragon; write-through via spec.writeThrough).
+     */
+    MasterId addCache(std::size_t cluster, const CacheSpec &spec);
+
+    /** Add a non-caching master to a cluster. */
+    MasterId addNonCachingMaster(std::size_t cluster,
+                                 bool broadcast_writes);
+
+    /** Processor access API (mirrors System). */
+    AccessOutcome read(MasterId id, Addr addr);
+    AccessOutcome write(MasterId id, Addr addr, Word value);
+    AccessOutcome flush(MasterId id, Addr addr, bool keep_copy);
+
+    /** Run the global invariant check. */
+    std::vector<std::string> checkNow() const;
+
+    /** Oracle violations recorded so far. */
+    const std::vector<std::string> &violations() const
+    { return violations_; }
+
+    std::size_t numClients() const { return clients_.size(); }
+    SnoopingCache *cacheOf(MasterId id);
+
+    /** Cluster a client was added to. */
+    std::size_t clusterOf(MasterId id) const;
+
+    /** Exact test: would the client's next access use a bus? */
+    bool wouldUseBus(MasterId id, bool is_write, Addr addr) const;
+    Bus &rootBus() { return *rootBus_; }
+    Bus &leafBus(std::size_t cluster);
+    BusBridge &bridge(std::size_t cluster);
+    MainMemory &memory() { return *memory_; }
+    CoherenceChecker &checker() { return *checker_; }
+
+  private:
+    struct Cluster
+    {
+        std::unique_ptr<BusBridge> bridge;
+        std::unique_ptr<Bus> bus;
+        MasterId nextLeafId = 0;
+    };
+
+    struct ClientRef
+    {
+        std::size_t cluster;
+        std::unique_ptr<BusClient> client;
+        SnoopingCache *cache;   ///< null for non-caching masters
+    };
+
+    void afterAccess();
+
+    HierConfig config_;
+    std::unique_ptr<MainMemory> memory_;
+    std::unique_ptr<MainMemorySlave> rootSlave_;
+    std::unique_ptr<Bus> rootBus_;
+    std::vector<Cluster> clusters_;
+    std::vector<ClientRef> clients_;
+    std::unique_ptr<CoherenceChecker> checker_;
+    std::vector<std::string> violations_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_HIER_HIER_SYSTEM_H_

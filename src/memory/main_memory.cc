@@ -1,0 +1,71 @@
+#include "memory/main_memory.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+MainMemory::MainMemory(std::size_t words_per_line)
+    : wordsPerLine_(words_per_line)
+{
+    fbsim_assert(words_per_line > 0);
+}
+
+std::vector<Word> &
+MainMemory::lineRef(LineAddr la)
+{
+    auto it = store_.find(la);
+    if (it == store_.end())
+        it = store_.emplace(la, std::vector<Word>(wordsPerLine_, 0)).first;
+    return it->second;
+}
+
+std::span<const Word>
+MainMemory::readLine(LineAddr la)
+{
+    ++stats_.lineReads;
+    return lineRef(la);
+}
+
+void
+MainMemory::writeLine(LineAddr la, std::span<const Word> words)
+{
+    fbsim_assert(words.size() == wordsPerLine_);
+    ++stats_.lineWrites;
+    std::vector<Word> &line = lineRef(la);
+    line.assign(words.begin(), words.end());
+}
+
+void
+MainMemory::writeWord(LineAddr la, std::size_t word_idx, Word value)
+{
+    fbsim_assert(word_idx < wordsPerLine_);
+    ++stats_.wordWrites;
+    lineRef(la)[word_idx] = value;
+}
+
+Word
+MainMemory::peekWord(LineAddr la, std::size_t word_idx) const
+{
+    fbsim_assert(word_idx < wordsPerLine_);
+    auto it = store_.find(la);
+    return it == store_.end() ? 0 : it->second[word_idx];
+}
+
+std::span<const Word>
+MainMemory::peekLine(LineAddr la) const
+{
+    auto it = store_.find(la);
+    if (it == store_.end())
+        return {};
+    return it->second;
+}
+
+void
+MainMemory::forEachLine(
+    const std::function<void(LineAddr, std::span<const Word>)> &fn) const
+{
+    for (const auto &[la, words] : store_)
+        fn(la, words);
+}
+
+} // namespace fbsim

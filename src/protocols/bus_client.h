@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Common interface of everything that issues processor accesses onto
+ * the shared memory image: snooping caches, write-through caches and
+ * non-caching masters.
+ */
+
+#ifndef FBSIM_PROTOCOLS_BUS_CLIENT_H_
+#define FBSIM_PROTOCOLS_BUS_CLIENT_H_
+
+#include "common/types.h"
+#include "core/events.h"
+
+namespace fbsim {
+
+/** Cost/traffic outcome of one processor access. */
+struct AccessOutcome
+{
+    Word value = 0;          ///< data returned (reads)
+    bool usedBus = false;
+    unsigned busTransactions = 0;
+    Cycles busCycles = 0;    ///< bus occupancy charged to this access
+};
+
+/** A processor-side port into the shared memory image. */
+class BusClient
+{
+  public:
+    virtual ~BusClient() = default;
+
+    /** Bus module id. */
+    virtual MasterId clientId() const = 0;
+
+    /** Human-readable protocol name ("MOESI", "write-through", ...). */
+    virtual const char *protocolName() const = 0;
+
+    /** Processor load of the word at `addr` (word-aligned). */
+    virtual AccessOutcome read(Addr addr) = 0;
+
+    /** Processor store of `value` to the word at `addr`. */
+    virtual AccessOutcome write(Addr addr, Word value) = 0;
+
+    /**
+     * Push a dirty line (if held): the paper's local events 3 and 4.
+     * @param keep_copy true = Pass (event 3), false = Flush (event 4).
+     * No-op for clients without a copy-back line (returns zero cost).
+     */
+    virtual AccessOutcome flush(Addr addr, bool keep_copy) = 0;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_PROTOCOLS_BUS_CLIENT_H_

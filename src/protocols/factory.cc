@@ -1,0 +1,78 @@
+#include "protocols/factory.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+const ProtocolTable &
+protocolTable(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Moesi:     return moesiTable();
+      case ProtocolKind::Berkeley:  return berkeleyTable();
+      case ProtocolKind::Dragon:    return dragonTable();
+      case ProtocolKind::WriteOnce: return writeOnceTable();
+      case ProtocolKind::Illinois:  return illinoisTable();
+      case ProtocolKind::Firefly:   return fireflyTable();
+    }
+    fbsim_panic("unknown protocol kind");
+}
+
+std::string_view
+protocolKindName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Moesi:     return "MOESI";
+      case ProtocolKind::Berkeley:  return "Berkeley";
+      case ProtocolKind::Dragon:    return "Dragon";
+      case ProtocolKind::WriteOnce: return "Write-Once";
+      case ProtocolKind::Illinois:  return "Illinois";
+      case ProtocolKind::Firefly:   return "Firefly";
+    }
+    return "?";
+}
+
+std::optional<ProtocolKind>
+protocolKindFromName(std::string_view name)
+{
+    std::string lower;
+    for (char c : name) {
+        if (c == '-' || c == '_' || c == ' ')
+            continue;
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "moesi")
+        return ProtocolKind::Moesi;
+    if (lower == "berkeley")
+        return ProtocolKind::Berkeley;
+    if (lower == "dragon")
+        return ProtocolKind::Dragon;
+    if (lower == "writeonce")
+        return ProtocolKind::WriteOnce;
+    if (lower == "illinois")
+        return ProtocolKind::Illinois;
+    if (lower == "firefly")
+        return ProtocolKind::Firefly;
+    return std::nullopt;
+}
+
+std::unique_ptr<ActionChooser>
+makeChooser(ChooserKind kind, const MoesiPolicy &policy,
+            std::uint64_t seed)
+{
+    switch (kind) {
+      case ChooserKind::Preferred:
+        return std::make_unique<PreferredChooser>();
+      case ChooserKind::Policy:
+        return std::make_unique<PolicyChooser>(policy);
+      case ChooserKind::Random:
+        return std::make_unique<RandomChooser>(seed);
+    }
+    fbsim_panic("unknown chooser kind");
+}
+
+} // namespace fbsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Protocol and chooser factories: names to tables and strategies.
+ */
+
+#ifndef FBSIM_PROTOCOLS_FACTORY_H_
+#define FBSIM_PROTOCOLS_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/policy.h"
+#include "core/protocol_table.h"
+
+namespace fbsim {
+
+/** The protocols shipped with fbsim (paper Tables 1-7). */
+enum class ProtocolKind {
+    Moesi,      ///< the full class, Tables 1 and 2
+    Berkeley,   ///< Table 3
+    Dragon,     ///< Table 4
+    WriteOnce,  ///< Table 5
+    Illinois,   ///< Table 6
+    Firefly,    ///< Table 7
+};
+
+/** All protocol kinds, in paper order. */
+inline constexpr ProtocolKind kAllProtocolKinds[] = {
+    ProtocolKind::Moesi,    ProtocolKind::Berkeley,
+    ProtocolKind::Dragon,   ProtocolKind::WriteOnce,
+    ProtocolKind::Illinois, ProtocolKind::Firefly,
+};
+
+/** Table for a protocol kind. */
+const ProtocolTable &protocolTable(ProtocolKind kind);
+
+/** Display name ("MOESI", "Berkeley", ...). */
+std::string_view protocolKindName(ProtocolKind kind);
+
+/** Parse a display name (case-insensitive); nullopt if unknown. */
+std::optional<ProtocolKind> protocolKindFromName(std::string_view name);
+
+/** Chooser strategies for cache construction. */
+enum class ChooserKind {
+    Preferred,  ///< the paper's preferred (first) alternatives
+    Policy,     ///< steered by a MoesiPolicy
+    Random,     ///< uniformly random legal action (section 3.4)
+};
+
+/** Build a chooser.  `policy` is used by Policy, `seed` by Random. */
+std::unique_ptr<ActionChooser>
+makeChooser(ChooserKind kind, const MoesiPolicy &policy = {},
+            std::uint64_t seed = 1);
+
+} // namespace fbsim
+
+#endif // FBSIM_PROTOCOLS_FACTORY_H_

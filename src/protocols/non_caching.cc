@@ -1,0 +1,56 @@
+#include "protocols/non_caching.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+NonCachingMaster::NonCachingMaster(MasterId id, Bus &bus,
+                                   std::size_t line_bytes,
+                                   bool broadcast_writes)
+    : id_(id), bus_(bus), lineBytes_(line_bytes),
+      broadcastWrites_(broadcast_writes)
+{
+    fbsim_assert(line_bytes / kWordBytes == bus.wordsPerLine());
+}
+
+AccessOutcome
+NonCachingMaster::read(Addr addr)
+{
+    ++stats_.reads;
+    ++stats_.readMisses;
+    BusRequest req;
+    req.master = id_;
+    req.cmd = BusCmd::Read;
+    req.sig = {false, false, false};   // "I,R**": no CA asserted
+    req.line = addr / lineBytes_;
+    BusResult r = bus_.execute(req);
+    AccessOutcome outcome;
+    outcome.usedBus = true;
+    outcome.busTransactions = 1;
+    outcome.busCycles = r.cost;
+    outcome.value = r.line[(addr % lineBytes_) / kWordBytes];
+    return outcome;
+}
+
+AccessOutcome
+NonCachingMaster::write(Addr addr, Word value)
+{
+    ++stats_.writes;
+    ++stats_.writeMisses;
+    BusRequest req;
+    req.master = id_;
+    req.cmd = BusCmd::WriteWord;
+    req.sig = {false, true, broadcastWrites_};   // "I,IM,[BC],W**"
+    req.line = addr / lineBytes_;
+    req.wordIdx = (addr % lineBytes_) / kWordBytes;
+    req.wdata = value;
+    BusResult r = bus_.execute(req);
+    AccessOutcome outcome;
+    outcome.usedBus = true;
+    outcome.busTransactions = 1;
+    outcome.busCycles = r.cost;
+    outcome.value = value;
+    return outcome;
+}
+
+} // namespace fbsim

@@ -1,0 +1,469 @@
+#include "protocols/snooping_cache.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+SnoopingCache::SnoopingCache(MasterId id, Bus &bus,
+                             const ProtocolTable &table,
+                             std::unique_ptr<ActionChooser> chooser,
+                             const SnoopingCacheConfig &config)
+    : SnoopingCache(id, bus, table, std::move(chooser),
+                    std::make_unique<PlainLineStore>(config.geometry,
+                                                     config.replacement,
+                                                     config.seed),
+                    config.geometry.lineBytes, config.kind,
+                    config.discardNearReplacement)
+{
+}
+
+SnoopingCache::SnoopingCache(MasterId id, Bus &bus,
+                             const ProtocolTable &table,
+                             std::unique_ptr<ActionChooser> chooser,
+                             std::unique_ptr<LineStore> store,
+                             std::size_t line_bytes, ClientKind kind,
+                             bool discard_near_replacement)
+    : id_(id), bus_(bus), table_(table), chooser_(std::move(chooser)),
+      kind_(kind), discardNearReplacement_(discard_near_replacement),
+      lineBytes_(line_bytes), store_(std::move(store))
+{
+    fbsim_assert(chooser_ != nullptr);
+    fbsim_assert(store_ != nullptr);
+    fbsim_assert(kind_ != ClientKind::NonCaching);
+    fbsim_assert(store_->wordsPerLine() == bus_.wordsPerLine());
+    fbsim_assert(lineBytes_ / kWordBytes == store_->wordsPerLine());
+    name_ = table_.name();
+    if (kind_ == ClientKind::WriteThrough)
+        name_ += " (write-through)";
+    std::vector<std::string> problems = table_.validate();
+    if (!problems.empty())
+        fbsim_fatal("protocol table invalid: %s", problems[0].c_str());
+}
+
+const char *
+SnoopingCache::protocolName() const
+{
+    return name_.c_str();
+}
+
+State
+SnoopingCache::lineState(Addr addr) const
+{
+    const CacheLine *line = store_->peek(lineOf(addr));
+    return line ? line->state : State::I;
+}
+
+std::vector<LocalAction>
+SnoopingCache::kindFiltered(const LocalCell &cell) const
+{
+    std::vector<LocalAction> out;
+    for (const LocalAction &a : cell) {
+        if (a.kinds & kindBit(kind_))
+            out.push_back(a);
+    }
+    return out;
+}
+
+AccessOutcome
+SnoopingCache::read(Addr addr)
+{
+    ++stats_.reads;
+    bool hit = isValid(lineState(addr));
+    if (hit)
+        ++stats_.readHits;
+    else
+        ++stats_.readMisses;
+    return dispatchLocal(LocalEvent::Read, addr, 0, 0);
+}
+
+AccessOutcome
+SnoopingCache::write(Addr addr, Word value)
+{
+    ++stats_.writes;
+    bool present = isValid(lineState(addr));
+    AccessOutcome outcome = dispatchLocal(LocalEvent::Write, addr, value, 0);
+    if (!present)
+        ++stats_.writeMisses;
+    else if (outcome.usedBus)
+        ++stats_.writeSharedBus;
+    else
+        ++stats_.writeHits;
+    return outcome;
+}
+
+AccessOutcome
+SnoopingCache::flush(Addr addr, bool keep_copy)
+{
+    return dispatchLocal(keep_copy ? LocalEvent::Pass : LocalEvent::Flush,
+                         addr, 0, 0);
+}
+
+AccessOutcome
+SnoopingCache::dispatchLocal(LocalEvent ev, Addr addr, Word value,
+                             int depth)
+{
+    fbsim_assert(depth < 3);
+    LineAddr la = lineOf(addr);
+    CacheLine *line = store_->find(la);
+    State s = line ? line->state : State::I;
+
+    std::vector<LocalAction> candidates = kindFiltered(table_.local(s, ev));
+    if (candidates.empty()) {
+        // The paper's "--" cells: a Pass/Flush of a line we do not hold
+        // (or hold clean, for Pass) is simply a no-op at the API level.
+        if (ev == LocalEvent::Pass || ev == LocalEvent::Flush)
+            return {};
+        fbsim_panic("%s: no legal action for state %s on local %s",
+                    name_.c_str(), std::string(stateName(s)).c_str(),
+                    std::string(localEventName(ev)).c_str());
+    }
+
+    LocalAction action = chooser_->chooseLocal(kind_, s, ev, candidates);
+    AccessOutcome outcome = executeLocal(action, ev, addr, value, depth);
+    if (coverage_)
+        coverage_->noteLocal(s, ev, lineState(addr));
+    return outcome;
+}
+
+AccessOutcome
+SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
+                            Addr addr, Word value, int depth)
+{
+    LineAddr la = lineOf(addr);
+    std::size_t wi = wordIndexOf(addr);
+    AccessOutcome outcome;
+
+    if (action.readThenWrite) {
+        // Two transactions: a normal read (filling the line), then the
+        // write dispatched on the new state.
+        fbsim_assert(ev == LocalEvent::Write);
+        AccessOutcome fill = dispatchLocal(LocalEvent::Read, addr, 0,
+                                           depth + 1);
+        AccessOutcome wr = dispatchLocal(LocalEvent::Write, addr, value,
+                                         depth + 1);
+        outcome.usedBus = fill.usedBus || wr.usedBus;
+        outcome.busTransactions =
+            fill.busTransactions + wr.busTransactions;
+        outcome.busCycles = fill.busCycles + wr.busCycles;
+        outcome.value = wr.value;
+        return outcome;
+    }
+
+    if (!action.usesBus) {
+        // Purely local transition (hit, silent upgrade, silent drop).
+        CacheLine *line = store_->find(la);
+        fbsim_assert(line != nullptr);
+        fbsim_assert(!action.next.conditional());
+        if (ev == LocalEvent::Write)
+            line->data[wi] = value;
+        outcome.value = line->data[wi];
+        State ns = action.next.resolve(false);
+        if (line->state != State::I && ns == State::I)
+            ++stats_.evictions;
+        line->state = ns;
+        if (isValid(ns))
+            store_->touch(*line);
+        return outcome;
+    }
+
+    BusRequest req;
+    req.master = id_;
+    req.cmd = action.cmd;
+    req.sig = {action.ca, action.im, action.bc};
+    req.line = la;
+    req.wordIdx = wi;
+    req.wdata = value;
+
+    switch (action.cmd) {
+      case BusCmd::Read: {
+        // Fill (plain read miss or read-for-ownership).  Make room
+        // first: the victim's push precedes our fill on the bus.
+        CacheLine &nl = allocateFor(la, outcome);
+        BusResult r = bus_.execute(req);
+        outcome.usedBus = true;
+        outcome.busTransactions += 1;
+        outcome.busCycles += r.cost;
+        nl.data = std::move(r.line);
+        nl.state = action.next.resolve(r.resp.ch);
+        store_->touch(nl);
+        if (r.suppliedByCache)
+            ++stats_.dirtyFills;
+        if (ev == LocalEvent::Write && isValid(nl.state))
+            nl.data[wi] = value;
+        outcome.value = nl.data[wi];
+        return outcome;
+      }
+
+      case BusCmd::WriteWord: {
+        // Write-through or broadcast update of one word.
+        BusResult r = bus_.execute(req);
+        outcome.usedBus = true;
+        outcome.busTransactions = 1;
+        outcome.busCycles = r.cost;
+        outcome.value = value;
+        CacheLine *line = store_->find(la);
+        if (line) {
+            line->data[wi] = value;
+            line->state = action.next.resolve(r.resp.ch);
+            if (isValid(line->state))
+                store_->touch(*line);
+        }
+        return outcome;
+      }
+
+      case BusCmd::WriteLine: {
+        // Push (Pass keeps the copy, Flush discards it).
+        CacheLine *line = store_->find(la);
+        fbsim_assert(line != nullptr);
+        req.wline = line->data;
+        BusResult r = bus_.execute(req);
+        outcome.usedBus = true;
+        outcome.busTransactions = 1;
+        outcome.busCycles = r.cost;
+        ++stats_.writebacks;
+        line->state = action.next.resolve(r.resp.ch);
+        outcome.value = line->data[wi];
+        return outcome;
+      }
+
+      case BusCmd::Sync:
+        // Consistency commands are issued via System::syncLine, never
+        // from a protocol table.
+        break;
+
+      case BusCmd::AddrOnly: {
+        // Pure invalidate; our copy is current (it matches the owner,
+        // by the shared-image invariant) so no data moves.
+        CacheLine *line = store_->find(la);
+        fbsim_assert(line != nullptr);
+        BusResult r = bus_.execute(req);
+        outcome.usedBus = true;
+        outcome.busTransactions = 1;
+        outcome.busCycles = r.cost;
+        if (ev == LocalEvent::Write)
+            line->data[wi] = value;
+        line->state = action.next.resolve(r.resp.ch);
+        store_->touch(*line);
+        outcome.value = line->data[wi];
+        return outcome;
+      }
+    }
+    fbsim_panic("unreachable");
+}
+
+CacheLine &
+SnoopingCache::allocateFor(LineAddr la, AccessOutcome &outcome)
+{
+    // The store may demand several evictions (a sector cache replaces
+    // a whole sector's subsectors at once).
+    for (CacheLine *victim : store_->evictionSet(la)) {
+        fbsim_assert(victim->valid());
+        evict(*victim, outcome);
+    }
+    return store_->install(la, State::I);
+}
+
+void
+SnoopingCache::evict(CacheLine &victim, AccessOutcome &outcome)
+{
+    State s = victim.state;
+    ++stats_.evictions;
+    std::vector<LocalAction> candidates =
+        kindFiltered(table_.local(s, LocalEvent::Flush));
+    if (candidates.empty()) {
+        // Unowned data may always be dropped silently.
+        fbsim_assert(!isOwned(s));
+        victim.state = State::I;
+        return;
+    }
+    LocalAction action =
+        chooser_->chooseLocal(kind_, s, LocalEvent::Flush, candidates);
+    if (coverage_)
+        coverage_->noteLocal(s, LocalEvent::Flush, State::I);
+    if (!action.usesBus) {
+        victim.state = State::I;
+        return;
+    }
+    fbsim_assert(action.cmd == BusCmd::WriteLine);
+    BusRequest req;
+    req.master = id_;
+    req.cmd = BusCmd::WriteLine;
+    req.sig = {action.ca, action.im, action.bc};
+    req.line = victim.addr;
+    req.wline = victim.data;
+    BusResult r = bus_.execute(req);
+    outcome.usedBus = true;
+    outcome.busTransactions += 1;
+    outcome.busCycles += r.cost;
+    ++stats_.writebacks;
+    victim.state = State::I;
+}
+
+SnoopReply
+SnoopingCache::snoop(const BusRequest &req)
+{
+    pending_ = {};
+    SnoopReply reply;
+
+    CacheLine *line = store_->find(req.line);
+    if (!line)
+        return reply;
+
+    std::optional<BusEvent> ev = classifyBusEvent(req.cmd, req.sig);
+    fbsim_assert(ev.has_value());
+
+    if (*ev == BusEvent::Push) {
+        // A push by the (unique) owner: holders signal retention via
+        // CH so an O->E / CH:S/E pass resolves correctly, but no state
+        // changes (their copies already match the owner's).
+        reply.resp.ch = true;
+        pending_.active = true;
+        pending_.isPush = true;
+        pending_.line = line;
+        return reply;
+    }
+
+    if (*ev == BusEvent::Sync) {
+        // The section 6 consistency command.  Owners abort, push the
+        // line to memory and demote to an unowned state; the retried
+        // command then finds memory valid.  With IM asserted (purge)
+        // every remaining holder invalidates; otherwise holders keep
+        // their (now memory-consistent) copies.
+        if (isOwned(line->state)) {
+            SnoopAction action;
+            action.bs = true;
+            action.pushCa = true;
+            action.pushState =
+                line->state == State::M ? State::E : State::S;
+            pending_.active = true;
+            pending_.action = action;
+            pending_.line = line;
+            reply.resp.bs = true;
+            return reply;
+        }
+        SnoopAction action;
+        if (req.sig.im) {
+            action.next = toState(State::I);
+            action.ch = Tri::No;
+        } else {
+            action.next = toState(line->state);
+            action.ch = Tri::Assert;
+        }
+        pending_.active = true;
+        pending_.action = action;
+        pending_.line = line;
+        reply.resp.ch = action.ch == Tri::Assert;
+        return reply;
+    }
+
+    const SnoopCell &cell = table_.snoop(line->state, *ev);
+    if (cell.empty()) {
+        fbsim_panic("%s cache %u: illegal bus event col %d on line in "
+                    "state %s",
+                    name_.c_str(), id_, busEventColumn(*ev),
+                    std::string(stateName(line->state)).c_str());
+    }
+
+    SnoopAction action =
+        chooser_->chooseSnoop(kind_, line->state, *ev, cell);
+
+    // Section 5.2 refinement: discard instead of update when the line
+    // is nearing replacement and the cell offers an invalidate.
+    if (discardNearReplacement_ && !action.bs &&
+        action.next.resolve(true) != State::I &&
+        (*ev == BusEvent::BroadcastWriteCache ||
+         *ev == BusEvent::BroadcastWriteNoCache) &&
+        !isOwned(line->state) && store_->nearReplacement(*line)) {
+        for (const SnoopAction &alt : cell) {
+            if (alt.next == toState(State::I) && !alt.bs) {
+                action = alt;
+                break;
+            }
+        }
+    }
+
+    pending_.active = true;
+    pending_.action = action;
+    pending_.line = line;
+    reply.resp.ch = action.ch == Tri::Assert;
+    reply.resp.di = action.di;
+    reply.resp.sl = action.sl;
+    reply.resp.bs = action.bs;
+    return reply;
+}
+
+void
+SnoopingCache::supplyLine(const BusRequest &req, std::span<Word> out)
+{
+    fbsim_assert(pending_.active && pending_.action.di);
+    fbsim_assert(pending_.line && pending_.line->addr == req.line);
+    fbsim_assert(out.size() == pending_.line->data.size());
+    ++stats_.interventions;
+    std::copy(pending_.line->data.begin(), pending_.line->data.end(),
+              out.begin());
+}
+
+void
+SnoopingCache::commit(const BusRequest &req, bool others_ch)
+{
+    if (!pending_.active)
+        return;
+    Pending p = pending_;
+    pending_ = {};
+    if (p.isPush)
+        return;
+
+    CacheLine *line = p.line;
+    fbsim_assert(line && line->addr == req.line);
+    const SnoopAction &action = p.action;
+    fbsim_assert(!action.bs);
+
+    if (req.cmd == BusCmd::WriteWord && (action.di || action.sl)) {
+        // Capture the written word: an owner absorbing a foreign write
+        // (DI) or a holder snarfing a broadcast (SL).
+        line->data[req.wordIdx] = req.wdata;
+        if (action.di)
+            ++stats_.writeCaptures;
+        else
+            ++stats_.updatesRecv;
+    }
+
+    State ns = action.next.resolve(others_ch);
+    if (coverage_) {
+        std::optional<BusEvent> ev = classifyBusEvent(req.cmd, req.sig);
+        if (ev.has_value())
+            coverage_->noteSnoop(line->state, *ev, ns);
+    }
+    if (line->state != State::I && ns == State::I)
+        ++stats_.invalidationsRecv;
+    line->state = ns;
+}
+
+void
+SnoopingCache::performAbortPush(const BusRequest &req)
+{
+    fbsim_assert(pending_.active && pending_.action.bs);
+    Pending p = pending_;
+    pending_ = {};
+    CacheLine *line = p.line;
+    fbsim_assert(line && line->addr == req.line);
+    fbsim_assert(isOwned(line->state));
+
+    BusRequest push;
+    push.master = id_;
+    push.cmd = BusCmd::WriteLine;
+    push.sig = {p.action.pushCa, false, false};
+    push.line = line->addr;
+    push.wline = line->data;
+    bus_.execute(push);
+    ++stats_.abortPushes;
+    ++stats_.writebacks;
+    if (coverage_) {
+        std::optional<BusEvent> ev = classifyBusEvent(req.cmd, req.sig);
+        if (ev.has_value())
+            coverage_->noteSnoop(line->state, *ev, p.action.pushState);
+    }
+    line->state = p.action.pushState;
+}
+
+} // namespace fbsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Table-driven snooping cache controller.
+ *
+ * One controller class interprets any ProtocolTable - MOESI itself or
+ * any of the paper's Tables 3-7 - with the choice points delegated to
+ * an ActionChooser.  This is the design that makes section 3.4 literal:
+ * a cache can be "MOESI preferred", "Berkeley", "random member of the
+ * class", etc., purely by configuration, and mixed systems follow.
+ *
+ * The same class also implements the write-through cache of the paper
+ * by restricting itself to the "*" alternatives of Tables 1/2 (its V
+ * state is S); see ClientKind.
+ */
+
+#ifndef FBSIM_PROTOCOLS_SNOOPING_CACHE_H_
+#define FBSIM_PROTOCOLS_SNOOPING_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "bus/bus.h"
+#include "cache/line_store.h"
+#include "core/policy.h"
+#include "core/protocol_table.h"
+#include "protocols/bus_client.h"
+#include "protocols/cache_stats.h"
+#include "protocols/transition_coverage.h"
+
+namespace fbsim {
+
+/** Configuration of one snooping cache. */
+struct SnoopingCacheConfig
+{
+    CacheGeometry geometry;
+    ReplacementKind replacement = ReplacementKind::LRU;
+    /** CopyBack or WriteThrough (NonCaching uses NonCachingMaster). */
+    ClientKind kind = ClientKind::CopyBack;
+    /** Seed for the replacement policy (Random). */
+    std::uint64_t seed = 1;
+    /**
+     * Section 5.2 refinement: when a broadcast-written line is nearing
+     * replacement, discard it instead of updating it (requires the
+     * chosen table cell to offer an invalidate alternative).
+     */
+    bool discardNearReplacement = false;
+};
+
+/** A snooping cache: processor port + bus snooper. */
+class SnoopingCache : public BusClient, public Snooper
+{
+  public:
+    /**
+     * @param id bus module id.
+     * @param bus the shared bus (must outlive the cache).
+     * @param table protocol definition (must outlive the cache).
+     * @param chooser action selection strategy (owned).
+     * @param config geometry etc.
+     */
+    SnoopingCache(MasterId id, Bus &bus, const ProtocolTable &table,
+                  std::unique_ptr<ActionChooser> chooser,
+                  const SnoopingCacheConfig &config);
+
+    /**
+     * Construct over an explicit line store (e.g. a SectorStore for
+     * the section 5.1 sector-cache organization).  `line_bytes` is the
+     * system line (transfer subsector) size.
+     */
+    SnoopingCache(MasterId id, Bus &bus, const ProtocolTable &table,
+                  std::unique_ptr<ActionChooser> chooser,
+                  std::unique_ptr<LineStore> store,
+                  std::size_t line_bytes, ClientKind kind,
+                  bool discard_near_replacement = false);
+
+    // BusClient interface.
+    MasterId clientId() const override { return id_; }
+    const char *protocolName() const override;
+    AccessOutcome read(Addr addr) override;
+    AccessOutcome write(Addr addr, Word value) override;
+    AccessOutcome flush(Addr addr, bool keep_copy) override;
+
+    // Snooper interface.
+    MasterId snooperId() const override { return id_; }
+    SnoopReply snoop(const BusRequest &req) override;
+    void supplyLine(const BusRequest &req, std::span<Word> out) override;
+    void commit(const BusRequest &req, bool others_ch) override;
+    void performAbortPush(const BusRequest &req) override;
+
+    // Inspection (tests, checker, explorer).
+    const ProtocolTable &table() const { return table_; }
+    const LineStore &store() const { return *store_; }
+    std::size_t lineBytes() const { return lineBytes_; }
+    ClientKind kind() const { return kind_; }
+
+    /** Valid line holding `la`, or null (checker access). */
+    const CacheLine *peekLine(LineAddr la) const
+    { return store_->peek(la); }
+
+    /** Visit every valid line (checker access). */
+    void
+    forEachValidLine(
+        const std::function<void(const CacheLine &)> &fn) const
+    {
+        store_->forEachValidLine(fn);
+    }
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Attach a coverage recorder (not owned; null detaches). */
+    void setCoverage(TransitionCoverage *coverage)
+    { coverage_ = coverage; }
+
+    /** Current state of the line containing `addr` (I if absent). */
+    State lineState(Addr addr) const;
+
+  private:
+    /** Dispatch one local event on the line's current state. */
+    AccessOutcome dispatchLocal(LocalEvent ev, Addr addr, Word value,
+                                int depth);
+
+    /** Execute a chosen local action. */
+    AccessOutcome executeLocal(const LocalAction &action, LocalEvent ev,
+                               Addr addr, Word value, int depth);
+
+    /** Evict (flushing if owned) to make room, and install `la`. */
+    CacheLine &allocateFor(LineAddr la, AccessOutcome &outcome);
+
+    /** Issue the victim's Flush per the table. */
+    void evict(CacheLine &victim, AccessOutcome &outcome);
+
+    /** Candidates of a cell filtered by this client's kind. */
+    std::vector<LocalAction> kindFiltered(const LocalCell &cell) const;
+
+    LineAddr lineOf(Addr addr) const { return addr / lineBytes_; }
+    std::size_t wordIndexOf(Addr addr) const
+    { return (addr % lineBytes_) / kWordBytes; }
+
+    MasterId id_;
+    Bus &bus_;
+    const ProtocolTable &table_;
+    std::unique_ptr<ActionChooser> chooser_;
+    ClientKind kind_;
+    bool discardNearReplacement_;
+    std::size_t lineBytes_;
+    std::unique_ptr<LineStore> store_;
+    CacheStats stats_;
+    TransitionCoverage *coverage_ = nullptr;
+    std::string name_;
+
+    /** Latched snoop decision between snoop() and commit(). */
+    struct Pending
+    {
+        bool active = false;
+        bool isPush = false;       ///< CH-only response to a push
+        SnoopAction action;
+        CacheLine *line = nullptr;
+    };
+    Pending pending_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_PROTOCOLS_SNOOPING_CACHE_H_

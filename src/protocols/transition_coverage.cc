@@ -1,0 +1,86 @@
+#include "protocols/transition_coverage.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+namespace {
+
+std::pair<int, int>
+keyOf(State from, int ev)
+{
+    return {static_cast<int>(from), ev};
+}
+
+} // namespace
+
+void
+TransitionCoverage::noteLocal(State from, LocalEvent ev, State)
+{
+    ++local_[keyOf(from, static_cast<int>(ev))];
+}
+
+void
+TransitionCoverage::noteSnoop(State from, BusEvent ev, State)
+{
+    ++snoop_[keyOf(from, static_cast<int>(ev))];
+}
+
+std::uint64_t
+TransitionCoverage::localCount(State from, LocalEvent ev) const
+{
+    auto it = local_.find(keyOf(from, static_cast<int>(ev)));
+    return it == local_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+TransitionCoverage::snoopCount(State from, BusEvent ev) const
+{
+    auto it = snoop_.find(keyOf(from, static_cast<int>(ev)));
+    return it == snoop_.end() ? 0 : it->second;
+}
+
+std::vector<std::string>
+TransitionCoverage::uncoveredCells(const ProtocolTable &table,
+                                   bool include_snoop_invalid) const
+{
+    std::vector<std::string> out;
+    for (State s : table.states()) {
+        for (LocalEvent ev : kAllLocalEvents) {
+            if (table.local(s, ev).empty())
+                continue;
+            if (localCount(s, ev) == 0) {
+                out.push_back(strprintf(
+                    "%s: local[%s,%s] never executed",
+                    table.name().c_str(),
+                    std::string(stateName(s)).c_str(),
+                    std::string(localEventName(ev)).c_str()));
+            }
+        }
+        if (s == State::I && !include_snoop_invalid)
+            continue;
+        for (BusEvent ev : kAllBusEvents) {
+            if (table.snoop(s, ev).empty())
+                continue;
+            if (snoopCount(s, ev) == 0) {
+                out.push_back(strprintf(
+                    "%s: snoop[%s,col%d] never executed",
+                    table.name().c_str(),
+                    std::string(stateName(s)).c_str(),
+                    busEventColumn(ev)));
+            }
+        }
+    }
+    return out;
+}
+
+void
+TransitionCoverage::merge(const TransitionCoverage &other)
+{
+    for (const auto &[key, count] : other.local_)
+        local_[key] += count;
+    for (const auto &[key, count] : other.snoop_)
+        snoop_[key] += count;
+}
+
+} // namespace fbsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Transition coverage recording.
+ *
+ * A TransitionCoverage attached to a SnoopingCache records every
+ * (state, event) cell the engine actually exercises, locally and on
+ * snoops.  The coverage tests use it to prove that the table-driven
+ * engines reach every non-empty cell of every paper table - i.e. that
+ * the reproduction executes the whole protocol definition, not just
+ * its happy path.
+ */
+
+#ifndef FBSIM_PROTOCOLS_TRANSITION_COVERAGE_H_
+#define FBSIM_PROTOCOLS_TRANSITION_COVERAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/protocol_table.h"
+
+namespace fbsim {
+
+/** Records which table cells a cache engine has executed. */
+class TransitionCoverage
+{
+  public:
+    /** Note a local event dispatched from `from`, ending in `to`. */
+    void noteLocal(State from, LocalEvent ev, State to);
+
+    /** Note a snooped bus event on a line in `from`, ending in `to`
+     *  (for BS responses, `to` is the post-push state). */
+    void noteSnoop(State from, BusEvent ev, State to);
+
+    /** Times the (from, ev) local cell was executed. */
+    std::uint64_t localCount(State from, LocalEvent ev) const;
+
+    /** Times the (from, ev) snoop cell was executed. */
+    std::uint64_t snoopCount(State from, BusEvent ev) const;
+
+    /**
+     * Cells of `table` that are non-empty but never executed.
+     * @param include_snoop_invalid also demand coverage of the
+     *        (trivial) I-row snoop cells.
+     */
+    std::vector<std::string>
+    uncoveredCells(const ProtocolTable &table,
+                   bool include_snoop_invalid = false) const;
+
+    /** Merge another recorder's counts into this one. */
+    void merge(const TransitionCoverage &other);
+
+  private:
+    std::map<std::pair<int, int>, std::uint64_t> local_;
+    std::map<std::pair<int, int>, std::uint64_t> snoop_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_PROTOCOLS_TRANSITION_COVERAGE_H_

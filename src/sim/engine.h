@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Timed simulation: drives per-processor reference streams through a
+ * System, serializing bus transactions through an Arbiter and charging
+ * cycles from the bus cost model.
+ *
+ * The model: each processor executes one reference per `hitCycles` of
+ * local work; a reference that needs the bus waits for the bus to be
+ * free (and to win arbitration) and then occupies it for the
+ * transaction cost.  Processor utilization and bus utilization are the
+ * paper's section 5.2 / [Arch85] comparison metrics.
+ */
+
+#ifndef FBSIM_SIM_ENGINE_H_
+#define FBSIM_SIM_ENGINE_H_
+
+#include <vector>
+
+#include "bus/arbiter.h"
+#include "sim/system.h"
+#include "trace/ref_stream.h"
+
+namespace fbsim {
+
+/** Timed-engine configuration. */
+struct EngineConfig
+{
+    ArbitrationKind arbitration = ArbitrationKind::RoundRobin;
+    /** Processor cycles per reference when it completes locally. */
+    Cycles hitCycles = 1;
+};
+
+/** Per-processor timing results. */
+struct ProcTiming
+{
+    std::uint64_t refs = 0;
+    Cycles finishTime = 0;
+    Cycles execCycles = 0;     ///< useful (hit-equivalent) work
+    Cycles busWaitCycles = 0;  ///< arbitration + bus-busy waiting
+    Cycles busServiceCycles = 0;
+
+    /** Fraction of time doing useful work. */
+    double
+    utilization() const
+    {
+        return finishTime == 0
+                   ? 0.0
+                   : static_cast<double>(execCycles) /
+                         static_cast<double>(finishTime);
+    }
+};
+
+/** Whole-run timing results. */
+struct EngineResult
+{
+    Cycles elapsed = 0;          ///< max processor finish time
+    Cycles busBusy = 0;          ///< cycles the bus carried a transaction
+    std::vector<ProcTiming> procs;
+
+    /** Bus utilization in [0,1]. */
+    double
+    busUtilization() const
+    {
+        return elapsed == 0 ? 0.0
+                            : static_cast<double>(busBusy) /
+                                  static_cast<double>(elapsed);
+    }
+
+    /** Sum of per-processor utilizations ("effective processors"). */
+    double systemPower() const;
+
+    /** Mean processor utilization. */
+    double meanUtilization() const;
+};
+
+/** Drives reference streams through a System with timing. */
+class Engine
+{
+  public:
+    Engine(System &system, const EngineConfig &config);
+
+    /**
+     * Run every stream for `refs_per_proc` references.
+     * streams[i] feeds System client i; streams.size() must equal the
+     * system's client count.
+     */
+    EngineResult run(const std::vector<RefStream *> &streams,
+                     std::uint64_t refs_per_proc);
+
+  private:
+    System &system_;
+    EngineConfig config_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_SIM_ENGINE_H_

@@ -1,0 +1,225 @@
+#include "sim/system.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    std::size_t words = config_.lineBytes / kWordBytes;
+    fbsim_assert(words > 0);
+    memory_ = std::make_unique<MainMemory>(words);
+    slave_ = std::make_unique<MainMemorySlave>(*memory_);
+    bus_ = std::make_unique<Bus>(*slave_, config_.cost,
+                                 config_.maxBusRetries);
+    checker_ =
+        std::make_unique<CoherenceChecker>(*memory_, config_.lineBytes);
+}
+
+System::~System() = default;
+
+MasterId
+System::addCache(const CacheSpec &spec)
+{
+    MasterId id = static_cast<MasterId>(clients_.size());
+    SnoopingCacheConfig cfg;
+    cfg.geometry = {config_.lineBytes, spec.numSets, spec.assoc};
+    cfg.replacement = spec.replacement;
+    cfg.kind = spec.writeThrough ? ClientKind::WriteThrough
+                                 : ClientKind::CopyBack;
+    cfg.seed = spec.seed;
+    cfg.discardNearReplacement = spec.discardNearReplacement;
+    if (spec.writeThrough && spec.protocol != ProtocolKind::Moesi)
+        fbsim_fatal("write-through clients use the MOESI table's \"*\" "
+                    "entries; pick ProtocolKind::Moesi");
+
+    auto cache = std::make_unique<SnoopingCache>(
+        id, *bus_, protocolTable(spec.protocol),
+        makeChooser(spec.chooser, spec.policy, spec.seed), cfg);
+    bus_->attach(cache.get());
+    checker_->addCache(cache.get());
+    caches_.push_back(cache.get());
+    clients_.push_back(std::move(cache));
+    return id;
+}
+
+MasterId
+System::addSectorCache(const CacheSpec &spec,
+                       std::size_t subsectors_per_sector)
+{
+    MasterId id = static_cast<MasterId>(clients_.size());
+    if (spec.writeThrough)
+        fbsim_fatal("sector caches are copy-back in fbsim");
+    SectorGeometry geom;
+    geom.lineBytes = config_.lineBytes;
+    geom.subsectorsPerSector = subsectors_per_sector;
+    geom.numSets = spec.numSets;
+    geom.assoc = spec.assoc;
+    auto store = std::make_unique<SectorStore>(geom, spec.replacement,
+                                               spec.seed);
+    auto cache = std::make_unique<SnoopingCache>(
+        id, *bus_, protocolTable(spec.protocol),
+        makeChooser(spec.chooser, spec.policy, spec.seed),
+        std::move(store), config_.lineBytes, ClientKind::CopyBack,
+        spec.discardNearReplacement);
+    bus_->attach(cache.get());
+    checker_->addCache(cache.get());
+    caches_.push_back(cache.get());
+    clients_.push_back(std::move(cache));
+    return id;
+}
+
+MasterId
+System::addNonCachingMaster(bool broadcast_writes)
+{
+    MasterId id = static_cast<MasterId>(clients_.size());
+    clients_.push_back(std::make_unique<NonCachingMaster>(
+        id, *bus_, config_.lineBytes, broadcast_writes));
+    caches_.push_back(nullptr);
+    return id;
+}
+
+BusClient &
+System::client(MasterId id)
+{
+    fbsim_assert(id < clients_.size());
+    return *clients_[id];
+}
+
+SnoopingCache *
+System::cacheOf(MasterId id)
+{
+    fbsim_assert(id < caches_.size());
+    return caches_[id];
+}
+
+const SnoopingCache *
+System::cacheOf(MasterId id) const
+{
+    fbsim_assert(id < caches_.size());
+    return caches_[id];
+}
+
+AccessOutcome
+System::read(MasterId id, Addr addr)
+{
+    AccessOutcome outcome = client(id).read(addr);
+    // Value verification is cheap and always on; the full structural
+    // scan only runs when configured.
+    std::string err = checker_->noteRead(addr, outcome.value);
+    if (!err.empty() && violations_.size() < 1000)
+        violations_.push_back(err);
+    if (config_.checkEveryAccess)
+        afterAccess();
+    return outcome;
+}
+
+AccessOutcome
+System::write(MasterId id, Addr addr, Word value)
+{
+    AccessOutcome outcome = client(id).write(addr, value);
+    checker_->noteWrite(addr, value);
+    if (config_.checkEveryAccess)
+        afterAccess();
+    return outcome;
+}
+
+AccessOutcome
+System::flush(MasterId id, Addr addr, bool keep_copy)
+{
+    AccessOutcome outcome = client(id).flush(addr, keep_copy);
+    if (config_.checkEveryAccess)
+        afterAccess();
+    return outcome;
+}
+
+AccessOutcome
+System::readWords(MasterId id, Addr addr, std::span<Word> out)
+{
+    AccessOutcome total;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        AccessOutcome o = read(id, addr + i * kWordBytes);
+        out[i] = o.value;
+        total.usedBus = total.usedBus || o.usedBus;
+        total.busTransactions += o.busTransactions;
+        total.busCycles += o.busCycles;
+    }
+    if (!out.empty())
+        total.value = out[0];
+    return total;
+}
+
+AccessOutcome
+System::writeWords(MasterId id, Addr addr, std::span<const Word> values)
+{
+    AccessOutcome total;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        AccessOutcome o = write(id, addr + i * kWordBytes, values[i]);
+        total.usedBus = total.usedBus || o.usedBus;
+        total.busTransactions += o.busTransactions;
+        total.busCycles += o.busCycles;
+    }
+    return total;
+}
+
+AccessOutcome
+System::syncLine(MasterId id, Addr addr, bool purge)
+{
+    AccessOutcome total;
+    // The issuer's own copy first: an owning issuer pushes locally
+    // (Pass keeps the copy for a plain sync; Flush discards on purge);
+    // unowned copies drop silently on purge.
+    SnoopingCache *own = caches_[id];
+    if (own && isValid(own->lineState(addr))) {
+        bool keep = !purge;
+        if (isOwned(own->lineState(addr)) || purge) {
+            AccessOutcome o = own->flush(addr, keep);
+            total.usedBus = total.usedBus || o.usedBus;
+            total.busTransactions += o.busTransactions;
+            total.busCycles += o.busCycles;
+        }
+    }
+    // Then the bus command for everyone else.
+    BusRequest req;
+    req.master = id;
+    req.cmd = BusCmd::Sync;
+    req.sig = {false, purge, false};
+    req.line = addr / config_.lineBytes;
+    BusResult r = bus_->execute(req);
+    total.usedBus = true;
+    total.busTransactions += 1;
+    total.busCycles += r.cost;
+    if (config_.checkEveryAccess)
+        afterAccess();
+    return total;
+}
+
+bool
+System::wouldUseBus(MasterId id, bool is_write, Addr addr) const
+{
+    const SnoopingCache *cache = caches_[id];
+    if (!cache)
+        return true;   // non-caching masters always use the bus
+    State s = cache->lineState(addr);
+    if (!is_write)
+        return s == State::I;
+    if (cache->kind() == ClientKind::WriteThrough)
+        return true;   // every write goes through
+    // Copy-back: M and E writes are silent; O, S and I need the bus.
+    return !(s == State::M || s == State::E);
+}
+
+std::vector<std::string>
+System::checkNow() const
+{
+    return checker_->checkInvariants();
+}
+
+void
+System::afterAccess()
+{
+    std::vector<std::string> v = checker_->checkInvariants();
+    violations_.insert(violations_.end(), v.begin(), v.end());
+}
+
+} // namespace fbsim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * System assembly: memory + bus + any mix of bus clients, with an
+ * optional always-on coherence checker.
+ *
+ * This is the functional layer: accesses execute atomically in call
+ * order (the bus serializes everything).  The timed layer (Engine)
+ * adds arbitration and cycle accounting on top.
+ */
+
+#ifndef FBSIM_SIM_SYSTEM_H_
+#define FBSIM_SIM_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bus.h"
+#include "checker/coherence_checker.h"
+#include "memory/main_memory.h"
+#include "protocols/bus_client.h"
+#include "protocols/factory.h"
+#include "protocols/non_caching.h"
+#include "cache/sector_store.h"
+#include "protocols/snooping_cache.h"
+
+namespace fbsim {
+
+/** System-wide configuration. */
+struct SystemConfig
+{
+    /** The standard line size (section 5.1) every cache must use. */
+    std::size_t lineBytes = 32;
+    BusCostModel cost;
+    unsigned maxBusRetries = 16;
+    /** Run the full invariant check after every access (slow; tests). */
+    bool checkEveryAccess = false;
+};
+
+/** Everything needed to add one cache to the system. */
+struct CacheSpec
+{
+    ProtocolKind protocol = ProtocolKind::Moesi;
+    ChooserKind chooser = ChooserKind::Preferred;
+    MoesiPolicy policy;                  ///< used when chooser == Policy
+    std::size_t numSets = 64;
+    std::size_t assoc = 4;
+    ReplacementKind replacement = ReplacementKind::LRU;
+    bool writeThrough = false;           ///< "*" client (MOESI only)
+    bool discardNearReplacement = false; ///< section 5.2 refinement
+    std::uint64_t seed = 1;
+};
+
+/** A shared-bus multiprocessor. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Add a snooping cache; returns its master id (= client index). */
+    MasterId addCache(const CacheSpec &spec);
+
+    /**
+     * Add a sector cache (section 5.1, [Hill84]): one tag per
+     * `subsectors_per_sector` lines, per-subsector consistency state.
+     * The protocol/chooser fields of `spec` apply; numSets/assoc are
+     * sector sets/ways.
+     */
+    MasterId addSectorCache(const CacheSpec &spec,
+                            std::size_t subsectors_per_sector);
+
+    /** Add a non-caching master (an I/O processor). */
+    MasterId addNonCachingMaster(bool broadcast_writes);
+
+    /** Number of clients added. */
+    std::size_t numClients() const { return clients_.size(); }
+
+    /** Client by id. */
+    BusClient &client(MasterId id);
+
+    /** The snooping cache behind a client id; null for non-caching. */
+    SnoopingCache *cacheOf(MasterId id);
+    const SnoopingCache *cacheOf(MasterId id) const;
+
+    /** Processor read; checker-verified when enabled. */
+    AccessOutcome read(MasterId id, Addr addr);
+
+    /** Processor write. */
+    AccessOutcome write(MasterId id, Addr addr, Word value);
+
+    /** Push a line (Pass = keep copy, Flush = discard). */
+    AccessOutcome flush(MasterId id, Addr addr, bool keep_copy);
+
+    /**
+     * Multi-word read that may cross line boundaries.  Section 5.1
+     * "line crossers": the processor/cache interface must treat such a
+     * reference as one transaction per line involved; fbsim splits it
+     * word-wise, which has exactly that effect.
+     * @param out receives out.size() consecutive words from `addr`
+     *            (word-aligned).
+     */
+    AccessOutcome readWords(MasterId id, Addr addr,
+                            std::span<Word> out);
+
+    /** Multi-word write counterpart of readWords(). */
+    AccessOutcome writeWords(MasterId id, Addr addr,
+                             std::span<const Word> values);
+
+    /**
+     * Issue the section 6 consistency command for the line holding
+     * `addr`: force main memory to become valid (the owner, local or
+     * remote, pushes its line).  With `purge` every cached copy is
+     * also invalidated, after which memory is the sole owner.
+     */
+    AccessOutcome syncLine(MasterId id, Addr addr, bool purge = false);
+
+    /**
+     * Exact test of whether the client's next access to `addr` would
+     * use the bus (used by the timed engine for arbitration).
+     */
+    bool wouldUseBus(MasterId id, bool is_write, Addr addr) const;
+
+    /** Run the invariant check now; returns violations. */
+    std::vector<std::string> checkNow() const;
+
+    /** All violations recorded so far (per-access checking). */
+    const std::vector<std::string> &violations() const
+    { return violations_; }
+
+    const SystemConfig &config() const { return config_; }
+    Bus &bus() { return *bus_; }
+    const Bus &bus() const { return *bus_; }
+    MainMemory &memory() { return *memory_; }
+    CoherenceChecker &checker() { return *checker_; }
+
+  private:
+    void afterAccess();
+
+    SystemConfig config_;
+    std::unique_ptr<MainMemory> memory_;
+    std::unique_ptr<MainMemorySlave> slave_;
+    std::unique_ptr<Bus> bus_;
+    std::unique_ptr<CoherenceChecker> checker_;
+    std::vector<std::unique_ptr<BusClient>> clients_;
+    std::vector<SnoopingCache *> caches_;   ///< indexed by id; may be null
+    std::vector<std::string> violations_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_SIM_SYSTEM_H_

@@ -1,0 +1,243 @@
+#include "text/golden_tables.h"
+
+#include "common/logging.h"
+#include "text/table_render.h"
+
+namespace fbsim {
+
+namespace {
+
+// Table 1: MOESI, local events (section 3.3).
+const std::vector<GoldenCell> kTable1 = {
+    {"M", "Read", "M"},
+    {"M", "Write", "M"},
+    {"M", "Pass", "E,CA,BC?,W"},
+    {"M", "Flush", "I,BC?,W"},
+    {"O", "Read", "O"},
+    {"O", "Write", "CH:O/M,CA,IM,BC,W or M,CA,IM"},
+    {"O", "Pass", "CH:S/E,CA,BC?,W"},
+    {"O", "Flush", "I,BC?,W"},
+    {"E", "Read", "E"},
+    {"E", "Write", "M"},
+    {"E", "Pass", "--"},
+    {"E", "Flush", "I"},
+    {"S", "Read", "S"},
+    {"S", "Write",
+     "CH:O/M,CA,IM,BC,W or M,CA,IM or S,IM,BC,W* or S,IM,W*"},
+    {"S", "Pass", "--"},
+    {"S", "Flush", "I"},
+    {"I", "Read", "CH:S/E,CA,R or S,CA,R* or I,R**"},
+    {"I", "Write",
+     "M,CA,IM,R or Read>Write or I,IM,BC,W*,** or I,IM,W*,** or "
+     "Read>Write*"},
+    {"I", "Pass", "--"},
+    {"I", "Flush", "--"},
+};
+
+// Table 2: MOESI, bus events (columns 5-10).
+const std::vector<GoldenCell> kTable2 = {
+    {"M", "5", "O,CH,DI"},
+    {"M", "6", "I,DI"},
+    {"M", "7", "M,DI,CH?"},
+    {"M", "8", "--"},
+    {"M", "9", "M,DI,CH?"},
+    {"M", "10", "M,SL,CH?"},
+    {"O", "5", "O,CH,DI"},
+    {"O", "6", "I,DI"},
+    {"O", "7", "CH:O/M,DI"},
+    {"O", "8", "S,CH,SL or I"},
+    {"O", "9", "O,DI,CH?"},
+    {"O", "10", "O,CH,SL"},
+    {"E", "5", "S,CH"},
+    {"E", "6", "I"},
+    {"E", "7", "E,CH?"},
+    {"E", "8", "--"},
+    {"E", "9", "I"},
+    {"E", "10", "E,SL,CH? or I"},
+    {"S", "5", "S,CH"},
+    {"S", "6", "I"},
+    {"S", "7", "S,CH"},
+    {"S", "8", "S,CH,SL or I"},
+    {"S", "9", "I"},
+    {"S", "10", "S,CH,SL or I"},
+    {"I", "5", "I"},
+    {"I", "6", "I"},
+    {"I", "7", "I"},
+    {"I", "8", "I"},
+    {"I", "9", "I"},
+    {"I", "10", "I"},
+};
+
+// Table 3: Berkeley.
+const std::vector<GoldenCell> kTable3 = {
+    {"M", "Read", "M"},
+    {"M", "Write", "M"},
+    {"M", "5", "O,CH,DI"},
+    {"M", "6", "I,DI"},
+    {"O", "Read", "O"},
+    {"O", "Write", "M,CA,IM"},
+    {"O", "5", "O,CH,DI"},
+    {"O", "6", "I,DI"},
+    {"S", "Read", "S"},
+    {"S", "Write", "M,CA,IM"},
+    {"S", "5", "S,CH"},
+    {"S", "6", "I"},
+    {"I", "Read", "S,CA,R"},
+    {"I", "Write", "M,CA,IM,R"},
+    {"I", "5", "I"},
+    {"I", "6", "I"},
+};
+
+// Table 4: Dragon.
+const std::vector<GoldenCell> kTable4 = {
+    {"M", "Read", "M"},
+    {"M", "Write", "M"},
+    {"M", "5", "O,CH,DI"},
+    {"M", "8", "--"},
+    {"O", "Read", "O"},
+    {"O", "Write", "CH:O/M,CA,IM,BC,W"},
+    {"O", "5", "O,CH,DI"},
+    {"O", "8", "S,CH,SL"},
+    {"E", "Read", "E"},
+    {"E", "Write", "M"},
+    {"E", "5", "S,CH"},
+    {"E", "8", "--"},
+    {"S", "Read", "S"},
+    {"S", "Write", "CH:O/M,CA,IM,BC,W"},
+    {"S", "5", "S,CH"},
+    {"S", "8", "S,CH,SL"},
+    {"I", "Read", "CH:S/E,CA,R"},
+    {"I", "Write", "Read>Write"},
+    {"I", "5", "I"},
+    {"I", "8", "I"},
+};
+
+// Table 5: Write-Once.
+const std::vector<GoldenCell> kTable5 = {
+    {"M", "Read", "M"},
+    {"M", "Write", "M"},
+    {"M", "5", "BS;S,CA,W"},
+    {"M", "6", "I,DI or BS;S,CA,W"},
+    {"E", "Read", "E"},
+    {"E", "Write", "M"},
+    {"E", "5", "S,CH"},
+    {"E", "6", "I"},
+    {"S", "Read", "S"},
+    {"S", "Write", "E,CA,IM,W"},
+    {"S", "5", "S,CH"},
+    {"S", "6", "I"},
+    {"I", "Read", "S,CA,R"},
+    {"I", "Write", "M,CA,IM,R or Read>Write"},
+    {"I", "5", "I"},
+    {"I", "6", "I"},
+};
+
+// Table 6: Illinois.
+const std::vector<GoldenCell> kTable6 = {
+    {"M", "Read", "M"},
+    {"M", "Write", "M"},
+    {"M", "5", "BS;S,CA,W"},
+    {"M", "6", "BS;S,CA,W"},
+    {"E", "Read", "E"},
+    {"E", "Write", "M"},
+    {"E", "5", "S,CH"},
+    {"E", "6", "I"},
+    {"S", "Read", "S"},
+    {"S", "Write", "M,CA,IM"},
+    {"S", "5", "S,CH"},
+    {"S", "6", "I"},
+    {"I", "Read", "CH:S/E,CA,R"},
+    {"I", "Write", "M,CA,IM,R"},
+    {"I", "5", "I"},
+    {"I", "6", "I"},
+};
+
+// Table 7: Firefly.
+const std::vector<GoldenCell> kTable7 = {
+    {"M", "Read", "M"},
+    {"M", "Write", "M"},
+    {"M", "5", "BS;E,CA,W"},
+    {"M", "8", "--"},
+    {"E", "Read", "E"},
+    {"E", "Write", "M"},
+    {"E", "5", "S,CH"},
+    {"E", "8", "--"},
+    {"S", "Read", "S"},
+    {"S", "Write", "CH:S/E,CA,IM,BC,W"},
+    {"S", "5", "S,CH"},
+    {"S", "8", "S,CH,SL"},
+    {"I", "Read", "CH:S/E,CA,R"},
+    {"I", "Write", "Read>Write"},
+    {"I", "5", "I"},
+    {"I", "8", "I"},
+};
+
+std::optional<LocalEvent>
+localEventFromLabel(const std::string &label)
+{
+    if (label == "Read")
+        return LocalEvent::Read;
+    if (label == "Write")
+        return LocalEvent::Write;
+    if (label == "Pass")
+        return LocalEvent::Pass;
+    if (label == "Flush")
+        return LocalEvent::Flush;
+    return std::nullopt;
+}
+
+std::optional<BusEvent>
+busEventFromLabel(const std::string &label)
+{
+    for (BusEvent ev : kAllBusEvents) {
+        if (label == std::to_string(busEventColumn(ev)))
+            return ev;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+const std::vector<GoldenCell> &
+goldenTable(int paper_table_number)
+{
+    switch (paper_table_number) {
+      case 1: return kTable1;
+      case 2: return kTable2;
+      case 3: return kTable3;
+      case 4: return kTable4;
+      case 5: return kTable5;
+      case 6: return kTable6;
+      case 7: return kTable7;
+      default: fbsim_fatal("no paper table %d", paper_table_number);
+    }
+}
+
+std::vector<std::string>
+diffAgainstPaper(int paper_table_number)
+{
+    const ProtocolTable &table = paperTable(paper_table_number);
+    std::vector<std::string> mismatches;
+    for (const GoldenCell &cell : goldenTable(paper_table_number)) {
+        std::optional<State> s = stateFromName(cell.state);
+        fbsim_assert(s.has_value());
+        std::string got;
+        if (auto lev = localEventFromLabel(cell.column)) {
+            got = renderLocalCell(table.local(*s, *lev));
+        } else if (auto bev = busEventFromLabel(cell.column)) {
+            got = renderSnoopCell(table.snoop(*s, *bev));
+        } else {
+            fbsim_fatal("bad golden column label %s", cell.column);
+        }
+        if (got != cell.text) {
+            mismatches.push_back(
+                strprintf("table %d cell [%s, %s]: engine renders "
+                          "\"%s\", paper says \"%s\"",
+                          paper_table_number, cell.state, cell.column,
+                          got.c_str(), cell.text));
+        }
+    }
+    return mismatches;
+}
+
+} // namespace fbsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Golden transcriptions of the paper's Tables 1-7 and the diff that
+ * compares them against the live protocol engines.
+ *
+ * The golden strings are an independent, by-hand transcription of the
+ * published cells into fbsim's canonical notation (see
+ * text/table_render.h; signal order is CH, DI, SL with "CH?" last,
+ * where the paper's typography varies).  The table benches and the
+ * golden-table unit tests render each cell from the encoded
+ * ProtocolTable and require an exact match, so the engine data and the
+ * paper transcription check each other.
+ */
+
+#ifndef FBSIM_TEXT_GOLDEN_TABLES_H_
+#define FBSIM_TEXT_GOLDEN_TABLES_H_
+
+#include <string>
+#include <vector>
+
+namespace fbsim {
+
+/** One golden cell: row state, column label, expected render. */
+struct GoldenCell
+{
+    const char *state;    ///< "M", "O", "E", "S", "I"
+    const char *column;   ///< "Read", "Write", "Pass", "Flush", "5".."10"
+    const char *text;     ///< canonical cell render
+};
+
+/** The golden cells of a paper table (1-7). */
+const std::vector<GoldenCell> &goldenTable(int paper_table_number);
+
+/**
+ * Render every golden cell of table `paper_table_number` from the live
+ * engine table and compare.  Returns one message per mismatch (empty =
+ * the engine regenerates the paper table exactly).
+ */
+std::vector<std::string> diffAgainstPaper(int paper_table_number);
+
+} // namespace fbsim
+
+#endif // FBSIM_TEXT_GOLDEN_TABLES_H_

@@ -1,0 +1,85 @@
+#include "text/report.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+std::string
+renderClientStats(System &system)
+{
+    std::string out;
+    out += strprintf("%-4s %-26s %9s %9s %7s %7s %7s %7s %7s %7s\n",
+                     "id", "protocol", "reads", "writes", "miss%",
+                     "wrback", "inval", "update", "interv", "abortp");
+    for (MasterId id = 0; id < system.numClients(); ++id) {
+        BusClient &client = system.client(id);
+        const SnoopingCache *cache = system.cacheOf(id);
+        if (cache) {
+            const CacheStats &s = cache->stats();
+            out += strprintf(
+                "%-4u %-26s %9llu %9llu %6.2f%% %7llu %7llu %7llu "
+                "%7llu %7llu\n",
+                id, client.protocolName(),
+                static_cast<unsigned long long>(s.reads),
+                static_cast<unsigned long long>(s.writes),
+                100.0 * s.missRatio(),
+                static_cast<unsigned long long>(s.writebacks),
+                static_cast<unsigned long long>(s.invalidationsRecv),
+                static_cast<unsigned long long>(s.updatesRecv),
+                static_cast<unsigned long long>(s.interventions),
+                static_cast<unsigned long long>(s.abortPushes));
+        } else {
+            out += strprintf("%-4u %-26s %9s %9s\n", id,
+                             client.protocolName(), "-", "-");
+        }
+    }
+    return out;
+}
+
+std::string
+renderBusStats(const BusStats &s)
+{
+    std::string out;
+    out += strprintf("bus: %llu transactions (%llu reads, %llu RFO, "
+                     "%llu word writes, %llu broadcast, %llu pushes, "
+                     "%llu invalidates)\n",
+                     static_cast<unsigned long long>(s.transactions),
+                     static_cast<unsigned long long>(s.reads),
+                     static_cast<unsigned long long>(s.readsForModify),
+                     static_cast<unsigned long long>(s.wordWrites),
+                     static_cast<unsigned long long>(s.broadcastWrites),
+                     static_cast<unsigned long long>(s.linePushes),
+                     static_cast<unsigned long long>(s.invalidates));
+    out += strprintf("     %llu interventions, %llu write captures, "
+                     "%llu aborts, %llu data words, %llu busy cycles\n",
+                     static_cast<unsigned long long>(s.interventions),
+                     static_cast<unsigned long long>(s.writeCaptures),
+                     static_cast<unsigned long long>(s.aborts),
+                     static_cast<unsigned long long>(s.dataWords),
+                     static_cast<unsigned long long>(s.busyCycles));
+    return out;
+}
+
+std::string
+renderEngineResult(const EngineResult &r)
+{
+    std::string out;
+    out += strprintf("elapsed %llu cycles, bus busy %llu (%.1f%%), "
+                     "system power %.2f\n",
+                     static_cast<unsigned long long>(r.elapsed),
+                     static_cast<unsigned long long>(r.busBusy),
+                     100.0 * r.busUtilization(), r.systemPower());
+    for (std::size_t i = 0; i < r.procs.size(); ++i) {
+        const ProcTiming &p = r.procs[i];
+        out += strprintf("  proc %zu: %llu refs, utilization %.3f, "
+                         "bus wait %llu, bus service %llu\n",
+                         i, static_cast<unsigned long long>(p.refs),
+                         p.utilization(),
+                         static_cast<unsigned long long>(p.busWaitCycles),
+                         static_cast<unsigned long long>(
+                             p.busServiceCycles));
+    }
+    return out;
+}
+
+} // namespace fbsim

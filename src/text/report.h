@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Plain-text reporting of cache/bus statistics for examples and
+ * benches.
+ */
+
+#ifndef FBSIM_TEXT_REPORT_H_
+#define FBSIM_TEXT_REPORT_H_
+
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/system.h"
+
+namespace fbsim {
+
+/** Per-client statistics table for a System. */
+std::string renderClientStats(System &system);
+
+/** Bus statistics summary. */
+std::string renderBusStats(const BusStats &stats);
+
+/** Timed-run summary (per-processor utilization + bus load). */
+std::string renderEngineResult(const EngineResult &result);
+
+} // namespace fbsim
+
+#endif // FBSIM_TEXT_REPORT_H_

@@ -1,0 +1,265 @@
+#include "text/table_render.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+std::string
+renderStateSpec(const StateSpec &spec)
+{
+    if (!spec.conditional())
+        return std::string(stateName(spec.ifCh));
+    return "CH:" + std::string(stateName(spec.ifCh)) + "/" +
+           std::string(stateName(spec.ifNotCh));
+}
+
+namespace {
+
+/** Kind mark: "", "*", "**" or "*,**". */
+std::string
+kindMark(ClientKindMask kinds)
+{
+    bool wt = kinds & kindBit(ClientKind::WriteThrough);
+    bool nc = kinds & kindBit(ClientKind::NonCaching);
+    bool cb = kinds & kindBit(ClientKind::CopyBack);
+    if (cb)
+        return "";   // unmarked entries are the copy-back protocol
+    if (wt && nc)
+        return "*,**";
+    if (wt)
+        return "*";
+    if (nc)
+        return "**";
+    return "";
+}
+
+std::string
+renderLocalAction(const LocalAction &a, bool fold_bc)
+{
+    if (a.readThenWrite)
+        return "Read>Write" + kindMark(a.kinds);
+    std::string out = renderStateSpec(a.next);
+    if (a.usesBus) {
+        if (a.ca)
+            out += ",CA";
+        if (a.im)
+            out += ",IM";
+        if (fold_bc)
+            out += ",BC?";
+        else if (a.bc)
+            out += ",BC";
+        switch (a.cmd) {
+          case BusCmd::Read:
+            out += ",R";
+            break;
+          case BusCmd::WriteWord:
+          case BusCmd::WriteLine:
+            out += ",W";
+            break;
+          case BusCmd::AddrOnly:
+          case BusCmd::Sync:   // never appears in protocol tables
+            break;
+        }
+    }
+    return out + kindMark(a.kinds);
+}
+
+/** True when the two actions are a push pair differing only in BC -
+ *  the paper's "BC?" notation (used on Pass/Flush pushes only; the
+ *  write-through write pair is listed as two entries). */
+bool
+bcFoldable(const LocalAction &x, const LocalAction &y)
+{
+    if (x.cmd != BusCmd::WriteLine || y.cmd != BusCmd::WriteLine)
+        return false;
+    LocalAction a = x, b = y;
+    a.bc = b.bc = false;
+    return a == b && x.bc != y.bc;
+}
+
+std::string
+renderSnoopAction(const SnoopAction &a)
+{
+    if (a.bs) {
+        std::string out = "BS;" + std::string(stateName(a.pushState));
+        if (a.pushCa)
+            out += ",CA";
+        out += ",W";
+        return out;
+    }
+    std::string out = renderStateSpec(a.next);
+    if (a.ch == Tri::Assert)
+        out += ",CH";
+    if (a.di)
+        out += ",DI";
+    if (a.sl)
+        out += ",SL";
+    if (a.ch == Tri::DontCare)
+        out += ",CH?";
+    return out;
+}
+
+} // namespace
+
+std::string
+renderLocalCell(const LocalCell &cell, ClientKindMask kinds)
+{
+    std::vector<const LocalAction *> shown;
+    for (const LocalAction &a : cell) {
+        if (a.kinds & kinds)
+            shown.push_back(&a);
+    }
+    if (shown.empty())
+        return "--";
+    std::string out;
+    for (std::size_t i = 0; i < shown.size(); ++i) {
+        bool folded = false;
+        if (i + 1 < shown.size() && bcFoldable(*shown[i], *shown[i + 1])) {
+            folded = true;
+        }
+        if (!out.empty())
+            out += " or ";
+        out += renderLocalAction(*shown[i], folded);
+        if (folded)
+            ++i;   // the pair rendered as one "BC?" entry
+    }
+    return out;
+}
+
+std::string
+renderSnoopCell(const SnoopCell &cell)
+{
+    if (cell.empty())
+        return "--";
+    std::string out;
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+        if (i > 0)
+            out += " or ";
+        out += renderSnoopAction(cell[i]);
+    }
+    return out;
+}
+
+std::string
+renderProtocolTable(const ProtocolTable &table,
+                    const TableRenderConfig &config)
+{
+    // Build the cell matrix: one row per state, one column per event.
+    std::vector<std::string> headers;
+    headers.push_back("State");
+    for (LocalEvent ev : config.localEvents) {
+        headers.push_back(std::string(localEventName(ev)) + " (" +
+                          std::to_string(static_cast<int>(ev) + 1) + ")");
+    }
+    for (BusEvent ev : config.busEvents) {
+        headers.push_back(
+            masterSignalsName(signalsForBusEvent(ev)) + " (" +
+            std::to_string(busEventColumn(ev)) + ")");
+    }
+
+    std::vector<std::vector<std::string>> rows;
+    for (State s : table.states()) {
+        std::vector<std::string> row;
+        row.push_back(std::string(stateName(s)));
+        for (LocalEvent ev : config.localEvents)
+            row.push_back(renderLocalCell(table.local(s, ev),
+                                          config.kinds));
+        for (BusEvent ev : config.busEvents)
+            row.push_back(renderSnoopCell(table.snoop(s, ev)));
+        rows.push_back(std::move(row));
+    }
+
+    std::vector<std::size_t> widths(headers.size(), 0);
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        widths[c] = headers[c].size();
+        for (const auto &row : rows)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        std::string out = "+";
+        for (std::size_t w : widths)
+            out += std::string(w + 2, '-') + "+";
+        out += "\n";
+        return out;
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += " " + cells[c] +
+                   std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        out += "\n";
+        return out;
+    };
+
+    std::string out = table.name() +
+                      " Protocol: Result State and Bus Signals\n";
+    out += rule();
+    out += line(headers);
+    out += rule();
+    for (const auto &row : rows)
+        out += line(row);
+    out += rule();
+    return out;
+}
+
+TableRenderConfig
+paperRenderConfig(int paper_table_number)
+{
+    TableRenderConfig cfg;
+    switch (paper_table_number) {
+      case 1:
+        cfg.localEvents = {LocalEvent::Read, LocalEvent::Write,
+                           LocalEvent::Pass, LocalEvent::Flush};
+        break;
+      case 2:
+        cfg.busEvents = {BusEvent::ReadByCache, BusEvent::ReadForModify,
+                         BusEvent::ReadNoCache,
+                         BusEvent::BroadcastWriteCache,
+                         BusEvent::WriteNoCache,
+                         BusEvent::BroadcastWriteNoCache};
+        break;
+      case 3:   // Berkeley: local Read/Write, cols 5-6
+      case 5:   // Write-Once
+      case 6:   // Illinois
+        cfg.localEvents = {LocalEvent::Read, LocalEvent::Write};
+        cfg.busEvents = {BusEvent::ReadByCache, BusEvent::ReadForModify};
+        break;
+      case 4:   // Dragon: local Read/Write, cols 5 and 8
+      case 7:   // Firefly
+        cfg.localEvents = {LocalEvent::Read, LocalEvent::Write};
+        cfg.busEvents = {BusEvent::ReadByCache,
+                         BusEvent::BroadcastWriteCache};
+        break;
+      default:
+        fbsim_fatal("no paper table %d", paper_table_number);
+    }
+    return cfg;
+}
+
+const ProtocolTable &
+paperTable(int paper_table_number)
+{
+    switch (paper_table_number) {
+      case 1:
+      case 2:
+        return moesiTable();
+      case 3:
+        return berkeleyTable();
+      case 4:
+        return dragonTable();
+      case 5:
+        return writeOnceTable();
+      case 6:
+        return illinoisTable();
+      case 7:
+        return fireflyTable();
+      default:
+        fbsim_fatal("no paper table %d", paper_table_number);
+    }
+}
+
+} // namespace fbsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Rendering of protocol tables in the paper's notation.
+ *
+ * Cells render as "result state, signals, action" with the paper's
+ * conventions: "CH:O/M" / "CH:S/E" conditionals, "BC?" folding of
+ * broadcast-optional pairs, "CH?" don't-cares, "BS;S,CA,W" aborts,
+ * "*" / "**" write-through and no-cache marks, "--" for illegal cells
+ * and " or " between alternatives.  The table benches print these
+ * renders and diff them against the golden transcriptions in
+ * text/golden_tables.h.
+ */
+
+#ifndef FBSIM_TEXT_TABLE_RENDER_H_
+#define FBSIM_TEXT_TABLE_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/protocol_table.h"
+
+namespace fbsim {
+
+/** Which columns of a table to render. */
+struct TableRenderConfig
+{
+    std::vector<LocalEvent> localEvents;   ///< local columns, in order
+    std::vector<BusEvent> busEvents;       ///< bus columns, in order
+    /** Alternatives to include (drop "*" rows by masking them out). */
+    ClientKindMask kinds = kAnyKind;
+};
+
+/** Render one local cell ("CH:O/M,CA,IM,BC,W or M,CA,IM"). */
+std::string renderLocalCell(const LocalCell &cell,
+                            ClientKindMask kinds = kAnyKind);
+
+/** Render one snoop cell ("O,CH,DI", "BS;S,CA,W", ...). */
+std::string renderSnoopCell(const SnoopCell &cell);
+
+/** Render a StateSpec ("M" or "CH:O/M"). */
+std::string renderStateSpec(const StateSpec &spec);
+
+/** Render the full table as an aligned ASCII grid. */
+std::string renderProtocolTable(const ProtocolTable &table,
+                                const TableRenderConfig &config);
+
+/** Render config matching the published columns of a paper table
+ *  (1-7); table 1 renders local events, 2 the bus events, 3-7 their
+ *  published local + bus columns. */
+TableRenderConfig paperRenderConfig(int paper_table_number);
+
+/** The ProtocolTable holding paper table `paper_table_number`. */
+const ProtocolTable &paperTable(int paper_table_number);
+
+} // namespace fbsim
+
+#endif // FBSIM_TEXT_TABLE_RENDER_H_

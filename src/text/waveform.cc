@@ -1,0 +1,64 @@
+#include "text/waveform.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+std::string
+renderWaveforms(const std::vector<SignalTrace> &signals, double t_end,
+                int width)
+{
+    fbsim_assert(t_end > 0 && width > 1);
+    std::size_t label_width = 0;
+    for (const SignalTrace &s : signals)
+        label_width = std::max(label_width, s.name.size());
+
+    std::string out;
+    double dt = t_end / width;
+    for (const SignalTrace &s : signals) {
+        std::string row = s.name;
+        row += std::string(label_width - s.name.size(), ' ');
+        row += "  ";
+        int prev = s.levelAt(0.0);
+        for (int c = 0; c < width; ++c) {
+            double t0 = c * dt;
+            double t1 = (c + 1) * dt;
+            int level = s.levelAt(t1);
+            bool edge_in_cell = false;
+            for (const auto &[te, lv] : s.edges) {
+                (void)lv;
+                if (te > t0 && te <= t1) {
+                    edge_in_cell = true;
+                    break;
+                }
+            }
+            if (edge_in_cell && level != prev)
+                row += (level > prev) ? '/' : '\\';
+            else
+                row += (level > 0) ? '-' : '_';
+            prev = level;
+        }
+        out += row + "\n";
+    }
+
+    // Time axis.
+    std::string axis(label_width + 2, ' ');
+    std::string labels(label_width + 2, ' ');
+    for (int c = 0; c <= width; c += width / 6) {
+        while (static_cast<int>(axis.size()) <
+               static_cast<int>(label_width) + 2 + c)
+            axis += ' ';
+        axis += '+';
+        std::string lbl = strprintf("%.0fns", c * dt);
+        while (static_cast<int>(labels.size()) <
+               static_cast<int>(label_width) + 2 + c)
+            labels += ' ';
+        labels += lbl;
+    }
+    out += axis + "\n" + labels + "\n";
+    return out;
+}
+
+} // namespace fbsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * ASCII timing-diagram renderer for SignalTrace waveforms (the Figure
+ * 1 / Figure 2 reproductions).
+ */
+
+#ifndef FBSIM_TEXT_WAVEFORM_H_
+#define FBSIM_TEXT_WAVEFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "bus/handshake.h"
+
+namespace fbsim {
+
+/**
+ * Render waveforms as ASCII art:
+ *
+ *     AS*  ----\________/--------
+ *
+ * '-' high, '_' low, '\' falling edge, '/' rising edge.
+ *
+ * @param signals the traces to draw, one row each.
+ * @param t_end   time range to draw, [0, t_end] ns.
+ * @param width   characters across the time axis.
+ */
+std::string renderWaveforms(const std::vector<SignalTrace> &signals,
+                            double t_end, int width = 72);
+
+} // namespace fbsim
+
+#endif // FBSIM_TEXT_WAVEFORM_H_

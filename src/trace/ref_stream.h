@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reference streams: the interface between workloads and the timed
+ * engine.  A stream produces an endless sequence of (read/write,
+ * address) references for one processor.
+ */
+
+#ifndef FBSIM_TRACE_REF_STREAM_H_
+#define FBSIM_TRACE_REF_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fbsim {
+
+/** One processor reference. */
+struct ProcRef
+{
+    bool write = false;
+    Addr addr = 0;
+};
+
+/** An endless per-processor reference source. */
+class RefStream
+{
+  public:
+    virtual ~RefStream() = default;
+
+    /** Produce the next reference. */
+    virtual ProcRef next() = 0;
+};
+
+/** Replays a fixed vector, cycling when exhausted. */
+class VectorStream : public RefStream
+{
+  public:
+    explicit VectorStream(std::vector<ProcRef> refs)
+        : refs_(std::move(refs))
+    {
+    }
+
+    ProcRef
+    next() override
+    {
+        ProcRef r = refs_[pos_];
+        pos_ = (pos_ + 1) % refs_.size();
+        return r;
+    }
+
+  private:
+    std::vector<ProcRef> refs_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_TRACE_REF_STREAM_H_

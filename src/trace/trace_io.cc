@@ -1,0 +1,107 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+std::vector<TraceRef>
+readTrace(std::istream &in, std::string *error_out)
+{
+    std::vector<TraceRef> refs;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string proc_tok, op_tok, addr_tok;
+        if (!(ls >> proc_tok))
+            continue;   // blank / comment-only line
+        if (!(ls >> op_tok >> addr_tok)) {
+            if (error_out) {
+                *error_out = strprintf("line %zu: expected "
+                                       "'<proc> <R|W> <hexaddr>'",
+                                       lineno);
+            }
+            return {};
+        }
+        TraceRef ref;
+        try {
+            ref.proc = static_cast<MasterId>(std::stoul(proc_tok));
+            ref.addr = std::stoull(addr_tok, nullptr, 16);
+        } catch (const std::exception &) {
+            if (error_out)
+                *error_out = strprintf("line %zu: bad number", lineno);
+            return {};
+        }
+        if (op_tok == "R" || op_tok == "r") {
+            ref.write = false;
+        } else if (op_tok == "W" || op_tok == "w") {
+            ref.write = true;
+        } else {
+            if (error_out) {
+                *error_out = strprintf("line %zu: op must be R or W",
+                                       lineno);
+            }
+            return {};
+        }
+        refs.push_back(ref);
+    }
+    if (error_out)
+        error_out->clear();
+    return refs;
+}
+
+std::vector<TraceRef>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fbsim_fatal("cannot open trace file %s", path.c_str());
+    std::string err;
+    std::vector<TraceRef> refs = readTrace(in, &err);
+    if (!err.empty())
+        fbsim_fatal("%s: %s", path.c_str(), err.c_str());
+    return refs;
+}
+
+void
+writeTrace(std::ostream &out, const std::vector<TraceRef> &refs)
+{
+    out << "# fbsim trace: <proc> <R|W> <hex-address>\n";
+    for (const TraceRef &r : refs) {
+        out << r.proc << ' ' << (r.write ? 'W' : 'R') << ' ' << std::hex
+            << r.addr << std::dec << '\n';
+    }
+}
+
+void
+writeTraceFile(const std::string &path, const std::vector<TraceRef> &refs)
+{
+    std::ofstream out(path);
+    if (!out)
+        fbsim_fatal("cannot write trace file %s", path.c_str());
+    writeTrace(out, refs);
+}
+
+std::vector<std::vector<ProcRef>>
+splitTraceByProc(const std::vector<TraceRef> &refs, std::size_t procs)
+{
+    std::vector<std::vector<ProcRef>> out(procs);
+    for (const TraceRef &r : refs) {
+        fbsim_assert(r.proc < procs);
+        out[r.proc].push_back({r.write, r.addr});
+    }
+    for (auto &v : out) {
+        if (v.empty())
+            v.push_back({false, 0});
+    }
+    return out;
+}
+
+} // namespace fbsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Text trace format: one reference per line,
+ *
+ *     <proc> <R|W> <hex-address>
+ *
+ * with '#' comments and blank lines ignored.  Traces interleave
+ * processors globally (the order is the bus order in the functional
+ * layer).
+ */
+
+#ifndef FBSIM_TRACE_TRACE_IO_H_
+#define FBSIM_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/ref_stream.h"
+
+namespace fbsim {
+
+/** One trace record: a reference attributed to a processor. */
+struct TraceRef
+{
+    MasterId proc = 0;
+    bool write = false;
+    Addr addr = 0;
+
+    bool operator==(const TraceRef &) const = default;
+};
+
+/**
+ * Parse a trace from a stream.
+ * @param in input text.
+ * @param error_out set to a description on failure.
+ * @return the references, empty (with error_out set) on parse error.
+ */
+std::vector<TraceRef> readTrace(std::istream &in, std::string *error_out);
+
+/** Parse a trace file from disk; fatal() on I/O or parse errors. */
+std::vector<TraceRef> readTraceFile(const std::string &path);
+
+/** Serialize a trace. */
+void writeTrace(std::ostream &out, const std::vector<TraceRef> &refs);
+
+/** Serialize a trace to disk; fatal() on I/O errors. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<TraceRef> &refs);
+
+/**
+ * Split a global trace into one per-processor VectorStream each
+ * (processors with no references get an empty single-idle stream of
+ * reads to address 0).
+ * @param procs total processor count (>= max proc id + 1).
+ */
+std::vector<std::vector<ProcRef>>
+splitTraceByProc(const std::vector<TraceRef> &refs, std::size_t procs);
+
+} // namespace fbsim
+
+#endif // FBSIM_TRACE_TRACE_IO_H_

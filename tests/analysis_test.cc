@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the analytical bus-contention model: limiting behaviour,
+ * monotonicity, and agreement with the discrete-event engine on a
+ * well-behaved workload (the [Vern85]-style cross-validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/bus_model.h"
+#include "sim/engine.h"
+#include "test_util.h"
+#include "trace/workloads.h"
+
+namespace fbsim {
+namespace {
+
+TEST(BusModelTest, SingleProcessorHasNoQueueing)
+{
+    BusModelParams p;
+    p.processors = 1;
+    p.computePerRequest = 30;
+    p.servicePerRequest = 10;
+    BusModelResult r = solveBusModel(p);
+    EXPECT_DOUBLE_EQ(r.waitingPerRequest, 0.0);
+    EXPECT_NEAR(r.processorUtilization, 30.0 / 40.0, 1e-12);
+    EXPECT_NEAR(r.busUtilization, 10.0 / 40.0, 1e-12);
+}
+
+TEST(BusModelTest, UtilizationFallsWithProcessors)
+{
+    double prev = 1.0;
+    for (std::size_t n : {1, 2, 4, 8, 16, 32}) {
+        BusModelParams p;
+        p.processors = n;
+        p.computePerRequest = 20;
+        p.servicePerRequest = 10;
+        BusModelResult r = solveBusModel(p);
+        EXPECT_LE(r.processorUtilization, prev + 1e-12);
+        EXPECT_LE(r.busUtilization, 1.0 + 1e-12);
+        prev = r.processorUtilization;
+    }
+}
+
+TEST(BusModelTest, BusSaturatesAsymptotically)
+{
+    BusModelParams p;
+    p.processors = 64;
+    p.computePerRequest = 20;
+    p.servicePerRequest = 10;
+    BusModelResult r = solveBusModel(p);
+    EXPECT_GT(r.busUtilization, 0.98);
+    // At saturation the processors split the bus's capacity:
+    // U_proc ~= z / (N * s).
+    EXPECT_NEAR(r.processorUtilization, 20.0 / (64 * 10.0), 0.01);
+}
+
+TEST(BusModelTest, FasterBusHelpsEverywhere)
+{
+    for (std::size_t n : {2, 8, 24}) {
+        BusModelParams slow{n, 20, 12};
+        BusModelParams fast{n, 20, 6};
+        EXPECT_GT(solveBusModel(fast).processorUtilization,
+                  solveBusModel(slow).processorUtilization);
+    }
+}
+
+TEST(BusModelTest, RateConversion)
+{
+    BusModelParams p = busModelFromRates(4, 50.0, 1.0, 12.0);
+    EXPECT_EQ(p.processors, 4u);
+    EXPECT_DOUBLE_EQ(p.computePerRequest, 50.0);
+    EXPECT_DOUBLE_EQ(p.servicePerRequest, 12.0);
+}
+
+TEST(BusModelTest, PredictsTheEngineWithinTolerance)
+{
+    // Calibrate the structural rates (references per bus request and
+    // service per request - properties of the protocol dynamics, not
+    // of queueing) from the N=8 run, then let MVA reconstruct the
+    // contention: predicted utilizations must match the
+    // discrete-event engine.  Rates cannot come from an N=1 run:
+    // coherence traffic (broadcasts, invalidations, interventions)
+    // only exists when there are other caches.
+    Arch85Params wl;
+    wl.pShared = 0.1;
+    wl.privateLines = 64;
+
+    auto run = [&](std::size_t n) {
+        SystemConfig cfg;
+        System sys(cfg);
+        for (std::size_t i = 0; i < n; ++i) {
+            CacheSpec spec;
+            spec.numSets = 32;
+            spec.assoc = 2;
+            spec.seed = i + 1;
+            sys.addCache(spec);
+        }
+        auto streams = makeArch85Streams(wl, n, 5);
+        std::vector<RefStream *> raw;
+        for (auto &s : streams)
+            raw.push_back(s.get());
+        Engine engine(sys, {});
+        EngineResult r = engine.run(raw, 20000);
+        double refs = 20000.0 * n;
+        std::uint64_t txns = sys.bus().stats().transactions;
+        double service =
+            txns ? static_cast<double>(sys.bus().stats().busyCycles) /
+                       txns
+                 : 0.0;
+        double refs_per_req = txns ? refs / txns : 1e9;
+        return std::tuple(r.meanUtilization(), r.busUtilization(),
+                          refs_per_req, service);
+    };
+
+    auto [u8, b8, refs_per_req, service] = run(8);
+
+    BusModelResult predicted =
+        solveBusModel(busModelFromRates(8, refs_per_req, 1.0, service));
+    // The synthetic workload is symmetric and well-mixed; MVA should
+    // land within a few points of the simulation.
+    EXPECT_NEAR(predicted.processorUtilization, u8, 0.10);
+    EXPECT_NEAR(predicted.busUtilization, b8, 0.15);
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Bus-level tests: wired-OR response resolution, intervention and
+ * memory inhibition, broadcast memory update, arbitration and the
+ * cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/arbiter.h"
+#include "bus/bus.h"
+#include "bus/cost_model.h"
+#include "test_util.h"
+
+namespace fbsim {
+namespace {
+
+TEST(ArbiterTest, FixedPriorityPicksLowestId)
+{
+    Arbiter arb(ArbitrationKind::FixedPriority, 4);
+    EXPECT_EQ(arb.grant({false, true, true, false}), MasterId{1});
+    EXPECT_EQ(arb.grant({false, true, true, false}), MasterId{1});
+    EXPECT_EQ(arb.grant({false, false, false, true}), MasterId{3});
+    EXPECT_EQ(arb.grant({false, false, false, false}), std::nullopt);
+}
+
+TEST(ArbiterTest, RoundRobinIsFair)
+{
+    Arbiter arb(ArbitrationKind::RoundRobin, 3);
+    std::vector<bool> all{true, true, true};
+    // Everyone requesting: grants rotate.
+    EXPECT_EQ(arb.grant(all), MasterId{0});
+    EXPECT_EQ(arb.grant(all), MasterId{1});
+    EXPECT_EQ(arb.grant(all), MasterId{2});
+    EXPECT_EQ(arb.grant(all), MasterId{0});
+}
+
+TEST(ArbiterTest, RoundRobinSkipsNonRequesters)
+{
+    Arbiter arb(ArbitrationKind::RoundRobin, 3);
+    EXPECT_EQ(arb.grant({true, false, true}), MasterId{0});
+    EXPECT_EQ(arb.grant({true, false, true}), MasterId{2});
+    EXPECT_EQ(arb.grant({true, false, true}), MasterId{0});
+}
+
+TEST(CostModelTest, ReadCostsDependOnSupplier)
+{
+    BusCostModel cost;
+    Cycles from_mem = cost.attemptCost(BusCmd::Read,
+                                       {true, false, false}, 4, false);
+    Cycles from_cache = cost.attemptCost(BusCmd::Read,
+                                         {true, false, false}, 4, true);
+    // Intervention is faster than memory with the default model.
+    EXPECT_GT(from_mem, from_cache);
+    EXPECT_EQ(from_mem,
+              cost.addrCycles + cost.memLatency + 4 * cost.dataCycle);
+}
+
+TEST(CostModelTest, BroadcastPaysTheGlitchPenalty)
+{
+    BusCostModel cost;
+    Cycles plain = cost.attemptCost(BusCmd::WriteWord,
+                                    {false, true, false}, 4, false);
+    Cycles bcast = cost.attemptCost(BusCmd::WriteWord,
+                                    {false, true, true}, 4, false);
+    EXPECT_EQ(bcast - plain, cost.glitchPenalty);
+}
+
+TEST(CostModelTest, AddrOnlyIsCheapest)
+{
+    BusCostModel cost;
+    Cycles inv = cost.attemptCost(BusCmd::AddrOnly, {true, true, false},
+                                  8, false);
+    EXPECT_EQ(inv, cost.addrCycles);
+    EXPECT_LT(inv, cost.attemptCost(BusCmd::WriteLine,
+                                    {true, false, false}, 8, false));
+}
+
+TEST(BusTest, MemorySuppliesWhenNoIntervention)
+{
+    System sys(test::testConfig());
+    MasterId io = sys.addNonCachingMaster(false);
+    sys.memory().writeWord(4, 1, 0xdead);
+    // Read through a non-caching master: memory responds.
+    Addr addr = 4 * 32 + 8;
+    // (bypass the oracle: poke the expected value in first)
+    sys.checker().noteWrite(addr, 0xdead);
+    EXPECT_EQ(sys.read(io, addr).value, 0xdeadu);
+    EXPECT_GE(sys.memory().stats().lineReads, 1u);
+}
+
+TEST(BusTest, InterventionInhibitsMemory)
+{
+    auto sys = test::homogeneousSystem(2);
+    sys->write(0, 0x100, 1);
+    std::uint64_t reads_before = sys->memory().stats().lineReads;
+    sys->read(1, 0x100);
+    // The owner supplied; memory served nothing and was inhibited.
+    EXPECT_EQ(sys->memory().stats().lineReads, reads_before);
+    EXPECT_GE(sys->memory().stats().inhibited, 1u);
+}
+
+TEST(BusTest, NonBroadcastWriteIsCapturedByOwnerNotMemory)
+{
+    System sys(test::testConfig());
+    MasterId cache = sys.addCache(test::smallCache());
+    MasterId io = sys.addNonCachingMaster(false);
+    sys.write(cache, 0x100, 1);
+    ASSERT_EQ(sys.cacheOf(cache)->lineState(0x100), State::M);
+    // Column 9: the owner captures, stays M, memory stays stale.
+    sys.write(io, 0x100, 2);
+    EXPECT_EQ(sys.cacheOf(cache)->lineState(0x100), State::M);
+    EXPECT_EQ(sys.memory().peekWord(0x100 / 32, 0), 0u);
+    EXPECT_EQ(sys.read(cache, 0x100).value, 2u);
+    EXPECT_EQ(sys.bus().stats().writeCaptures, 1u);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(BusTest, BroadcastWriteUpdatesMemoryAndHolders)
+{
+    System sys(test::testConfig());
+    MasterId cache = sys.addCache(test::smallCache());
+    MasterId io = sys.addNonCachingMaster(true);
+    sys.write(cache, 0x100, 1);
+    // Column 10: the owner connects via SL and memory updates too.
+    sys.write(io, 0x100, 2);
+    EXPECT_EQ(sys.cacheOf(cache)->lineState(0x100), State::M);
+    EXPECT_EQ(sys.memory().peekWord(0x100 / 32, 0), 2u);
+    EXPECT_EQ(sys.read(cache, 0x100).value, 2u);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(BusTest, StatsCountTransactionKinds)
+{
+    auto sys = test::homogeneousSystem(2);
+    sys->read(0, 0x100);                   // read
+    sys->write(0, 0x100, 1);               // silent E->M
+    sys->read(1, 0x100);                   // read w/ intervention
+    sys->write(0, 0x100, 2);               // broadcast write (O hit)
+    sys->flush(0, 0x100, false);           // push
+    const BusStats &s = sys->bus().stats();
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.interventions, 1u);
+    EXPECT_EQ(s.broadcastWrites, 1u);
+    EXPECT_EQ(s.linePushes, 1u);
+    EXPECT_EQ(s.transactions, 4u);
+    EXPECT_GT(s.busyCycles, 0u);
+}
+
+TEST(BusTest, AccessOutcomeReportsCost)
+{
+    auto sys = test::homogeneousSystem(1);
+    AccessOutcome miss = sys->read(0, 0x100);
+    EXPECT_TRUE(miss.usedBus);
+    EXPECT_GT(miss.busCycles, 0u);
+    AccessOutcome hit = sys->read(0, 0x100);
+    EXPECT_FALSE(hit.usedBus);
+    EXPECT_EQ(hit.busCycles, 0u);
+}
+
+TEST(BusTest, AbortsAreCharged)
+{
+    auto sys = test::homogeneousSystem(2, ProtocolKind::Illinois);
+    sys->write(0, 0x100, 1);
+    AccessOutcome r = sys->read(1, 0x100);
+    // The BS abort forced a push and a retry: dearer than a plain miss.
+    auto sys2 = test::homogeneousSystem(2, ProtocolKind::Illinois);
+    AccessOutcome plain = sys2->read(1, 0x100);
+    EXPECT_GT(r.busCycles, plain.busCycles);
+    EXPECT_EQ(sys->bus().stats().aborts, 1u);
+}
+
+} // namespace
+} // namespace fbsim

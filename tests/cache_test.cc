@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests of the cache substrate: geometry arithmetic, replacement
+ * policies and the set-associative tag store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.h"
+#include "cache/replacement.h"
+#include "cache/tag_store.h"
+
+namespace fbsim {
+namespace {
+
+TEST(GeometryTest, AddressArithmetic)
+{
+    CacheGeometry g{32, 8, 2};
+    EXPECT_EQ(g.wordsPerLine(), 4u);
+    EXPECT_EQ(g.capacityBytes(), 32u * 8 * 2);
+    EXPECT_EQ(g.lineOf(0), 0u);
+    EXPECT_EQ(g.lineOf(31), 0u);
+    EXPECT_EQ(g.lineOf(32), 1u);
+    EXPECT_EQ(g.lineBase(3), 96u);
+    EXPECT_EQ(g.wordIndex(0), 0u);
+    EXPECT_EQ(g.wordIndex(8), 1u);
+    EXPECT_EQ(g.wordIndex(33), 0u);
+    EXPECT_EQ(g.wordIndex(56), 3u);
+    EXPECT_EQ(g.setOf(7), 7u);
+    EXPECT_EQ(g.setOf(8), 0u);
+}
+
+class ReplacementTest
+    : public ::testing::TestWithParam<ReplacementKind>
+{
+};
+
+TEST_P(ReplacementTest, VictimIsAValidWay)
+{
+    auto policy = makeReplacementPolicy(GetParam(), 4, 4, 99);
+    for (std::size_t set = 0; set < 4; ++set) {
+        for (std::size_t w = 0; w < 4; ++w)
+            policy->onFill(set, w);
+        for (int i = 0; i < 50; ++i)
+            EXPECT_LT(policy->victim(set), 4u);
+    }
+}
+
+TEST_P(ReplacementTest, NameMatchesKind)
+{
+    auto policy = makeReplacementPolicy(GetParam(), 2, 2, 1);
+    EXPECT_EQ(policy->name(), replacementKindName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ReplacementTest,
+    ::testing::Values(ReplacementKind::LRU, ReplacementKind::FIFO,
+                      ReplacementKind::Random, ReplacementKind::PLRU),
+    [](const ::testing::TestParamInfo<ReplacementKind> &info) {
+        return std::string(replacementKindName(info.param));
+    });
+
+TEST(ReplacementTest, LruEvictsLeastRecentlyUsed)
+{
+    auto lru = makeReplacementPolicy(ReplacementKind::LRU, 1, 4, 1);
+    for (std::size_t w = 0; w < 4; ++w)
+        lru->onFill(0, w);
+    lru->onAccess(0, 0);   // order now: 1 (oldest), 2, 3, 0
+    EXPECT_EQ(lru->victim(0), 1u);
+    lru->onAccess(0, 1);
+    EXPECT_EQ(lru->victim(0), 2u);
+}
+
+TEST(ReplacementTest, FifoIgnoresAccesses)
+{
+    auto fifo = makeReplacementPolicy(ReplacementKind::FIFO, 1, 3, 1);
+    for (std::size_t w = 0; w < 3; ++w)
+        fifo->onFill(0, w);
+    fifo->onAccess(0, 0);
+    fifo->onAccess(0, 0);
+    // Way 0 was filled first; accesses don't save it.
+    EXPECT_EQ(fifo->victim(0), 0u);
+    fifo->onFill(0, 0);
+    EXPECT_EQ(fifo->victim(0), 1u);
+}
+
+TEST(ReplacementTest, LruNearReplacementIsTheColdHalf)
+{
+    auto lru = makeReplacementPolicy(ReplacementKind::LRU, 1, 4, 1);
+    for (std::size_t w = 0; w < 4; ++w)
+        lru->onFill(0, w);
+    // Recency order 0,1,2,3 (3 hottest): 0 and 1 are the cold half.
+    EXPECT_TRUE(lru->isNearReplacement(0, 0));
+    EXPECT_TRUE(lru->isNearReplacement(0, 1));
+    EXPECT_FALSE(lru->isNearReplacement(0, 2));
+    EXPECT_FALSE(lru->isNearReplacement(0, 3));
+}
+
+TEST(ReplacementTest, PlruVictimAvoidsRecentWay)
+{
+    auto plru = makeReplacementPolicy(ReplacementKind::PLRU, 1, 4, 1);
+    for (std::size_t w = 0; w < 4; ++w)
+        plru->onFill(0, w);
+    plru->onAccess(0, 2);
+    EXPECT_NE(plru->victim(0), 2u);
+}
+
+TEST(TagStoreTest, FindAfterInstall)
+{
+    TagStore tags({32, 4, 2}, ReplacementKind::LRU, 1);
+    EXPECT_EQ(tags.find(5), nullptr);
+    CacheLine &line = tags.victimFor(5);
+    tags.install(line, 5, State::E);
+    CacheLine *found = tags.find(5);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->addr, 5u);
+    EXPECT_EQ(found->state, State::E);
+    EXPECT_EQ(found->data.size(), 4u);
+}
+
+TEST(TagStoreTest, InvalidWaysArePreferredVictims)
+{
+    TagStore tags({32, 1, 4}, ReplacementKind::LRU, 1);
+    // Fill two of four ways.
+    for (LineAddr la = 0; la < 2; ++la) {
+        CacheLine &line = tags.victimFor(la);
+        tags.install(line, la, State::S);
+    }
+    // The victim for a new line must be an (unused) invalid way, not
+    // one of the valid lines.
+    CacheLine &v = tags.victimFor(7);
+    EXPECT_FALSE(v.valid());
+}
+
+TEST(TagStoreTest, SetConflictEvictsWithinTheSet)
+{
+    TagStore tags({32, 4, 1}, ReplacementKind::LRU, 1);
+    // Lines 0 and 4 collide in set 0 of a 4-set direct-mapped store.
+    CacheLine &a = tags.victimFor(0);
+    tags.install(a, 0, State::S);
+    CacheLine &b = tags.victimFor(4);
+    EXPECT_EQ(&a, &b);
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(b.addr, 0u);
+}
+
+TEST(TagStoreTest, ValidLineCountAndIteration)
+{
+    TagStore tags({32, 4, 2}, ReplacementKind::LRU, 1);
+    for (LineAddr la = 0; la < 5; ++la) {
+        CacheLine &line = tags.victimFor(la);
+        tags.install(line, la, State::S);
+    }
+    EXPECT_EQ(tags.validLineCount(), 5u);
+    std::size_t seen = 0;
+    tags.forEachValidLine([&](const CacheLine &line) {
+        ++seen;
+        EXPECT_TRUE(line.valid());
+    });
+    EXPECT_EQ(seen, 5u);
+}
+
+TEST(TagStoreTest, InvalidatedLinesDropOutOfLookup)
+{
+    TagStore tags({32, 4, 2}, ReplacementKind::LRU, 1);
+    CacheLine &line = tags.victimFor(9);
+    tags.install(line, 9, State::M);
+    tags.find(9)->state = State::I;
+    EXPECT_EQ(tags.find(9), nullptr);
+    EXPECT_EQ(tags.validLineCount(), 0u);
+}
+
+} // namespace
+} // namespace fbsim

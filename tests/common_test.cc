@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests of common utilities: the deterministic RNG and string
+ * formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fbsim {
+namespace {
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowCoversTheRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t v = rng.range(5, 7);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceTracksProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricMeanMatches)
+{
+    // E[k] = (1-p)/p for P(k) = p(1-p)^k.
+    Rng rng(19);
+    double p = 0.4;
+    double sum = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    EXPECT_NEAR(sum / n, (1 - p) / p, 0.05);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero)
+{
+    Rng rng(21);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(RngTest, ForkIsIndependent)
+{
+    Rng a(23);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(StrprintfTest, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(strprintf("%08llx", 0xbeefull), "0000beef");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(StrprintfTest, LongStrings)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(strprintf("%s!", big.c_str()).size(), 5001u);
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Mechanical verification of the paper's section 4 compatibility
+ * claims: Berkeley and Dragon fall within the MOESI class; Write-Once,
+ * Illinois and Firefly do not (they need the BS adaptation and, for
+ * Write-Once/Firefly, rely on memory-consistent S/E semantics that the
+ * class does not guarantee).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compat.h"
+#include "protocols/factory.h"
+
+namespace fbsim {
+namespace {
+
+TEST(CompatTest, MoesiIsTriviallyAMember)
+{
+    ClassMembership m = checkClassMembership(moesiTable());
+    EXPECT_TRUE(m.member) << (m.violations.empty()
+                                  ? ""
+                                  : m.violations[0]);
+    EXPECT_TRUE(m.violations.empty());
+}
+
+TEST(CompatTest, BerkeleyIsAMember)
+{
+    // Paper section 4.1: "The facilities of Futurebus are sufficient
+    // to implement the Berkeley Protocol" - and Table 3 is a subset of
+    // the class (with E degraded to S per note 10).
+    ClassMembership m = checkClassMembership(berkeleyTable());
+    EXPECT_TRUE(m.member) << (m.violations.empty()
+                                  ? ""
+                                  : m.violations[0]);
+}
+
+TEST(CompatTest, DragonIsAMember)
+{
+    // Paper section 4.2: Dragon is implementable "almost exactly";
+    // the broadcast-updates-memory deviation causes no incompatibility.
+    ClassMembership m = checkClassMembership(dragonTable());
+    EXPECT_TRUE(m.member) << (m.violations.empty()
+                                  ? ""
+                                  : m.violations[0]);
+}
+
+TEST(CompatTest, WriteOnceIsNotAMember)
+{
+    // The write-once's write-through-to-E and the BS adaptation are
+    // outside the class.
+    ClassMembership m = checkClassMembership(writeOnceTable());
+    EXPECT_FALSE(m.member);
+    EXPECT_FALSE(m.violations.empty());
+    // Even accepting BS responses, the S-write remains incompatible
+    // (its E result relies on memory being current, which only
+    // homogeneous Write-Once systems guarantee).
+    EXPECT_FALSE(m.implementableWithBusy);
+}
+
+TEST(CompatTest, IllinoisNeedsOnlyTheBusyAdaptation)
+{
+    // Illinois's only departures from the class are its BS
+    // abort/push/retry responses (the paper's replacement for
+    // memory-updating intervention); everything else is a class action.
+    ClassMembership m = checkClassMembership(illinoisTable());
+    EXPECT_FALSE(m.member);
+    EXPECT_TRUE(m.implementableWithBusy)
+        << (m.violationsWithBusy.empty() ? ""
+                                         : m.violationsWithBusy[0]);
+    for (const std::string &v : m.violations)
+        EXPECT_NE(v.find("snoop"), std::string::npos) << v;
+}
+
+TEST(CompatTest, FireflyIsNotAMember)
+{
+    // Firefly's S-write ends in CH:S/E - an unowned result where the
+    // class requires the broadcast-writer to take ownership (CH:O/M).
+    ClassMembership m = checkClassMembership(fireflyTable());
+    EXPECT_FALSE(m.member);
+    EXPECT_FALSE(m.implementableWithBusy);
+    bool found_swrite = false;
+    for (const std::string &v : m.violationsWithBusy) {
+        if (v.find("local[S,Write]") != std::string::npos)
+            found_swrite = true;
+    }
+    EXPECT_TRUE(found_swrite);
+}
+
+TEST(CompatTest, DemotionClosure)
+{
+    // Note 9: M may demote to O.
+    EXPECT_TRUE(isLegalDemotion(State::M, State::O));
+    EXPECT_FALSE(isLegalDemotion(State::O, State::M));
+    // Note 10/12 compositions: E to S, M, O or I.
+    EXPECT_TRUE(isLegalDemotion(State::E, State::S));
+    EXPECT_TRUE(isLegalDemotion(State::E, State::M));
+    EXPECT_TRUE(isLegalDemotion(State::E, State::O));
+    EXPECT_TRUE(isLegalDemotion(State::E, State::I));
+    // Unowned data may be dropped; owned data may not.
+    EXPECT_TRUE(isLegalDemotion(State::S, State::I));
+    EXPECT_FALSE(isLegalDemotion(State::M, State::I));
+    EXPECT_FALSE(isLegalDemotion(State::O, State::I));
+    // Reflexive.
+    for (State s : kAllStates)
+        EXPECT_TRUE(isLegalDemotion(s, s));
+    // Nothing promotes to ownership/exclusivity.
+    EXPECT_FALSE(isLegalDemotion(State::S, State::M));
+    EXPECT_FALSE(isLegalDemotion(State::S, State::E));
+    EXPECT_FALSE(isLegalDemotion(State::I, State::S));
+}
+
+TEST(CompatTest, AllTablesAreStructurallyValid)
+{
+    for (ProtocolKind kind : kAllProtocolKinds) {
+        std::vector<std::string> problems =
+            protocolTable(kind).validate();
+        EXPECT_TRUE(problems.empty())
+            << protocolKindName(kind) << ": "
+            << (problems.empty() ? "" : problems[0]);
+    }
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Final-state equivalence: because the bus serializes all accesses,
+ * the memory image after running a workload and flushing every cache
+ * is determined by the workload alone - independent of protocol,
+ * policy or chooser.  Running the same access sequence through every
+ * protocol must converge to the identical flushed memory image (and
+ * match the oracle).  This is the class-compatibility claim expressed
+ * as a differential test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace fbsim {
+namespace {
+
+struct Access
+{
+    MasterId who;
+    bool write;
+    Addr addr;
+    Word value;
+};
+
+std::vector<Access>
+makeWorkload(std::size_t clients, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Access> out;
+    for (int i = 0; i < n; ++i) {
+        Access a;
+        a.who = static_cast<MasterId>(rng.below(clients));
+        a.write = rng.chance(0.4);
+        a.addr = rng.below(16 * 4) * 8;
+        a.value = rng.next();
+        out.push_back(a);
+    }
+    return out;
+}
+
+/** Run the workload, flush everything, return the memory image. */
+std::map<Addr, Word>
+finalImage(System &sys, const std::vector<Access> &workload)
+{
+    for (const Access &a : workload) {
+        if (a.write)
+            sys.write(a.who, a.addr, a.value);
+        else
+            sys.read(a.who, a.addr);
+    }
+    // Flush every line every cache may hold.
+    for (MasterId id = 0; id < sys.numClients(); ++id) {
+        SnoopingCache *cache = sys.cacheOf(id);
+        if (!cache)
+            continue;
+        std::vector<LineAddr> lines;
+        cache->forEachValidLine(
+            [&](const CacheLine &line) { lines.push_back(line.addr); });
+        for (LineAddr la : lines)
+            sys.flush(id, la * sys.config().lineBytes, false);
+    }
+    EXPECT_TRUE(sys.checkNow().empty());
+    std::map<Addr, Word> image;
+    sys.memory().forEachLine([&](LineAddr la, std::span<const Word> w) {
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            if (w[i] != 0)
+                image[la * sys.config().lineBytes + i * kWordBytes] =
+                    w[i];
+        }
+    });
+    return image;
+}
+
+TEST(EquivalenceTest, AllProtocolsConvergeToTheSameImage)
+{
+    std::vector<Access> workload = makeWorkload(3, 5000, 77);
+    std::map<Addr, Word> reference;
+    bool have_reference = false;
+    for (ProtocolKind kind : kAllProtocolKinds) {
+        auto sys = test::homogeneousSystem(3, kind);
+        std::map<Addr, Word> image = finalImage(*sys, workload);
+        EXPECT_TRUE(sys->violations().empty())
+            << protocolKindName(kind);
+        if (!have_reference) {
+            reference = image;
+            have_reference = true;
+        } else {
+            EXPECT_EQ(image, reference) << protocolKindName(kind);
+        }
+    }
+    // The image equals the workload's last write to each word.
+    std::map<Addr, Word> oracle;
+    for (const Access &a : workload) {
+        if (a.write)
+            oracle[a.addr] = a.value;
+    }
+    std::erase_if(oracle, [](const auto &kv) { return kv.second == 0; });
+    EXPECT_EQ(reference, oracle);
+}
+
+TEST(EquivalenceTest, ChoosersConvergeToTheSameImage)
+{
+    std::vector<Access> workload = makeWorkload(4, 5000, 33);
+    std::map<Addr, Word> reference;
+    for (int variant = 0; variant < 3; ++variant) {
+        System sys(test::testConfig());
+        for (int i = 0; i < 4; ++i) {
+            CacheSpec spec = test::smallCache();
+            spec.seed = 100 + i;
+            if (variant == 1) {
+                spec.chooser = ChooserKind::Random;
+            } else if (variant == 2) {
+                spec.chooser = ChooserKind::Policy;
+                spec.policy.sharedWrite =
+                    MoesiPolicy::SharedWrite::Invalidate;
+                spec.policy.useExclusive = false;
+                spec.policy.exclusiveAsModified = (i % 2 == 0);
+            }
+            sys.addCache(spec);
+        }
+        std::map<Addr, Word> image = finalImage(sys, workload);
+        if (variant == 0)
+            reference = image;
+        else
+            EXPECT_EQ(image, reference) << "variant " << variant;
+    }
+}
+
+TEST(EquivalenceTest, MixedSystemMatchesHomogeneous)
+{
+    std::vector<Access> workload = makeWorkload(4, 4000, 55);
+    auto homogeneous = test::homogeneousSystem(4);
+    std::map<Addr, Word> ref = finalImage(*homogeneous, workload);
+
+    System mixed(test::testConfig());
+    mixed.addCache(test::smallCache());
+    mixed.addCache(test::smallCache(ProtocolKind::Berkeley));
+    mixed.addCache(test::smallCache(ProtocolKind::Dragon));
+    CacheSpec wt = test::smallCache();
+    wt.writeThrough = true;
+    mixed.addCache(wt);
+    EXPECT_EQ(finalImage(mixed, workload), ref);
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the bus-event taxonomy: classification of (command, CA, IM,
+ * BC) into the paper's columns 5-10 (section 3.2, "Notes on Tables").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/events.h"
+
+namespace fbsim {
+namespace {
+
+TEST(EventsTest, ColumnNumbers)
+{
+    EXPECT_EQ(busEventColumn(BusEvent::ReadByCache), 5);
+    EXPECT_EQ(busEventColumn(BusEvent::ReadForModify), 6);
+    EXPECT_EQ(busEventColumn(BusEvent::ReadNoCache), 7);
+    EXPECT_EQ(busEventColumn(BusEvent::BroadcastWriteCache), 8);
+    EXPECT_EQ(busEventColumn(BusEvent::WriteNoCache), 9);
+    EXPECT_EQ(busEventColumn(BusEvent::BroadcastWriteNoCache), 10);
+    EXPECT_EQ(busEventColumn(BusEvent::Push), 0);
+}
+
+TEST(EventsTest, ReadClassification)
+{
+    // Column 5: read by a cache master.
+    EXPECT_EQ(classifyBusEvent(BusCmd::Read, {true, false, false}),
+              BusEvent::ReadByCache);
+    // Column 6: read-for-modify (copy-back write miss).
+    EXPECT_EQ(classifyBusEvent(BusCmd::Read, {true, true, false}),
+              BusEvent::ReadForModify);
+    // Column 7: read by a processor without a cache.
+    EXPECT_EQ(classifyBusEvent(BusCmd::Read, {false, false, false}),
+              BusEvent::ReadNoCache);
+    // Reads never broadcast modifications.
+    EXPECT_FALSE(
+        classifyBusEvent(BusCmd::Read, {true, false, true}).has_value());
+    EXPECT_FALSE(
+        classifyBusEvent(BusCmd::Read, {false, false, true}).has_value());
+    // A read with IM but no CA is not in the class.
+    EXPECT_FALSE(
+        classifyBusEvent(BusCmd::Read, {false, true, false}).has_value());
+}
+
+TEST(EventsTest, WriteClassification)
+{
+    // Column 8: broadcast write by a cache master.
+    EXPECT_EQ(classifyBusEvent(BusCmd::WriteWord, {true, true, true}),
+              BusEvent::BroadcastWriteCache);
+    // Column 9: write by a non-cache processor / past a WT cache.
+    EXPECT_EQ(classifyBusEvent(BusCmd::WriteWord, {false, true, false}),
+              BusEvent::WriteNoCache);
+    // Column 10: its broadcast variant.
+    EXPECT_EQ(classifyBusEvent(BusCmd::WriteWord, {false, true, true}),
+              BusEvent::BroadcastWriteNoCache);
+    // Write-Once's write-through-with-invalidate lands in column 6:
+    // the column is determined by the signals, not the payload.
+    EXPECT_EQ(classifyBusEvent(BusCmd::WriteWord, {true, true, false}),
+              BusEvent::ReadForModify);
+    // A data write never omits IM.
+    EXPECT_FALSE(classifyBusEvent(BusCmd::WriteWord, {true, false, false})
+                     .has_value());
+    EXPECT_FALSE(
+        classifyBusEvent(BusCmd::WriteWord, {false, false, false})
+            .has_value());
+}
+
+TEST(EventsTest, AddrOnlyClassification)
+{
+    // The address-only invalidate shares column 6.
+    EXPECT_EQ(classifyBusEvent(BusCmd::AddrOnly, {true, true, false}),
+              BusEvent::ReadForModify);
+    EXPECT_FALSE(classifyBusEvent(BusCmd::AddrOnly, {true, false, false})
+                     .has_value());
+    EXPECT_FALSE(classifyBusEvent(BusCmd::AddrOnly, {true, true, true})
+                     .has_value());
+}
+
+TEST(EventsTest, PushClassification)
+{
+    // A push is a line write without IM; CA distinguishes Pass (copy
+    // retained) from Flush but both are pushes.
+    EXPECT_EQ(classifyBusEvent(BusCmd::WriteLine, {true, false, false}),
+              BusEvent::Push);
+    EXPECT_EQ(classifyBusEvent(BusCmd::WriteLine, {false, false, false}),
+              BusEvent::Push);
+    EXPECT_EQ(classifyBusEvent(BusCmd::WriteLine, {false, false, true}),
+              BusEvent::Push);
+    EXPECT_FALSE(classifyBusEvent(BusCmd::WriteLine, {true, true, false})
+                     .has_value());
+}
+
+TEST(EventsTest, SignalsRoundTripThroughColumns)
+{
+    for (BusEvent ev : kAllBusEvents) {
+        MasterSignals sig = signalsForBusEvent(ev);
+        BusCmd cmd = sig.im && sig.bc ? BusCmd::WriteWord : BusCmd::Read;
+        if (ev == BusEvent::WriteNoCache)
+            cmd = BusCmd::WriteWord;
+        auto back = classifyBusEvent(cmd, sig);
+        ASSERT_TRUE(back.has_value()) << busEventColumn(ev);
+        EXPECT_EQ(*back, ev);
+    }
+}
+
+TEST(EventsTest, MasterSignalsNames)
+{
+    EXPECT_EQ(masterSignalsName({true, false, false}), "CA,~IM,~BC");
+    EXPECT_EQ(masterSignalsName({true, true, true}), "CA,IM,BC");
+    EXPECT_EQ(masterSignalsName({false, true, false}), "~CA,IM,~BC");
+}
+
+TEST(EventsTest, ResponseSignalsWiredOr)
+{
+    // Open-collector lines: any driver low pulls the line low; the
+    // combination is the OR of assertions.
+    ResponseSignals a{true, false, false, false};
+    ResponseSignals b{false, true, false, true};
+    ResponseSignals c = a | b;
+    EXPECT_TRUE(c.ch);
+    EXPECT_TRUE(c.di);
+    EXPECT_FALSE(c.sl);
+    EXPECT_TRUE(c.bs);
+}
+
+TEST(EventsTest, LocalEventNames)
+{
+    EXPECT_EQ(localEventName(LocalEvent::Read), "Read");
+    EXPECT_EQ(localEventName(LocalEvent::Write), "Write");
+    EXPECT_EQ(localEventName(LocalEvent::Pass), "Pass");
+    EXPECT_EQ(localEventName(LocalEvent::Flush), "Flush");
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The table-reproduction tests: every cell of the paper's Tables 1-7
+ * must be regenerated exactly by the live protocol engines (see
+ * text/golden_tables.h for the transcription conventions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "text/golden_tables.h"
+#include "text/table_render.h"
+
+namespace fbsim {
+namespace {
+
+class GoldenTableTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GoldenTableTest, EngineRegeneratesPaperTable)
+{
+    std::vector<std::string> mismatches = diffAgainstPaper(GetParam());
+    for (const std::string &m : mismatches)
+        ADD_FAILURE() << m;
+}
+
+TEST_P(GoldenTableTest, GoldenCoversEveryPublishedCell)
+{
+    // Every (state x published column) pair appears in the golden
+    // transcription - nothing in the paper table is skipped.
+    int table_no = GetParam();
+    const ProtocolTable &table = paperTable(table_no);
+    TableRenderConfig cfg = paperRenderConfig(table_no);
+    std::size_t expect =
+        table.states().size() *
+        (cfg.localEvents.size() + cfg.busEvents.size());
+    EXPECT_EQ(goldenTable(table_no).size(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperTables, GoldenTableTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                         [](const ::testing::TestParamInfo<int> &info) {
+                             return "Table" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(TableRenderTest, FullGridContainsHeadersAndStates)
+{
+    std::string grid =
+        renderProtocolTable(moesiTable(), paperRenderConfig(1));
+    EXPECT_NE(grid.find("MOESI"), std::string::npos);
+    EXPECT_NE(grid.find("Read (1)"), std::string::npos);
+    EXPECT_NE(grid.find("Flush (4)"), std::string::npos);
+    for (const char *s : {"M", "O", "E", "S", "I"})
+        EXPECT_NE(grid.find(std::string("| ") + s + " "),
+                  std::string::npos);
+}
+
+TEST(TableRenderTest, BusGridShowsSignalHeaders)
+{
+    std::string grid =
+        renderProtocolTable(moesiTable(), paperRenderConfig(2));
+    EXPECT_NE(grid.find("CA,~IM,~BC (5)"), std::string::npos);
+    EXPECT_NE(grid.find("~CA,IM,BC (10)"), std::string::npos);
+}
+
+TEST(TableRenderTest, StateSpecNotation)
+{
+    EXPECT_EQ(renderStateSpec(toState(State::M)), "M");
+    EXPECT_EQ(renderStateSpec(kChOM), "CH:O/M");
+    EXPECT_EQ(renderStateSpec(kChSE), "CH:S/E");
+}
+
+TEST(TableRenderTest, KindFilteredRendering)
+{
+    // Rendering only copy-back alternatives drops the "*" entries.
+    const LocalCell &cell =
+        moesiTable().local(State::I, LocalEvent::Read);
+    EXPECT_EQ(renderLocalCell(cell, kindBit(ClientKind::CopyBack)),
+              "CH:S/E,CA,R");
+    EXPECT_EQ(renderLocalCell(cell, kindBit(ClientKind::WriteThrough)),
+              "S,CA,R*");
+    EXPECT_EQ(renderLocalCell(cell, kindBit(ClientKind::NonCaching)),
+              "I,R**");
+}
+
+TEST(TableRenderTest, EmptyCellRendersDashes)
+{
+    EXPECT_EQ(renderLocalCell(moesiTable().local(State::E,
+                                                 LocalEvent::Pass)),
+              "--");
+    EXPECT_EQ(renderSnoopCell(moesiTable().snoop(
+                  State::M, BusEvent::BroadcastWriteCache)),
+              "--");
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of the Figure 1 / Figure 2 electrical handshake model:
+ * open-collector semantics (first assert pulls low, last release lets
+ * it rise) and the wired-OR glitch filter penalty.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/handshake.h"
+
+namespace fbsim {
+namespace {
+
+const SignalTrace *
+findSignal(const HandshakeResult &r, const std::string &name)
+{
+    for (const SignalTrace &s : r.signals) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+TEST(HandshakeTest, AiRisesOnlyAfterLastRelease)
+{
+    // Three modules with very different speeds: the slowest gates AI*.
+    std::vector<ModuleTiming> mods = {{5, 20}, {5, 80}, {5, 40}};
+    HandshakeResult r = simulateBroadcastHandshake(mods, 25.0);
+    const SignalTrace *ai = findSignal(r, "AI*");
+    ASSERT_NE(ai, nullptr);
+    ASSERT_EQ(ai->edges.size(), 1u);
+    // AS* asserted at t=2; slowest release at 2+80; filter adds 25.
+    EXPECT_DOUBLE_EQ(ai->edges[0].first, 2.0 + 80.0 + 25.0);
+    EXPECT_EQ(ai->edges[0].second, 1);
+}
+
+TEST(HandshakeTest, AkFallsWithTheFirstAssertion)
+{
+    std::vector<ModuleTiming> mods = {{12, 50}, {3, 50}, {30, 50}};
+    HandshakeResult r = simulateBroadcastHandshake(mods);
+    const SignalTrace *ak = findSignal(r, "AK*");
+    ASSERT_NE(ak, nullptr);
+    // Open collector: the fastest module pulls the line low.
+    EXPECT_DOUBLE_EQ(ak->edges[0].first, 2.0 + 3.0);
+    EXPECT_EQ(ak->edges[0].second, 0);
+}
+
+TEST(HandshakeTest, CompletionGrowsWithSlowestModule)
+{
+    std::vector<ModuleTiming> fast = {{5, 20}, {5, 25}};
+    std::vector<ModuleTiming> slow = {{5, 20}, {5, 200}};
+    HandshakeResult rf = simulateBroadcastHandshake(fast);
+    HandshakeResult rs = simulateBroadcastHandshake(slow);
+    // "no matter how new or old, fast or slow, a particular board may
+    // be" - the handshake always completes, paced by the slowest.
+    EXPECT_GT(rs.completionNs, rf.completionNs);
+    EXPECT_NEAR(rs.completionNs - rf.completionNs, 175.0, 1e-9);
+}
+
+TEST(HandshakeTest, GlitchFilterIsTheBroadcastPenalty)
+{
+    std::vector<ModuleTiming> mods = {{5, 30}, {5, 30}};
+    HandshakeResult with = simulateBroadcastHandshake(mods, 25.0);
+    HandshakeResult without = simulateBroadcastHandshake(mods, 0.0);
+    // The paper's 25ns: the cost of deterministic broadcast operation.
+    EXPECT_NEAR(with.completionNs - without.completionNs, 25.0, 1e-9);
+    EXPECT_DOUBLE_EQ(with.wiredOrPenaltyNs, 25.0);
+}
+
+TEST(HandshakeTest, SignalLevelsAreConsistent)
+{
+    std::vector<ModuleTiming> mods = {{5, 30}, {8, 60}};
+    HandshakeResult r = simulateBroadcastHandshake(mods);
+    const SignalTrace *as = findSignal(r, "AS*");
+    const SignalTrace *ai = findSignal(r, "AI*");
+    ASSERT_NE(as, nullptr);
+    ASSERT_NE(ai, nullptr);
+    // Before the transaction AS* is released and AI* held low.
+    EXPECT_EQ(as->levelAt(0.0), 1);
+    EXPECT_EQ(ai->levelAt(0.0), 0);
+    // Mid-transaction AS* is asserted (low).
+    EXPECT_EQ(as->levelAt(10.0), 0);
+    // Long after, both idle high.
+    EXPECT_EQ(as->levelAt(1000.0), 1);
+    EXPECT_EQ(ai->levelAt(1000.0), 1);
+}
+
+TEST(HandshakeTest, ParallelTransactionAddsDataBeats)
+{
+    std::vector<ModuleTiming> mods = {{5, 30}, {5, 40}};
+    HandshakeResult addr = simulateBroadcastHandshake(mods);
+    HandshakeResult four = simulateParallelTransaction(mods, 4);
+    HandshakeResult zero = simulateParallelTransaction(mods, 0);
+    const SignalTrace *ds = findSignal(four, "DS*");
+    ASSERT_NE(ds, nullptr);
+    // Two edges (assert + release) per beat.
+    EXPECT_EQ(ds->edges.size(), 8u);
+    EXPECT_GT(four.completionNs, zero.completionNs);
+    EXPECT_GE(zero.completionNs, addr.completionNs);
+}
+
+TEST(HandshakeTest, DataBeatsRunAtTwoPartyRate)
+{
+    // Section 2.3(b): data cycles don't pay the broadcast penalty, so
+    // per-beat cost is independent of the module population.
+    std::vector<ModuleTiming> two = {{5, 30}, {5, 30}};
+    std::vector<ModuleTiming> ten(10, ModuleTiming{5, 30});
+    double beat2 = simulateParallelTransaction(two, 8).completionNs -
+                   simulateParallelTransaction(two, 0).completionNs;
+    double beat10 = simulateParallelTransaction(ten, 8).completionNs -
+                    simulateParallelTransaction(ten, 0).completionNs;
+    EXPECT_NEAR(beat2, beat10, 1e-9);
+}
+
+} // namespace
+} // namespace fbsim

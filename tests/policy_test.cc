@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests of action choosers and the notes 9-12 state weakenings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+#include "core/protocol_table.h"
+
+namespace fbsim {
+namespace {
+
+std::span<const LocalAction>
+cellSpan(const LocalCell &cell)
+{
+    return {cell.data(), cell.size()};
+}
+
+TEST(WeakeningTest, Note10KillsExclusive)
+{
+    MoesiPolicy p;
+    p.useExclusive = false;
+    EXPECT_EQ(applyStateWeakenings(p, kChSE), toState(State::S));
+    EXPECT_EQ(applyStateWeakenings(p, toState(State::E)),
+              toState(State::S));
+    EXPECT_EQ(applyStateWeakenings(p, toState(State::M)),
+              toState(State::M));
+}
+
+TEST(WeakeningTest, Note9KillsOwnedReclaim)
+{
+    MoesiPolicy p;
+    p.useOwnedReclaim = false;
+    EXPECT_EQ(applyStateWeakenings(p, kChOM), toState(State::O));
+    // Fixed M results are untouched (only the CH:O/M choice demotes).
+    EXPECT_EQ(applyStateWeakenings(p, toState(State::M)),
+              toState(State::M));
+}
+
+TEST(WeakeningTest, Note12MapsExclusiveToModified)
+{
+    MoesiPolicy p;
+    p.exclusiveAsModified = true;
+    EXPECT_EQ(applyStateWeakenings(p, toState(State::E)),
+              toState(State::M));
+    EXPECT_EQ(applyStateWeakenings(p, kChSE),
+              (StateSpec{State::S, State::M}));
+}
+
+TEST(WeakeningTest, Note10TakesPrecedenceOverNote12)
+{
+    MoesiPolicy p;
+    p.useExclusive = false;
+    p.exclusiveAsModified = true;
+    EXPECT_EQ(applyStateWeakenings(p, toState(State::E)),
+              toState(State::S));
+}
+
+TEST(PreferredChooserTest, TakesTheFirstAlternative)
+{
+    PreferredChooser chooser;
+    const LocalCell &cell =
+        moesiTable().local(State::O, LocalEvent::Write);
+    LocalAction a = chooser.chooseLocal(ClientKind::CopyBack, State::O,
+                                        LocalEvent::Write,
+                                        cellSpan(cell));
+    // The paper's preferred O/Write is the broadcast.
+    EXPECT_TRUE(a.bc);
+    EXPECT_EQ(a.next, kChOM);
+}
+
+TEST(PolicyChooserTest, InvalidatePicksAddressOnly)
+{
+    MoesiPolicy p;
+    p.sharedWrite = MoesiPolicy::SharedWrite::Invalidate;
+    PolicyChooser chooser(p);
+    const LocalCell &cell =
+        moesiTable().local(State::S, LocalEvent::Write);
+    std::vector<LocalAction> cb;
+    for (const LocalAction &a : cell) {
+        if (a.kinds & kindBit(ClientKind::CopyBack))
+            cb.push_back(a);
+    }
+    LocalAction a = chooser.chooseLocal(ClientKind::CopyBack, State::S,
+                                        LocalEvent::Write, cb);
+    EXPECT_FALSE(a.bc);
+    EXPECT_EQ(a.cmd, BusCmd::AddrOnly);
+    EXPECT_EQ(a.next, toState(State::M));
+}
+
+TEST(PolicyChooserTest, DropOnSnoopInvalidatesUnowned)
+{
+    MoesiPolicy p;
+    p.dropOnSnoop = true;
+    PolicyChooser chooser(p);
+    const SnoopCell &cell =
+        moesiTable().snoop(State::S, BusEvent::ReadByCache);
+    SnoopAction a = chooser.chooseSnoop(ClientKind::CopyBack, State::S,
+                                        BusEvent::ReadByCache,
+                                        {cell.data(), cell.size()});
+    // Note 11: "changed to I, not CH".
+    EXPECT_EQ(a.next, toState(State::I));
+    EXPECT_NE(a.ch, Tri::Assert);
+}
+
+TEST(PolicyChooserTest, DropOnSnoopNeverDropsOwnership)
+{
+    MoesiPolicy p;
+    p.dropOnSnoop = true;
+    PolicyChooser chooser(p);
+    const SnoopCell &cell =
+        moesiTable().snoop(State::M, BusEvent::ReadByCache);
+    SnoopAction a = chooser.chooseSnoop(ClientKind::CopyBack, State::M,
+                                        BusEvent::ReadByCache,
+                                        {cell.data(), cell.size()});
+    // The owner must still intervene and pass to O.
+    EXPECT_TRUE(a.di);
+    EXPECT_EQ(a.next, toState(State::O));
+}
+
+TEST(RandomChooserTest, OnlyReturnsLegalAlternatives)
+{
+    RandomChooser chooser(77);
+    const LocalCell &cell =
+        moesiTable().local(State::I, LocalEvent::Write);
+    std::vector<LocalAction> cb;
+    for (const LocalAction &a : cell) {
+        if (a.kinds & kindBit(ClientKind::CopyBack))
+            cb.push_back(a);
+    }
+    ASSERT_EQ(cb.size(), 2u);
+    bool saw[2] = {false, false};
+    for (int i = 0; i < 100; ++i) {
+        LocalAction a = chooser.chooseLocal(ClientKind::CopyBack,
+                                            State::I, LocalEvent::Write,
+                                            cb);
+        bool matched = false;
+        for (int k = 0; k < 2; ++k) {
+            if (a == cb[k]) {
+                saw[k] = true;
+                matched = true;
+            }
+        }
+        EXPECT_TRUE(matched);
+    }
+    // With 100 draws both alternatives appear.
+    EXPECT_TRUE(saw[0]);
+    EXPECT_TRUE(saw[1]);
+}
+
+} // namespace
+} // namespace fbsim

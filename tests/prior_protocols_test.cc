@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Behavioral tests of the five prior protocols (Tables 3-7) in
+ * homogeneous systems, including the BS abort/push/retry adaptations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fbsim {
+namespace {
+
+using test::homogeneousSystem;
+
+State
+st(System &sys, MasterId id, Addr a)
+{
+    return sys.cacheOf(id)->lineState(a);
+}
+
+// ---------------------------------------------------------------- //
+// Berkeley (Table 3)
+
+TEST(BerkeleyTest, ReadMissAlwaysLoadsShareable)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Berkeley);
+    sys->read(0, 0x100);
+    // No E state: even a lone reader loads S.
+    EXPECT_EQ(st(*sys, 0, 0x100), State::S);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(BerkeleyTest, WriteToSharedInvalidates)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Berkeley);
+    sys->read(0, 0x100);
+    sys->read(1, 0x100);
+    sys->write(0, 0x100, 7);
+    // Table 3, S/Write: M,CA,IM (address-only invalidate).
+    EXPECT_EQ(st(*sys, 0, 0x100), State::M);
+    EXPECT_EQ(st(*sys, 1, 0x100), State::I);
+    EXPECT_EQ(sys->bus().stats().invalidates, 1u);
+    EXPECT_EQ(sys->read(1, 0x100).value, 7u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(BerkeleyTest, DirtyReadMakesOwner)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Berkeley);
+    sys->write(0, 0x200, 3);
+    ASSERT_EQ(st(*sys, 0, 0x200), State::M);
+    EXPECT_EQ(sys->read(1, 0x200).value, 3u);
+    // Table 3, M/col5: O,CH,DI.
+    EXPECT_EQ(st(*sys, 0, 0x200), State::O);
+    EXPECT_EQ(st(*sys, 1, 0x200), State::S);
+    EXPECT_EQ(sys->bus().stats().interventions, 1u);
+    // O/Write invalidates and reclaims M.
+    sys->write(0, 0x200, 4);
+    EXPECT_EQ(st(*sys, 0, 0x200), State::M);
+    EXPECT_EQ(st(*sys, 1, 0x200), State::I);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+// ---------------------------------------------------------------- //
+// Dragon (Table 4)
+
+TEST(DragonTest, WritesToSharedBroadcastAndNeverInvalidate)
+{
+    auto sys = homogeneousSystem(3, ProtocolKind::Dragon);
+    sys->read(0, 0x100);
+    sys->read(1, 0x100);
+    sys->read(2, 0x100);
+    for (int i = 0; i < 5; ++i) {
+        sys->write(0, 0x100, 10 + i);
+        // All sharers stay valid and current.
+        EXPECT_EQ(st(*sys, 1, 0x100), State::S);
+        EXPECT_EQ(st(*sys, 2, 0x100), State::S);
+        EXPECT_EQ(sys->read(1, 0x100).value,
+                  static_cast<Word>(10 + i));
+    }
+    EXPECT_EQ(st(*sys, 0, 0x100), State::O);
+    EXPECT_EQ(sys->bus().stats().invalidates, 0u);
+    EXPECT_EQ(sys->bus().stats().broadcastWrites, 5u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(DragonTest, WriteMissReadsThenWrites)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Dragon);
+    sys->read(1, 0x200);
+    ASSERT_EQ(st(*sys, 1, 0x200), State::E);
+    sys->write(0, 0x200, 5);
+    // Table 4, I/Write: Read>Write.  The fill demotes cache 1 to S and
+    // the subsequent broadcast write keeps both copies.
+    EXPECT_EQ(st(*sys, 0, 0x200), State::O);
+    EXPECT_EQ(st(*sys, 1, 0x200), State::S);
+    EXPECT_EQ(sys->read(1, 0x200).value, 5u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(DragonTest, SoloWriterUpgradesToModified)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Dragon);
+    sys->write(0, 0x300, 1);
+    // Fill loaded E (no CH), then the local write upgraded silently.
+    EXPECT_EQ(st(*sys, 0, 0x300), State::M);
+    EXPECT_EQ(sys->bus().stats().broadcastWrites, 0u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+// ---------------------------------------------------------------- //
+// Write-Once (Table 5)
+
+TEST(WriteOnceTest, FirstWriteGoesThroughToReserved)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::WriteOnce);
+    sys->read(0, 0x100);
+    ASSERT_EQ(st(*sys, 0, 0x100), State::S);
+    sys->write(0, 0x100, 5);
+    // The write once: S -> E with a write-through (word to memory).
+    EXPECT_EQ(st(*sys, 0, 0x100), State::E);
+    LineAddr la = 0x100 / sys->config().lineBytes;
+    std::size_t wi = (0x100 % sys->config().lineBytes) / kWordBytes;
+    EXPECT_EQ(sys->memory().peekWord(la, wi), 5u);
+    // The second write dirties locally.
+    sys->write(0, 0x100, 6);
+    EXPECT_EQ(st(*sys, 0, 0x100), State::M);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(WriteOnceTest, DirtyReadAbortsPushesAndRetries)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::WriteOnce);
+    sys->read(0, 0x200);
+    sys->write(0, 0x200, 5);
+    sys->write(0, 0x200, 6);
+    ASSERT_EQ(st(*sys, 0, 0x200), State::M);
+    AccessOutcome r = sys->read(1, 0x200);
+    // Table 5, M/col5: BS;S,CA,W - abort, push, retry; memory then
+    // supplies the retried read and both copies end S.
+    EXPECT_EQ(r.value, 6u);
+    EXPECT_EQ(st(*sys, 0, 0x200), State::S);
+    EXPECT_EQ(st(*sys, 1, 0x200), State::S);
+    EXPECT_GE(sys->bus().stats().aborts, 1u);
+    EXPECT_GE(sys->bus().stats().linePushes, 1u);
+    LineAddr la = 0x200 / sys->config().lineBytes;
+    EXPECT_EQ(sys->memory().peekWord(
+                  la, (0x200 % sys->config().lineBytes) / kWordBytes),
+              6u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(WriteOnceTest, InvalidateKillsOtherCopies)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::WriteOnce);
+    sys->read(0, 0x300);
+    sys->read(1, 0x300);
+    sys->write(0, 0x300, 5);
+    // The write-through-with-invalidate travels in column 6.
+    EXPECT_EQ(st(*sys, 1, 0x300), State::I);
+    EXPECT_EQ(sys->read(1, 0x300).value, 5u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+// ---------------------------------------------------------------- //
+// Illinois (Table 6)
+
+TEST(IllinoisTest, LoneReadLoadsExclusive)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Illinois);
+    sys->read(0, 0x100);
+    EXPECT_EQ(st(*sys, 0, 0x100), State::E);
+    sys->read(1, 0x100);
+    EXPECT_EQ(st(*sys, 0, 0x100), State::S);
+    EXPECT_EQ(st(*sys, 1, 0x100), State::S);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(IllinoisTest, DirtyReadPushesViaBusy)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Illinois);
+    sys->write(0, 0x200, 9);
+    ASSERT_EQ(st(*sys, 0, 0x200), State::M);
+    EXPECT_EQ(sys->read(1, 0x200).value, 9u);
+    // BS;S,CA,W then the retried read finds memory current; Illinois S
+    // is consistent with memory, as the original protocol requires.
+    EXPECT_EQ(st(*sys, 0, 0x200), State::S);
+    EXPECT_EQ(st(*sys, 1, 0x200), State::S);
+    EXPECT_GE(sys->bus().stats().aborts, 1u);
+    LineAddr la = 0x200 / sys->config().lineBytes;
+    EXPECT_EQ(sys->memory().peekWord(la, 0), 9u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(IllinoisTest, WriteMissAgainstDirtyLinePushesThenInvalidates)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Illinois);
+    sys->write(0, 0x300, 9);
+    sys->write(1, 0x300 + 8, 10);
+    // M/col6: BS;S,CA,W, then the retry sees S/col6: I.
+    EXPECT_EQ(st(*sys, 0, 0x300), State::I);
+    EXPECT_EQ(st(*sys, 1, 0x300), State::M);
+    EXPECT_EQ(sys->read(1, 0x300).value, 9u);
+    EXPECT_EQ(sys->read(1, 0x300 + 8).value, 10u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(IllinoisTest, SharedWriteInvalidatesWithoutData)
+{
+    auto sys = homogeneousSystem(3, ProtocolKind::Illinois);
+    sys->read(0, 0x400);
+    sys->read(1, 0x400);
+    sys->read(2, 0x400);
+    sys->write(1, 0x400, 4);
+    EXPECT_EQ(st(*sys, 0, 0x400), State::I);
+    EXPECT_EQ(st(*sys, 1, 0x400), State::M);
+    EXPECT_EQ(st(*sys, 2, 0x400), State::I);
+    EXPECT_EQ(sys->bus().stats().invalidates, 1u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+// ---------------------------------------------------------------- //
+// Firefly (Table 7)
+
+TEST(FireflyTest, SharedWriteBroadcastsAndStaysShared)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Firefly);
+    sys->read(0, 0x100);
+    sys->read(1, 0x100);
+    sys->write(0, 0x100, 7);
+    // Table 7, S/Write: CH:S/E,CA,IM,BC,W - the other holder responds
+    // CH so the writer stays S; nobody owns (memory got the word).
+    EXPECT_EQ(st(*sys, 0, 0x100), State::S);
+    EXPECT_EQ(st(*sys, 1, 0x100), State::S);
+    EXPECT_EQ(sys->read(1, 0x100).value, 7u);
+    LineAddr la = 0x100 / sys->config().lineBytes;
+    EXPECT_EQ(sys->memory().peekWord(la, 0), 7u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(FireflyTest, SharingDetectedDynamically)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Firefly);
+    sys->read(0, 0x200);
+    sys->read(1, 0x200);
+    ASSERT_EQ(st(*sys, 0, 0x200), State::S);
+    // Cache 1 drops its copy; cache 0's next write detects no CH and
+    // upgrades to E - sharing has ended.
+    sys->flush(1, 0x200, false);
+    sys->write(0, 0x200, 3);
+    EXPECT_EQ(st(*sys, 0, 0x200), State::E);
+    // The next write is then silent (E->M).
+    Cycles before = sys->bus().stats().transactions;
+    sys->write(0, 0x200, 4);
+    EXPECT_EQ(st(*sys, 0, 0x200), State::M);
+    EXPECT_EQ(sys->bus().stats().transactions, before);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+TEST(FireflyTest, DirtyReadPushesAndKeepsCopy)
+{
+    auto sys = homogeneousSystem(2, ProtocolKind::Firefly);
+    sys->read(0, 0x300);
+    sys->write(0, 0x300, 3);   // E (flushed nobody) -> wait: fill E
+    sys->write(0, 0x300, 4);
+    ASSERT_EQ(st(*sys, 0, 0x300), State::M);
+    EXPECT_EQ(sys->read(1, 0x300).value, 4u);
+    // Table 7, M/col5: BS;E,CA,W - push keeping the copy (E), then the
+    // retried read demotes both to S.
+    EXPECT_EQ(st(*sys, 0, 0x300), State::S);
+    EXPECT_EQ(st(*sys, 1, 0x300), State::S);
+    EXPECT_GE(sys->bus().stats().aborts, 1u);
+    EXPECT_TRUE(sys->violations().empty());
+}
+
+// Every prior protocol passes a randomized single-protocol stress with
+// the checker on.
+class PriorProtocolStressTest
+    : public ::testing::TestWithParam<ProtocolKind>
+{
+};
+
+TEST_P(PriorProtocolStressTest, RandomizedHomogeneousStress)
+{
+    auto sys = homogeneousSystem(4, GetParam());
+    Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        MasterId who = static_cast<MasterId>(rng.below(4));
+        Addr addr = rng.below(32) * 8;   // 8 lines of 32B, word grain
+        if (rng.chance(0.3))
+            sys->write(who, addr, rng.next());
+        else
+            sys->read(who, addr);
+    }
+    EXPECT_TRUE(sys->violations().empty())
+        << sys->violations().front();
+    EXPECT_TRUE(sys->checkNow().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, PriorProtocolStressTest,
+    ::testing::Values(ProtocolKind::Moesi, ProtocolKind::Berkeley,
+                      ProtocolKind::Dragon, ProtocolKind::WriteOnce,
+                      ProtocolKind::Illinois, ProtocolKind::Firefly),
+    [](const ::testing::TestParamInfo<ProtocolKind> &info) {
+        std::string name(protocolKindName(info.param));
+        std::erase(name, '-');
+        return name;
+    });
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Protocol-specific structural properties, asserted over randomized
+ * runs: the characteristic behaviours each paper protocol is defined
+ * by (Dragon never invalidates, Berkeley never uses E, Write-Once
+ * writes through exactly once, Illinois S never requires intervention,
+ * etc.).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace fbsim {
+namespace {
+
+void
+drive(System &sys, std::uint64_t seed, int n = 4000)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        MasterId who = static_cast<MasterId>(rng.below(sys.numClients()));
+        Addr addr = rng.below(32) * 8;
+        if (rng.chance(0.4))
+            sys.write(who, addr, rng.next());
+        else
+            sys.read(who, addr);
+    }
+    ASSERT_TRUE(sys.checkNow().empty());
+}
+
+TEST(ProtocolPropertyTest, DragonNeverInvalidates)
+{
+    auto sys = test::homogeneousSystem(4, ProtocolKind::Dragon);
+    drive(*sys, 1);
+    // A pure write-update protocol: no address-only invalidates, no
+    // read-for-ownership, and no copies ever killed by snoops.
+    EXPECT_EQ(sys->bus().stats().invalidates, 0u);
+    EXPECT_EQ(sys->bus().stats().readsForModify, 0u);
+    for (MasterId id = 0; id < 4; ++id) {
+        EXPECT_EQ(sys->cacheOf(id)->stats().invalidationsRecv, 0u)
+            << id;
+    }
+}
+
+TEST(ProtocolPropertyTest, FireflyNeverInvalidates)
+{
+    auto sys = test::homogeneousSystem(4, ProtocolKind::Firefly);
+    drive(*sys, 2);
+    EXPECT_EQ(sys->bus().stats().invalidates, 0u);
+    EXPECT_EQ(sys->bus().stats().readsForModify, 0u);
+}
+
+TEST(ProtocolPropertyTest, BerkeleyNeverEntersExclusive)
+{
+    auto sys = test::homogeneousSystem(4, ProtocolKind::Berkeley);
+    drive(*sys, 3);
+    for (MasterId id = 0; id < 4; ++id) {
+        sys->cacheOf(id)->forEachValidLine([&](const CacheLine &line) {
+            EXPECT_NE(line.state, State::E);
+        });
+    }
+}
+
+TEST(ProtocolPropertyTest, BerkeleyNeverWritesCleanDataBack)
+{
+    // Berkeley has no E, so only M/O lines are ever pushed; pushes
+    // must equal the number of dirty evictions/flushes.
+    auto sys = test::homogeneousSystem(2, ProtocolKind::Berkeley);
+    sys->read(0, 0x100);
+    sys->flush(0, 0x100, false);   // clean S: silent
+    EXPECT_EQ(sys->bus().stats().linePushes, 0u);
+}
+
+TEST(ProtocolPropertyTest, WriteOnceWritesThroughExactlyOnce)
+{
+    auto sys = test::homogeneousSystem(2, ProtocolKind::WriteOnce);
+    sys->read(0, 0x100);
+    std::uint64_t words_before = sys->memory().stats().wordWrites;
+    sys->write(0, 0x100, 1);   // the write-through ("once")
+    EXPECT_EQ(sys->memory().stats().wordWrites, words_before + 1);
+    sys->write(0, 0x100, 2);   // local (E -> M)
+    sys->write(0, 0x100, 3);   // local (M)
+    EXPECT_EQ(sys->memory().stats().wordWrites, words_before + 1);
+}
+
+TEST(ProtocolPropertyTest, IllinoisSharedNeverIntervenes)
+{
+    // Illinois S is consistent with memory in homogeneous systems, so
+    // reads of shared lines are always served by memory, never DI.
+    auto sys = test::homogeneousSystem(4, ProtocolKind::Illinois);
+    drive(*sys, 4);
+    // Every intervention in Illinois comes from the BS abort path
+    // (which is not DI); the DI line is used only for RWITM supply.
+    EXPECT_EQ(sys->bus().stats().interventions, 0u);
+}
+
+TEST(ProtocolPropertyTest, MoesiOwnershipChainsThroughSharers)
+{
+    // M -> O on first sharer; ownership persists through any number
+    // of additional readers.
+    auto sys = test::homogeneousSystem(4);
+    sys->write(0, 0x100, 1);
+    for (MasterId id = 1; id < 4; ++id) {
+        sys->read(id, 0x100);
+        EXPECT_EQ(sys->cacheOf(0)->lineState(0x100), State::O);
+        EXPECT_EQ(sys->cacheOf(id)->lineState(0x100), State::S);
+    }
+    // All fills after the first came from the owner, not memory.
+    EXPECT_EQ(sys->bus().stats().interventions, 3u);
+    EXPECT_TRUE(sys->checkNow().empty());
+}
+
+TEST(ProtocolPropertyTest, UpdateProtocolsKeepMissRatioLowUnderSharing)
+{
+    // Under pure sharing churn, Dragon's updates retain copies while
+    // an invalidating MOESI policy keeps killing them: Dragon's miss
+    // count must be strictly lower on the same workload.
+    auto run = [](ProtocolKind kind, MoesiPolicy policy,
+                  ChooserKind chooser) {
+        System sys(test::testConfig());
+        for (int i = 0; i < 4; ++i) {
+            CacheSpec spec = test::smallCache(kind);
+            spec.chooser = chooser;
+            spec.policy = policy;
+            spec.seed = i + 1;
+            sys.addCache(spec);
+        }
+        drive(sys, 9, 3000);
+        std::uint64_t misses = 0;
+        for (MasterId id = 0; id < 4; ++id) {
+            misses += sys.cacheOf(id)->stats().readMisses +
+                      sys.cacheOf(id)->stats().writeMisses;
+        }
+        return misses;
+    };
+    MoesiPolicy invalidating;
+    invalidating.sharedWrite = MoesiPolicy::SharedWrite::Invalidate;
+    std::uint64_t dragon = run(ProtocolKind::Dragon, {},
+                               ChooserKind::Preferred);
+    std::uint64_t inval = run(ProtocolKind::Moesi, invalidating,
+                              ChooserKind::Policy);
+    EXPECT_LT(dragon, inval);
+}
+
+} // namespace
+} // namespace fbsim

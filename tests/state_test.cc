@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the MOESI state algebra (paper section 3.1, Figures 3-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/state.h"
+
+namespace fbsim {
+namespace {
+
+TEST(StateTest, FiveStatesHaveDistinctAttributes)
+{
+    // Figure 3: the five states occupy distinct attribute combinations.
+    for (State a : kAllStates) {
+        for (State b : kAllStates) {
+            if (a == b)
+                continue;
+            EXPECT_FALSE(attributesOf(a) == attributesOf(b))
+                << stateName(a) << " vs " << stateName(b);
+        }
+    }
+}
+
+TEST(StateTest, AttributeRoundTrip)
+{
+    for (State s : kAllStates) {
+        auto back = stateFromAttributes(attributesOf(s));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, s);
+    }
+}
+
+TEST(StateTest, MeaninglessAttributeCombinationsRejected)
+{
+    // Exclusiveness or ownership of invalid data is pointless; the
+    // paper discards those three of the eight combinations.
+    EXPECT_FALSE(stateFromAttributes({false, true, false}).has_value());
+    EXPECT_FALSE(stateFromAttributes({false, false, true}).has_value());
+    EXPECT_FALSE(stateFromAttributes({false, true, true}).has_value());
+    EXPECT_TRUE(stateFromAttributes({false, false, false}).has_value());
+}
+
+TEST(StateTest, Figure4IntervenientPair)
+{
+    // M and O data: the cache is responsible for accuracy system-wide.
+    EXPECT_TRUE(isIntervenient(State::M));
+    EXPECT_TRUE(isIntervenient(State::O));
+    EXPECT_FALSE(isIntervenient(State::E));
+    EXPECT_FALSE(isIntervenient(State::S));
+    EXPECT_FALSE(isIntervenient(State::I));
+}
+
+TEST(StateTest, Figure4ExclusivePair)
+{
+    // M and E: the only cached copy; no warning needed before a local
+    // modification.
+    EXPECT_TRUE(isExclusive(State::M));
+    EXPECT_TRUE(isExclusive(State::E));
+    EXPECT_FALSE(isExclusive(State::O));
+    EXPECT_FALSE(isExclusive(State::S));
+    EXPECT_FALSE(isExclusive(State::I));
+}
+
+TEST(StateTest, Figure4UnownedPair)
+{
+    // S and E: not responsible for the integrity of other modules'
+    // accesses.
+    EXPECT_TRUE(isUnowned(State::E));
+    EXPECT_TRUE(isUnowned(State::S));
+    EXPECT_FALSE(isUnowned(State::M));
+    EXPECT_FALSE(isUnowned(State::O));
+    EXPECT_FALSE(isUnowned(State::I));
+}
+
+TEST(StateTest, Figure4NonExclusivePair)
+{
+    // S and O: other copies may exist, so local modification requires
+    // a broadcast message.
+    EXPECT_TRUE(isShareable(State::O));
+    EXPECT_TRUE(isShareable(State::S));
+    EXPECT_FALSE(isShareable(State::M));
+    EXPECT_FALSE(isShareable(State::E));
+    EXPECT_FALSE(isShareable(State::I));
+}
+
+TEST(StateTest, Names)
+{
+    EXPECT_EQ(stateName(State::M), "M");
+    EXPECT_EQ(stateName(State::O), "O");
+    EXPECT_EQ(stateName(State::E), "E");
+    EXPECT_EQ(stateName(State::S), "S");
+    EXPECT_EQ(stateName(State::I), "I");
+}
+
+TEST(StateTest, TerminologiesAreEquivalent)
+{
+    // The paper's three terminologies name the same states.
+    EXPECT_EQ(stateLongName(State::M), "Exclusive owned");
+    EXPECT_EQ(stateModifiedName(State::M), "Exclusive modified");
+    EXPECT_EQ(stateLongName(State::O), "Shareable owned");
+    EXPECT_EQ(stateModifiedName(State::O), "Shareable modified");
+    EXPECT_EQ(stateLongName(State::E), "Exclusive unowned");
+    EXPECT_EQ(stateModifiedName(State::E), "Exclusive unmodified");
+    EXPECT_EQ(stateLongName(State::S), "Shareable unowned");
+    EXPECT_EQ(stateModifiedName(State::S), "Shareable unmodified");
+}
+
+TEST(StateTest, ParseNames)
+{
+    EXPECT_EQ(stateFromName("M"), State::M);
+    EXPECT_EQ(stateFromName("O"), State::O);
+    EXPECT_EQ(stateFromName("E"), State::E);
+    EXPECT_EQ(stateFromName("S"), State::S);
+    EXPECT_EQ(stateFromName("I"), State::I);
+    // A write-through cache's V(alid) state is S.
+    EXPECT_EQ(stateFromName("V"), State::S);
+    EXPECT_FALSE(stateFromName("X").has_value());
+    EXPECT_FALSE(stateFromName("MM").has_value());
+    EXPECT_FALSE(stateFromName("").has_value());
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for fbsim tests: compact System builders.
+ */
+
+#ifndef FBSIM_TESTS_TEST_UTIL_H_
+#define FBSIM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "sim/system.h"
+
+namespace fbsim::test {
+
+/** Default system config for tests: tiny lines, checker always on. */
+inline SystemConfig
+testConfig(std::size_t line_bytes = 32)
+{
+    SystemConfig cfg;
+    cfg.lineBytes = line_bytes;
+    cfg.checkEveryAccess = true;
+    return cfg;
+}
+
+/** A cache spec with a small geometry for fast tests. */
+inline CacheSpec
+smallCache(ProtocolKind protocol = ProtocolKind::Moesi)
+{
+    CacheSpec spec;
+    spec.protocol = protocol;
+    spec.numSets = 4;
+    spec.assoc = 2;
+    return spec;
+}
+
+/** Build a system with `n` identical caches of the given protocol. */
+inline std::unique_ptr<System>
+homogeneousSystem(std::size_t n,
+                  ProtocolKind protocol = ProtocolKind::Moesi,
+                  std::size_t line_bytes = 32)
+{
+    auto sys = std::make_unique<System>(testConfig(line_bytes));
+    for (std::size_t i = 0; i < n; ++i) {
+        CacheSpec spec = smallCache(protocol);
+        spec.seed = i + 1;
+        sys->addCache(spec);
+    }
+    return sys;
+}
+
+} // namespace fbsim::test
+
+#endif // FBSIM_TESTS_TEST_UTIL_H_

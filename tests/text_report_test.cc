@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests of the text reporting helpers and the protocol factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocols/factory.h"
+#include "test_util.h"
+#include "text/report.h"
+
+namespace fbsim {
+namespace {
+
+TEST(FactoryTest, NamesRoundTrip)
+{
+    for (ProtocolKind kind : kAllProtocolKinds) {
+        auto parsed = protocolKindFromName(protocolKindName(kind));
+        ASSERT_TRUE(parsed.has_value()) << protocolKindName(kind);
+        EXPECT_EQ(*parsed, kind);
+    }
+}
+
+TEST(FactoryTest, ParsingIsForgiving)
+{
+    EXPECT_EQ(protocolKindFromName("MOESI"), ProtocolKind::Moesi);
+    EXPECT_EQ(protocolKindFromName("moesi"), ProtocolKind::Moesi);
+    EXPECT_EQ(protocolKindFromName("write-once"), ProtocolKind::WriteOnce);
+    EXPECT_EQ(protocolKindFromName("Write Once"), ProtocolKind::WriteOnce);
+    EXPECT_EQ(protocolKindFromName("write_once"), ProtocolKind::WriteOnce);
+    EXPECT_EQ(protocolKindFromName("ILLINOIS"), ProtocolKind::Illinois);
+    EXPECT_FALSE(protocolKindFromName("mesi").has_value());
+    EXPECT_FALSE(protocolKindFromName("").has_value());
+}
+
+TEST(FactoryTest, TablesMatchKinds)
+{
+    EXPECT_EQ(protocolTable(ProtocolKind::Moesi).name(), "MOESI");
+    EXPECT_EQ(protocolTable(ProtocolKind::Berkeley).name(), "Berkeley");
+    EXPECT_EQ(protocolTable(ProtocolKind::Dragon).name(), "Dragon");
+    EXPECT_EQ(protocolTable(ProtocolKind::WriteOnce).name(),
+              "Write-Once");
+    EXPECT_EQ(protocolTable(ProtocolKind::Illinois).name(), "Illinois");
+    EXPECT_EQ(protocolTable(ProtocolKind::Firefly).name(), "Firefly");
+}
+
+TEST(FactoryTest, ChoosersConstruct)
+{
+    EXPECT_NE(makeChooser(ChooserKind::Preferred), nullptr);
+    EXPECT_NE(makeChooser(ChooserKind::Policy, MoesiPolicy{}), nullptr);
+    EXPECT_NE(makeChooser(ChooserKind::Random, {}, 42), nullptr);
+}
+
+TEST(ReportTest, ClientStatsListsEveryClient)
+{
+    System sys(test::testConfig());
+    sys.addCache(test::smallCache());
+    sys.addCache(test::smallCache(ProtocolKind::Dragon));
+    sys.addNonCachingMaster(false);
+    sys.write(0, 0x100, 1);
+    sys.read(1, 0x100);
+
+    std::string report = renderClientStats(sys);
+    EXPECT_NE(report.find("MOESI"), std::string::npos);
+    EXPECT_NE(report.find("Dragon"), std::string::npos);
+    EXPECT_NE(report.find("non-caching"), std::string::npos);
+    EXPECT_NE(report.find("miss%"), std::string::npos);
+}
+
+TEST(ReportTest, BusStatsMentionsCounters)
+{
+    System sys(test::testConfig());
+    sys.addCache(test::smallCache());
+    sys.write(0, 0x100, 1);
+    std::string report = renderBusStats(sys.bus().stats());
+    EXPECT_NE(report.find("1 transactions"), std::string::npos);
+    EXPECT_NE(report.find("RFO"), std::string::npos);
+}
+
+TEST(ReportTest, EngineResultShowsPerProcessorRows)
+{
+    EngineResult r;
+    r.elapsed = 100;
+    r.busBusy = 40;
+    ProcTiming p;
+    p.refs = 10;
+    p.finishTime = 100;
+    p.execCycles = 60;
+    r.procs = {p, p};
+    std::string report = renderEngineResult(r);
+    EXPECT_NE(report.find("proc 0"), std::string::npos);
+    EXPECT_NE(report.find("proc 1"), std::string::npos);
+    EXPECT_NE(report.find("40.0%"), std::string::npos);
+    EXPECT_NE(report.find("utilization 0.600"), std::string::npos);
+}
+
+TEST(ReportTest, EngineResultAggregates)
+{
+    EngineResult r;
+    r.elapsed = 200;
+    r.busBusy = 50;
+    ProcTiming a;
+    a.finishTime = 200;
+    a.execCycles = 100;
+    ProcTiming b;
+    b.finishTime = 100;
+    b.execCycles = 100;
+    r.procs = {a, b};
+    EXPECT_DOUBLE_EQ(r.busUtilization(), 0.25);
+    EXPECT_DOUBLE_EQ(r.systemPower(), 0.5 + 1.0);
+    EXPECT_DOUBLE_EQ(r.meanUtilization(), 0.75);
+}
+
+} // namespace
+} // namespace fbsim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests of the "*" (write-through cache) and "**" (non-caching) rows
+ * of Table 1: a write-through cache has only V(=S) and I states, is
+ * never an owner, and writes always travel on the bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fbsim {
+namespace {
+
+CacheSpec
+wtSpec()
+{
+    CacheSpec spec = test::smallCache();
+    spec.writeThrough = true;
+    return spec;
+}
+
+TEST(WriteThroughTest, ReadMissLoadsValidNeverExclusive)
+{
+    System sys(test::testConfig());
+    MasterId wt = sys.addCache(wtSpec());
+    sys.read(wt, 0x100);
+    // Table 1, I/Read "*": S,CA,R - always S even when alone.
+    EXPECT_EQ(sys.cacheOf(wt)->lineState(0x100), State::S);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(WriteThroughTest, EveryWriteUsesTheBus)
+{
+    System sys(test::testConfig());
+    MasterId wt = sys.addCache(wtSpec());
+    sys.read(wt, 0x100);
+    for (int i = 0; i < 3; ++i) {
+        AccessOutcome o = sys.write(wt, 0x100, 10 + i);
+        EXPECT_TRUE(o.usedBus);
+        // The copy stays valid and current.
+        EXPECT_EQ(sys.cacheOf(wt)->lineState(0x100), State::S);
+        EXPECT_EQ(sys.read(wt, 0x100).value, static_cast<Word>(10 + i));
+    }
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(WriteThroughTest, WritesUpdateMemoryImmediately)
+{
+    System sys(test::testConfig());
+    MasterId wt = sys.addCache(wtSpec());
+    sys.write(wt, 0x200, 42);
+    // Broadcast write-through (preferred): memory has the word.
+    EXPECT_EQ(sys.memory().peekWord(0x200 / 32, 0), 42u);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(WriteThroughTest, NoWriteAllocateByDefault)
+{
+    System sys(test::testConfig());
+    MasterId wt = sys.addCache(wtSpec());
+    sys.write(wt, 0x300, 1);
+    // The miss wrote through without filling the line.
+    EXPECT_EQ(sys.cacheOf(wt)->lineState(0x300), State::I);
+}
+
+TEST(WriteThroughTest, WriteAllocatePolicy)
+{
+    System sys(test::testConfig());
+    CacheSpec spec = wtSpec();
+    spec.chooser = ChooserKind::Policy;
+    spec.policy.wtWriteAllocate = true;
+    MasterId wt = sys.addCache(spec);
+    sys.write(wt, 0x300, 1);
+    // Read>Write*: the line was allocated by the read half.
+    EXPECT_EQ(sys.cacheOf(wt)->lineState(0x300), State::S);
+    EXPECT_EQ(sys.read(wt, 0x300).value, 1u);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(WriteThroughTest, InvalidatedByNonBroadcastForeignWrite)
+{
+    System sys(test::testConfig());
+    MasterId wt = sys.addCache(wtSpec());
+    MasterId io = sys.addNonCachingMaster(false);
+    sys.read(wt, 0x400);
+    ASSERT_EQ(sys.cacheOf(wt)->lineState(0x400), State::S);
+    sys.write(io, 0x400, 9);
+    // Column 9 on a V line: must invalidate (a WT cache cannot own).
+    EXPECT_EQ(sys.cacheOf(wt)->lineState(0x400), State::I);
+    EXPECT_EQ(sys.read(wt, 0x400).value, 9u);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(WriteThroughTest, UpdatedByBroadcastForeignWrite)
+{
+    System sys(test::testConfig());
+    MasterId wt = sys.addCache(wtSpec());
+    MasterId io = sys.addNonCachingMaster(true);
+    sys.read(wt, 0x500);
+    sys.write(io, 0x500, 9);
+    // Column 10 preferred: connect (SL) and stay valid.
+    EXPECT_EQ(sys.cacheOf(wt)->lineState(0x500), State::S);
+    AccessOutcome hit = sys.read(wt, 0x500);
+    EXPECT_FALSE(hit.usedBus);
+    EXPECT_EQ(hit.value, 9u);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(WriteThroughTest, CoexistsWithCopyBackOwner)
+{
+    System sys(test::testConfig());
+    MasterId cb = sys.addCache(test::smallCache());
+    MasterId wt = sys.addCache(wtSpec());
+    // Copy-back cache dirties the line; WT cache reads it (via DI).
+    sys.write(cb, 0x600, 5);
+    EXPECT_EQ(sys.read(wt, 0x600).value, 5u);
+    EXPECT_EQ(sys.cacheOf(cb)->lineState(0x600), State::O);
+    // WT write-through: the owner connects on the broadcast and the
+    // WT copy stays valid.
+    sys.write(wt, 0x600, 6);
+    EXPECT_EQ(sys.read(cb, 0x600).value, 6u);
+    EXPECT_TRUE(sys.violations().empty());
+    EXPECT_TRUE(sys.checkNow().empty());
+}
+
+TEST(NonCachingTest, EveryAccessIsABusTransaction)
+{
+    System sys(test::testConfig());
+    MasterId io = sys.addNonCachingMaster(false);
+    AccessOutcome r1 = sys.read(io, 0x100);
+    AccessOutcome r2 = sys.read(io, 0x100);
+    EXPECT_TRUE(r1.usedBus);
+    EXPECT_TRUE(r2.usedBus);
+    EXPECT_EQ(sys.bus().stats().transactions, 2u);
+}
+
+TEST(NonCachingTest, ReadsDoNotDisturbExclusivity)
+{
+    System sys(test::testConfig());
+    MasterId cb = sys.addCache(test::smallCache());
+    MasterId io = sys.addNonCachingMaster(false);
+    sys.read(cb, 0x100);
+    ASSERT_EQ(sys.cacheOf(cb)->lineState(0x100), State::E);
+    sys.read(io, 0x100);
+    // Column 7 on E: stay E - no cache took a copy.
+    EXPECT_EQ(sys.cacheOf(cb)->lineState(0x100), State::E);
+    EXPECT_TRUE(sys.violations().empty());
+}
+
+TEST(NonCachingTest, OwnerReclaimsModifiedOnNonCacheRead)
+{
+    auto sys = test::homogeneousSystem(2);
+    System &s = *sys;
+    MasterId io = s.addNonCachingMaster(false);
+    s.write(0, 0x200, 1);
+    s.read(1, 0x200);
+    ASSERT_EQ(s.cacheOf(0)->lineState(0x200), State::O);
+    // Kill the sharer, then a non-cache read lets the owner observe
+    // (via absent CH) that it is alone again: CH:O/M resolves to M.
+    s.flush(1, 0x200, false);
+    EXPECT_EQ(s.read(io, 0x200).value, 1u);
+    EXPECT_EQ(s.cacheOf(0)->lineState(0x200), State::M);
+    EXPECT_TRUE(s.violations().empty());
+}
+
+TEST(NonCachingTest, OwnerStaysOwnerWhenSharersRemain)
+{
+    auto sys = test::homogeneousSystem(2);
+    System &s = *sys;
+    MasterId io = s.addNonCachingMaster(false);
+    s.write(0, 0x300, 1);
+    s.read(1, 0x300);
+    ASSERT_EQ(s.cacheOf(0)->lineState(0x300), State::O);
+    s.read(io, 0x300);
+    // The S holder asserted CH on column 7, so the owner stays O.
+    EXPECT_EQ(s.cacheOf(0)->lineState(0x300), State::O);
+    EXPECT_TRUE(s.violations().empty());
+}
+
+} // namespace
+} // namespace fbsim
