@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_choice_points.dir/ablation_choice_points.cc.o"
+  "CMakeFiles/ablation_choice_points.dir/ablation_choice_points.cc.o.d"
+  "ablation_choice_points"
+  "ablation_choice_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_choice_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

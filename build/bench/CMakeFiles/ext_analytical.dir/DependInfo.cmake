@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_analytical.cc" "bench/CMakeFiles/ext_analytical.dir/ext_analytical.cc.o" "gcc" "bench/CMakeFiles/ext_analytical.dir/ext_analytical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/fbsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/fbsim_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fbsim_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fbsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/fbsim_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/fbsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/fbsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fbsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

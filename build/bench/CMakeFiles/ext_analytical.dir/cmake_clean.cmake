@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_analytical.dir/ext_analytical.cc.o"
+  "CMakeFiles/ext_analytical.dir/ext_analytical.cc.o.d"
+  "ext_analytical"
+  "ext_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multibus.dir/ext_multibus.cc.o"
+  "CMakeFiles/ext_multibus.dir/ext_multibus.cc.o.d"
+  "ext_multibus"
+  "ext_multibus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multibus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

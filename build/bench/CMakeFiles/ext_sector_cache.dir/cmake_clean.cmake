@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sector_cache.dir/ext_sector_cache.cc.o"
+  "CMakeFiles/ext_sector_cache.dir/ext_sector_cache.cc.o.d"
+  "ext_sector_cache"
+  "ext_sector_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sector_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_handshake.dir/figure1_handshake.cc.o"
+  "CMakeFiles/figure1_handshake.dir/figure1_handshake.cc.o.d"
+  "figure1_handshake"
+  "figure1_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_parallel_protocol.dir/figure2_parallel_protocol.cc.o"
+  "CMakeFiles/figure2_parallel_protocol.dir/figure2_parallel_protocol.cc.o.d"
+  "figure2_parallel_protocol"
+  "figure2_parallel_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_parallel_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

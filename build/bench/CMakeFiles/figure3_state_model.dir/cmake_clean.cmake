@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_state_model.dir/figure3_state_model.cc.o"
+  "CMakeFiles/figure3_state_model.dir/figure3_state_model.cc.o.d"
+  "figure3_state_model"
+  "figure3_state_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_state_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_state_pairs.dir/figure4_state_pairs.cc.o"
+  "CMakeFiles/figure4_state_pairs.dir/figure4_state_pairs.cc.o.d"
+  "figure4_state_pairs"
+  "figure4_state_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_state_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_state_pairs.
+# This may be replaced when dependencies are built.

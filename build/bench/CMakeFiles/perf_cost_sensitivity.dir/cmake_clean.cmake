@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cost_sensitivity.dir/perf_cost_sensitivity.cc.o"
+  "CMakeFiles/perf_cost_sensitivity.dir/perf_cost_sensitivity.cc.o.d"
+  "perf_cost_sensitivity"
+  "perf_cost_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cost_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

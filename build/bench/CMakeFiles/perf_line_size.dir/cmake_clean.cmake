@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_line_size.dir/perf_line_size.cc.o"
+  "CMakeFiles/perf_line_size.dir/perf_line_size.cc.o.d"
+  "perf_line_size"
+  "perf_line_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_line_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

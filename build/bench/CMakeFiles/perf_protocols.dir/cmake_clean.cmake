@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_protocols.dir/perf_protocols.cc.o"
+  "CMakeFiles/perf_protocols.dir/perf_protocols.cc.o.d"
+  "perf_protocols"
+  "perf_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

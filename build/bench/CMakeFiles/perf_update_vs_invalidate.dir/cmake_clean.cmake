@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_update_vs_invalidate.dir/perf_update_vs_invalidate.cc.o"
+  "CMakeFiles/perf_update_vs_invalidate.dir/perf_update_vs_invalidate.cc.o.d"
+  "perf_update_vs_invalidate"
+  "perf_update_vs_invalidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_update_vs_invalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_update_vs_invalidate.
+# This may be replaced when dependencies are built.

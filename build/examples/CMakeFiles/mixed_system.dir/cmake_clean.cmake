@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_system.dir/mixed_system.cpp.o"
+  "CMakeFiles/mixed_system.dir/mixed_system.cpp.o.d"
+  "mixed_system"
+  "mixed_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

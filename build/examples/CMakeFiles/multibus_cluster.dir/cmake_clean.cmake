@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibus_cluster.dir/multibus_cluster.cpp.o"
+  "CMakeFiles/multibus_cluster.dir/multibus_cluster.cpp.o.d"
+  "multibus_cluster"
+  "multibus_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibus_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

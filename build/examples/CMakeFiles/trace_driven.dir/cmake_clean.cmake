@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_driven.dir/trace_driven.cpp.o"
+  "CMakeFiles/trace_driven.dir/trace_driven.cpp.o.d"
+  "trace_driven"
+  "trace_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

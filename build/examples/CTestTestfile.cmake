@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mixed_system "/root/repo/build/examples/mixed_system")
+set_tests_properties(example_mixed_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multibus_cluster "/root/repo/build/examples/multibus_cluster")
+set_tests_properties(example_multibus_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_protocol_explorer "/root/repo/build/examples/protocol_explorer" "dragon" "4")
+set_tests_properties(example_protocol_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_generate "/root/repo/build/examples/trace_driven" "--generate" "/root/repo/build/examples/example.trace" "4" "20000")
+set_tests_properties(example_trace_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_run "/root/repo/build/examples/trace_driven" "/root/repo/build/examples/example.trace" "berkeley")
+set_tests_properties(example_trace_run PROPERTIES  DEPENDS "example_trace_generate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

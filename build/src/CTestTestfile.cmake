@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("core")
+subdirs("cache")
+subdirs("memory")
+subdirs("bus")
+subdirs("protocols")
+subdirs("checker")
+subdirs("sim")
+subdirs("hier")
+subdirs("analysis")
+subdirs("trace")
+subdirs("text")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_analysis.dir/bus_model.cc.o"
+  "CMakeFiles/fbsim_analysis.dir/bus_model.cc.o.d"
+  "libfbsim_analysis.a"
+  "libfbsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/arbiter.cc" "src/bus/CMakeFiles/fbsim_bus.dir/arbiter.cc.o" "gcc" "src/bus/CMakeFiles/fbsim_bus.dir/arbiter.cc.o.d"
+  "/root/repo/src/bus/bus.cc" "src/bus/CMakeFiles/fbsim_bus.dir/bus.cc.o" "gcc" "src/bus/CMakeFiles/fbsim_bus.dir/bus.cc.o.d"
+  "/root/repo/src/bus/cost_model.cc" "src/bus/CMakeFiles/fbsim_bus.dir/cost_model.cc.o" "gcc" "src/bus/CMakeFiles/fbsim_bus.dir/cost_model.cc.o.d"
+  "/root/repo/src/bus/handshake.cc" "src/bus/CMakeFiles/fbsim_bus.dir/handshake.cc.o" "gcc" "src/bus/CMakeFiles/fbsim_bus.dir/handshake.cc.o.d"
+  "/root/repo/src/bus/memory_slave.cc" "src/bus/CMakeFiles/fbsim_bus.dir/memory_slave.cc.o" "gcc" "src/bus/CMakeFiles/fbsim_bus.dir/memory_slave.cc.o.d"
+  "/root/repo/src/bus/transaction_log.cc" "src/bus/CMakeFiles/fbsim_bus.dir/transaction_log.cc.o" "gcc" "src/bus/CMakeFiles/fbsim_bus.dir/transaction_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fbsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fbsim_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

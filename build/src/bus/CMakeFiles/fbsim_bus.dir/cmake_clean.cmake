@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_bus.dir/arbiter.cc.o"
+  "CMakeFiles/fbsim_bus.dir/arbiter.cc.o.d"
+  "CMakeFiles/fbsim_bus.dir/bus.cc.o"
+  "CMakeFiles/fbsim_bus.dir/bus.cc.o.d"
+  "CMakeFiles/fbsim_bus.dir/cost_model.cc.o"
+  "CMakeFiles/fbsim_bus.dir/cost_model.cc.o.d"
+  "CMakeFiles/fbsim_bus.dir/handshake.cc.o"
+  "CMakeFiles/fbsim_bus.dir/handshake.cc.o.d"
+  "CMakeFiles/fbsim_bus.dir/memory_slave.cc.o"
+  "CMakeFiles/fbsim_bus.dir/memory_slave.cc.o.d"
+  "CMakeFiles/fbsim_bus.dir/transaction_log.cc.o"
+  "CMakeFiles/fbsim_bus.dir/transaction_log.cc.o.d"
+  "libfbsim_bus.a"
+  "libfbsim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfbsim_bus.a"
+)

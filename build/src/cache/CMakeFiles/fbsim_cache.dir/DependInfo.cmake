@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/geometry.cc" "src/cache/CMakeFiles/fbsim_cache.dir/geometry.cc.o" "gcc" "src/cache/CMakeFiles/fbsim_cache.dir/geometry.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/fbsim_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/fbsim_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/sector_store.cc" "src/cache/CMakeFiles/fbsim_cache.dir/sector_store.cc.o" "gcc" "src/cache/CMakeFiles/fbsim_cache.dir/sector_store.cc.o.d"
+  "/root/repo/src/cache/tag_store.cc" "src/cache/CMakeFiles/fbsim_cache.dir/tag_store.cc.o" "gcc" "src/cache/CMakeFiles/fbsim_cache.dir/tag_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fbsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

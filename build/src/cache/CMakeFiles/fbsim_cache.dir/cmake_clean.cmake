@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_cache.dir/geometry.cc.o"
+  "CMakeFiles/fbsim_cache.dir/geometry.cc.o.d"
+  "CMakeFiles/fbsim_cache.dir/replacement.cc.o"
+  "CMakeFiles/fbsim_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/fbsim_cache.dir/sector_store.cc.o"
+  "CMakeFiles/fbsim_cache.dir/sector_store.cc.o.d"
+  "CMakeFiles/fbsim_cache.dir/tag_store.cc.o"
+  "CMakeFiles/fbsim_cache.dir/tag_store.cc.o.d"
+  "libfbsim_cache.a"
+  "libfbsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

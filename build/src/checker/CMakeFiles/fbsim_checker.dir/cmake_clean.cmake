@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_checker.dir/coherence_checker.cc.o"
+  "CMakeFiles/fbsim_checker.dir/coherence_checker.cc.o.d"
+  "libfbsim_checker.a"
+  "libfbsim_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

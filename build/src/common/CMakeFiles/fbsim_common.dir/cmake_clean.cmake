@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_common.dir/logging.cc.o"
+  "CMakeFiles/fbsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/fbsim_common.dir/random.cc.o"
+  "CMakeFiles/fbsim_common.dir/random.cc.o.d"
+  "libfbsim_common.a"
+  "libfbsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/berkeley_table.cc" "src/core/CMakeFiles/fbsim_core.dir/berkeley_table.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/berkeley_table.cc.o.d"
+  "/root/repo/src/core/compat.cc" "src/core/CMakeFiles/fbsim_core.dir/compat.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/compat.cc.o.d"
+  "/root/repo/src/core/dragon_table.cc" "src/core/CMakeFiles/fbsim_core.dir/dragon_table.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/dragon_table.cc.o.d"
+  "/root/repo/src/core/events.cc" "src/core/CMakeFiles/fbsim_core.dir/events.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/events.cc.o.d"
+  "/root/repo/src/core/firefly_table.cc" "src/core/CMakeFiles/fbsim_core.dir/firefly_table.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/firefly_table.cc.o.d"
+  "/root/repo/src/core/illinois_table.cc" "src/core/CMakeFiles/fbsim_core.dir/illinois_table.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/illinois_table.cc.o.d"
+  "/root/repo/src/core/moesi_tables.cc" "src/core/CMakeFiles/fbsim_core.dir/moesi_tables.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/moesi_tables.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/fbsim_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/protocol_table.cc" "src/core/CMakeFiles/fbsim_core.dir/protocol_table.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/protocol_table.cc.o.d"
+  "/root/repo/src/core/state.cc" "src/core/CMakeFiles/fbsim_core.dir/state.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/state.cc.o.d"
+  "/root/repo/src/core/write_once_table.cc" "src/core/CMakeFiles/fbsim_core.dir/write_once_table.cc.o" "gcc" "src/core/CMakeFiles/fbsim_core.dir/write_once_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

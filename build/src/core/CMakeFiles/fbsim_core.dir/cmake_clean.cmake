@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_core.dir/berkeley_table.cc.o"
+  "CMakeFiles/fbsim_core.dir/berkeley_table.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/compat.cc.o"
+  "CMakeFiles/fbsim_core.dir/compat.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/dragon_table.cc.o"
+  "CMakeFiles/fbsim_core.dir/dragon_table.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/events.cc.o"
+  "CMakeFiles/fbsim_core.dir/events.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/firefly_table.cc.o"
+  "CMakeFiles/fbsim_core.dir/firefly_table.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/illinois_table.cc.o"
+  "CMakeFiles/fbsim_core.dir/illinois_table.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/moesi_tables.cc.o"
+  "CMakeFiles/fbsim_core.dir/moesi_tables.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/policy.cc.o"
+  "CMakeFiles/fbsim_core.dir/policy.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/protocol_table.cc.o"
+  "CMakeFiles/fbsim_core.dir/protocol_table.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/state.cc.o"
+  "CMakeFiles/fbsim_core.dir/state.cc.o.d"
+  "CMakeFiles/fbsim_core.dir/write_once_table.cc.o"
+  "CMakeFiles/fbsim_core.dir/write_once_table.cc.o.d"
+  "libfbsim_core.a"
+  "libfbsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

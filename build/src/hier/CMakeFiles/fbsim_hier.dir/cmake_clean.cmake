@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_hier.dir/bridge.cc.o"
+  "CMakeFiles/fbsim_hier.dir/bridge.cc.o.d"
+  "CMakeFiles/fbsim_hier.dir/hier_engine.cc.o"
+  "CMakeFiles/fbsim_hier.dir/hier_engine.cc.o.d"
+  "CMakeFiles/fbsim_hier.dir/hier_system.cc.o"
+  "CMakeFiles/fbsim_hier.dir/hier_system.cc.o.d"
+  "libfbsim_hier.a"
+  "libfbsim_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

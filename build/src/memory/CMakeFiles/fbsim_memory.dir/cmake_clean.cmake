@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_memory.dir/main_memory.cc.o"
+  "CMakeFiles/fbsim_memory.dir/main_memory.cc.o.d"
+  "libfbsim_memory.a"
+  "libfbsim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/factory.cc" "src/protocols/CMakeFiles/fbsim_protocols.dir/factory.cc.o" "gcc" "src/protocols/CMakeFiles/fbsim_protocols.dir/factory.cc.o.d"
+  "/root/repo/src/protocols/non_caching.cc" "src/protocols/CMakeFiles/fbsim_protocols.dir/non_caching.cc.o" "gcc" "src/protocols/CMakeFiles/fbsim_protocols.dir/non_caching.cc.o.d"
+  "/root/repo/src/protocols/snooping_cache.cc" "src/protocols/CMakeFiles/fbsim_protocols.dir/snooping_cache.cc.o" "gcc" "src/protocols/CMakeFiles/fbsim_protocols.dir/snooping_cache.cc.o.d"
+  "/root/repo/src/protocols/transition_coverage.cc" "src/protocols/CMakeFiles/fbsim_protocols.dir/transition_coverage.cc.o" "gcc" "src/protocols/CMakeFiles/fbsim_protocols.dir/transition_coverage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fbsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/fbsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fbsim_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_protocols.dir/factory.cc.o"
+  "CMakeFiles/fbsim_protocols.dir/factory.cc.o.d"
+  "CMakeFiles/fbsim_protocols.dir/non_caching.cc.o"
+  "CMakeFiles/fbsim_protocols.dir/non_caching.cc.o.d"
+  "CMakeFiles/fbsim_protocols.dir/snooping_cache.cc.o"
+  "CMakeFiles/fbsim_protocols.dir/snooping_cache.cc.o.d"
+  "CMakeFiles/fbsim_protocols.dir/transition_coverage.cc.o"
+  "CMakeFiles/fbsim_protocols.dir/transition_coverage.cc.o.d"
+  "libfbsim_protocols.a"
+  "libfbsim_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/fbsim_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/fbsim_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/fbsim_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/fbsim_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fbsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/fbsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fbsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/fbsim_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/fbsim_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fbsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

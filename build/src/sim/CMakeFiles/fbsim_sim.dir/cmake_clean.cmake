@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_sim.dir/engine.cc.o"
+  "CMakeFiles/fbsim_sim.dir/engine.cc.o.d"
+  "CMakeFiles/fbsim_sim.dir/system.cc.o"
+  "CMakeFiles/fbsim_sim.dir/system.cc.o.d"
+  "libfbsim_sim.a"
+  "libfbsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_text.dir/golden_tables.cc.o"
+  "CMakeFiles/fbsim_text.dir/golden_tables.cc.o.d"
+  "CMakeFiles/fbsim_text.dir/report.cc.o"
+  "CMakeFiles/fbsim_text.dir/report.cc.o.d"
+  "CMakeFiles/fbsim_text.dir/table_render.cc.o"
+  "CMakeFiles/fbsim_text.dir/table_render.cc.o.d"
+  "CMakeFiles/fbsim_text.dir/waveform.cc.o"
+  "CMakeFiles/fbsim_text.dir/waveform.cc.o.d"
+  "libfbsim_text.a"
+  "libfbsim_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

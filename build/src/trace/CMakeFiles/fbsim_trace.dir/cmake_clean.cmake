@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbsim_trace.dir/trace_io.cc.o"
+  "CMakeFiles/fbsim_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/fbsim_trace.dir/workloads.cc.o"
+  "CMakeFiles/fbsim_trace.dir/workloads.cc.o.d"
+  "libfbsim_trace.a"
+  "libfbsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

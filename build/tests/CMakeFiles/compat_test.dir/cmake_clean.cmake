@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compat_test.dir/compat_test.cc.o"
+  "CMakeFiles/compat_test.dir/compat_test.cc.o.d"
+  "compat_test"
+  "compat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_errors_test.dir/config_errors_test.cc.o"
+  "CMakeFiles/config_errors_test.dir/config_errors_test.cc.o.d"
+  "config_errors_test"
+  "config_errors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/events_test.dir/events_test.cc.o"
+  "CMakeFiles/events_test.dir/events_test.cc.o.d"
+  "events_test"
+  "events_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_tables_test.dir/golden_tables_test.cc.o"
+  "CMakeFiles/golden_tables_test.dir/golden_tables_test.cc.o.d"
+  "golden_tables_test"
+  "golden_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

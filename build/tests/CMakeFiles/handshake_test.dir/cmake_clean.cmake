@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handshake_test.dir/handshake_test.cc.o"
+  "CMakeFiles/handshake_test.dir/handshake_test.cc.o.d"
+  "handshake_test"
+  "handshake_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handshake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_engine_test.dir/hier_engine_test.cc.o"
+  "CMakeFiles/hier_engine_test.dir/hier_engine_test.cc.o.d"
+  "hier_engine_test"
+  "hier_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_waveform_test.dir/memory_waveform_test.cc.o"
+  "CMakeFiles/memory_waveform_test.dir/memory_waveform_test.cc.o.d"
+  "memory_waveform_test"
+  "memory_waveform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_waveform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_system_test.dir/mixed_system_test.cc.o"
+  "CMakeFiles/mixed_system_test.dir/mixed_system_test.cc.o.d"
+  "mixed_system_test"
+  "mixed_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moesi_protocol_test.dir/moesi_protocol_test.cc.o"
+  "CMakeFiles/moesi_protocol_test.dir/moesi_protocol_test.cc.o.d"
+  "moesi_protocol_test"
+  "moesi_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moesi_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_protocols_test.dir/prior_protocols_test.cc.o"
+  "CMakeFiles/prior_protocols_test.dir/prior_protocols_test.cc.o.d"
+  "prior_protocols_test"
+  "prior_protocols_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_properties_test.dir/protocol_properties_test.cc.o"
+  "CMakeFiles/protocol_properties_test.dir/protocol_properties_test.cc.o.d"
+  "protocol_properties_test"
+  "protocol_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readme_snippet_test.dir/readme_snippet_test.cc.o"
+  "CMakeFiles/readme_snippet_test.dir/readme_snippet_test.cc.o.d"
+  "readme_snippet_test"
+  "readme_snippet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readme_snippet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

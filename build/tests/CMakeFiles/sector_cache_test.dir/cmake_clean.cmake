@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sector_cache_test.dir/sector_cache_test.cc.o"
+  "CMakeFiles/sector_cache_test.dir/sector_cache_test.cc.o.d"
+  "sector_cache_test"
+  "sector_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sector_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoop_conformance_test.dir/snoop_conformance_test.cc.o"
+  "CMakeFiles/snoop_conformance_test.dir/snoop_conformance_test.cc.o.d"
+  "snoop_conformance_test"
+  "snoop_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoop_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_command_test.dir/sync_command_test.cc.o"
+  "CMakeFiles/sync_command_test.dir/sync_command_test.cc.o.d"
+  "sync_command_test"
+  "sync_command_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_command_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_report_test.dir/text_report_test.cc.o"
+  "CMakeFiles/text_report_test.dir/text_report_test.cc.o.d"
+  "text_report_test"
+  "text_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_through_test.dir/write_through_test.cc.o"
+  "CMakeFiles/write_through_test.dir/write_through_test.cc.o.d"
+  "write_through_test"
+  "write_through_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_through_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
