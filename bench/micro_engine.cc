@@ -48,12 +48,18 @@ BM_ReadMissFill(benchmark::State &state)
 }
 BENCHMARK(BM_ReadMissFill);
 
-/** Broadcast word write with n-1 snooping sharers. */
+/**
+ * Broadcast word write with n-1 snooping sharers.  Every cache holds
+ * the line, so the snoop filter cannot skip anyone; this measures the
+ * constant per-snooper dispatch cost (CH resolution, scratch reuse).
+ */
 void
-BM_BroadcastWriteFanout(benchmark::State &state)
+broadcastWriteFanout(benchmark::State &state, bool filter)
 {
     std::size_t caches = state.range(0);
-    System sys{SystemConfig{}};
+    SystemConfig cfg;
+    cfg.snoopFilter = filter;
+    System sys{cfg};
     for (std::size_t i = 0; i < caches; ++i) {
         CacheSpec spec;
         spec.seed = i + 1;
@@ -66,7 +72,63 @@ BM_BroadcastWriteFanout(benchmark::State &state)
         sys.write(0, 0x100, ++v);
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_BroadcastWriteFanout)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_BroadcastWriteFanout(benchmark::State &state)
+{
+    broadcastWriteFanout(state, true);
+}
+BENCHMARK(BM_BroadcastWriteFanout)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_BroadcastWriteFanoutExhaustive(benchmark::State &state)
+{
+    broadcastWriteFanout(state, false);
+}
+BENCHMARK(BM_BroadcastWriteFanoutExhaustive)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/**
+ * Miss traffic to lines private to one cache, with n-1 idle caches
+ * attached.  Here the presence bitmask pays off directly: the idle
+ * caches are never snooped.  Exhaustive mode snoops all of them.
+ */
+void
+privateMissFanout(benchmark::State &state, bool filter)
+{
+    std::size_t caches = state.range(0);
+    SystemConfig cfg;
+    cfg.snoopFilter = filter;
+    System sys{cfg};
+    for (std::size_t i = 0; i < caches; ++i) {
+        CacheSpec spec;
+        spec.numSets = 1;
+        spec.assoc = 1;
+        spec.seed = i + 1;
+        sys.addCache(spec);
+    }
+    Addr a = 0, b = 32;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.read(0, a).value);
+        std::swap(a, b);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_PrivateMissFanout(benchmark::State &state)
+{
+    privateMissFanout(state, true);
+}
+BENCHMARK(BM_PrivateMissFanout)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_PrivateMissFanoutExhaustive(benchmark::State &state)
+{
+    privateMissFanout(state, false);
+}
+BENCHMARK(BM_PrivateMissFanoutExhaustive)->Arg(2)->Arg(8)->Arg(32);
 
 /** End-to-end timed engine throughput (references per second). */
 void
@@ -109,6 +171,47 @@ BM_CheckerScan(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CheckerScan);
+
+/**
+ * Per-access checking cost over a populated system: incremental mode
+ * re-verifies only the line the access dirtied; full mode rescans the
+ * whole universe every access.
+ */
+void
+checkerPerAccess(benchmark::State &state, bool incremental)
+{
+    SystemConfig cfg;
+    cfg.checkEveryAccess = true;
+    cfg.incrementalCheck = incremental;
+    System sys{cfg};
+    CacheSpec spec;
+    spec.numSets = 64;
+    spec.assoc = 4;
+    sys.addCache(spec);
+    Rng rng(5);
+    for (int i = 0; i < 256; ++i)
+        sys.write(0, rng.below(1024) * 8, rng.next());
+    Word v = 0;
+    for (auto _ : state) {
+        ++v;
+        sys.write(0, (v % 1024) * 8, v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CheckerPerAccessIncremental(benchmark::State &state)
+{
+    checkerPerAccess(state, true);
+}
+BENCHMARK(BM_CheckerPerAccessIncremental);
+
+void
+BM_CheckerPerAccessFull(benchmark::State &state)
+{
+    checkerPerAccess(state, false);
+}
+BENCHMARK(BM_CheckerPerAccessFull);
 
 /** The abort/push/retry path (Illinois dirty read). */
 void

@@ -24,25 +24,7 @@ std::optional<MasterId>
 Arbiter::grant(const std::vector<bool> &requesting)
 {
     fbsim_assert(requesting.size() == masters_);
-    switch (kind_) {
-      case ArbitrationKind::FixedPriority:
-        for (std::size_t i = 0; i < masters_; ++i) {
-            if (requesting[i])
-                return static_cast<MasterId>(i);
-        }
-        return std::nullopt;
-
-      case ArbitrationKind::RoundRobin:
-        for (std::size_t k = 0; k < masters_; ++k) {
-            std::size_t i = (nextPriority_ + k) % masters_;
-            if (requesting[i]) {
-                nextPriority_ = (i + 1) % masters_;
-                return static_cast<MasterId>(i);
-            }
-        }
-        return std::nullopt;
-    }
-    return std::nullopt;
+    return grantWhere([&](std::size_t i) { return requesting[i]; });
 }
 
 } // namespace fbsim

@@ -45,6 +45,40 @@ class Arbiter
      */
     std::optional<MasterId> grant(const std::vector<bool> &requesting);
 
+    /**
+     * Same disciplines, but the request predicate is evaluated lazily
+     * in the arbiter's own scan order and the scan stops at the first
+     * requester.  Behaviorally identical to grant() on the vector
+     * [wants(0), ..., wants(n-1)]; callers whose predicate is costly
+     * (the engine probes each candidate's cache state) pay for only
+     * the masters actually examined.
+     */
+    template <typename Fn>
+    std::optional<MasterId> grantWhere(Fn &&wants)
+    {
+        switch (kind_) {
+          case ArbitrationKind::FixedPriority:
+            for (std::size_t i = 0; i < masters_; ++i) {
+                if (wants(i))
+                    return static_cast<MasterId>(i);
+            }
+            return std::nullopt;
+
+          case ArbitrationKind::RoundRobin:
+            for (std::size_t k = 0; k < masters_; ++k) {
+                std::size_t i = nextPriority_ + k;
+                if (i >= masters_)
+                    i -= masters_;
+                if (wants(i)) {
+                    nextPriority_ = i + 1 == masters_ ? 0 : i + 1;
+                    return static_cast<MasterId>(i);
+                }
+            }
+            return std::nullopt;
+        }
+        return std::nullopt;
+    }
+
   private:
     ArbitrationKind kind_;
     std::size_t masters_;

@@ -1,5 +1,7 @@
 #include "bus/bus.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fbsim {
@@ -24,13 +26,74 @@ Bus::attach(Snooper *snooper)
     for (const Snooper *s : snoopers_)
         fbsim_assert(s->snooperId() != snooper->snooperId());
     snoopers_.push_back(snooper);
+    // Filterable snoopers get one presence bit each; once the mask
+    // width is exhausted the overflow modules are simply never
+    // filtered (correct, just not fast).
+    std::uint64_t bit = 0;
+    if (snooper->filterable() && nextBit_ != 0) {
+        bit = nextBit_;
+        nextBit_ <<= 1;
+        bitOfId_.emplace(snooper->snooperId(), bit);
+    }
+    snooperBit_.push_back(bit);
+    snooperId_.push_back(snooper->snooperId());
+}
+
+void
+Bus::notePresence(MasterId id, LineAddr la, bool holds)
+{
+    auto it = bitOfId_.find(id);
+    if (it == bitOfId_.end())
+        return;
+    if (holds) {
+        presence_[la] |= it->second;
+    } else if (std::uint64_t *mask = presence_.find(la)) {
+        *mask &= ~it->second;
+        if (*mask == 0)
+            presence_.erase(la);
+    }
+}
+
+std::vector<Word>
+Bus::acquireLineBuffer()
+{
+    if (linePool_.empty())
+        return std::vector<Word>(slave_.wordsPerLine());
+    std::vector<Word> buf = std::move(linePool_.back());
+    linePool_.pop_back();
+    return buf;
+}
+
+void
+Bus::recycleLineBuffer(std::vector<Word> &&buf)
+{
+    if (buf.capacity() < slave_.wordsPerLine())
+        return;
+    // The pool never needs more buffers than the deepest transaction
+    // nesting; a small cap keeps stray donations from accumulating.
+    if (linePool_.size() >= 8)
+        return;
+    linePool_.push_back(std::move(buf));
+}
+
+Bus::AttemptScratch &
+Bus::scratchFor(unsigned depth)
+{
+    while (scratch_.size() <= depth)
+        scratch_.push_back(std::make_unique<AttemptScratch>());
+    return *scratch_[depth];
 }
 
 BusResult
-Bus::execute(const BusRequest &req)
+Bus::execute(const BusRequest &req_in)
 {
-    fbsim_assert(classifyBusEvent(req.cmd, req.sig).has_value());
+    std::optional<BusEvent> ev = classifyBusEvent(req_in.cmd, req_in.sig);
+    fbsim_assert(ev.has_value());
     fbsim_assert(depth_ < 4);
+    // Stamp the classified event once; every snooper reads it from the
+    // request instead of re-deriving it per module.
+    BusRequest req = req_in;
+    req.event = *ev;
 
     BusResult result;
     for (unsigned round = 0; round <= maxRetries_; ++round) {
@@ -91,16 +154,39 @@ Bus::attempt(const BusRequest &req, bool &aborted)
     ++stats_.addressCycles;
 
     // Phase 1: broadcast address cycle; gather wired-OR responses.
-    // Every attached module other than the master participates.
-    std::vector<Snooper *> participants;
-    std::vector<SnoopReply> replies;
-    participants.reserve(snoopers_.size());
+    // Every attached module other than the master participates - but
+    // with the snoop filter on, a filterable module whose presence bit
+    // is clear cannot hold the line, so its (empty) response is known
+    // without asking.  Scratch is per nesting depth: an abort push
+    // nested inside this attempt runs its own attempt on this bus.
+    AttemptScratch &scratch = scratchFor(depth_);
+    scratch.participants.clear();
+    scratch.chFlags.clear();
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (filterEnabled_) {
+        const std::uint64_t *m = presence_.find(req.line);
+        mask = m ? *m : 0;
+    }
     ResponseSignals wired;
     Snooper *di_owner = nullptr;
     Snooper *bs_owner = nullptr;
-    for (Snooper *s : snoopers_) {
-        if (s->snooperId() == req.master)
+    unsigned ch_count = 0;
+    std::uint64_t suppressed = 0;
+    for (std::size_t i = 0; i < snoopers_.size(); ++i) {
+        Snooper *s = snoopers_[i];
+        if (snooperId_[i] == req.master)
             continue;
+        std::uint64_t bit = snooperBit_[i];
+        if (bit != 0 && (mask & bit) == 0) {
+            ++suppressed;
+            if (crossCheck_ && s->holdsLine(req.line)) {
+                fbsim_panic("snoop filter suppressed module %u which "
+                            "holds line %llu",
+                            s->snooperId(),
+                            static_cast<unsigned long long>(req.line));
+            }
+            continue;
+        }
         SnoopReply reply = s->snoop(req);
         wired = wired | reply.resp;
         if (reply.resp.di) {
@@ -112,9 +198,12 @@ Bus::attempt(const BusRequest &req, bool &aborted)
             fbsim_assert(bs_owner == nullptr);
             bs_owner = s;
         }
-        participants.push_back(s);
-        replies.push_back(reply);
+        ch_count += reply.resp.ch ? 1 : 0;
+        scratch.participants.push_back(s);
+        scratch.chFlags.push_back(reply.resp.ch ? 1 : 0);
     }
+    filterStats_.snoopsSuppressed += suppressed;
+    filterStats_.snoopsInvoked += scratch.participants.size();
 
     // Phase 2: abort if anyone is busy; the owner pushes and we retry.
     if (bs_owner) {
@@ -134,10 +223,18 @@ Bus::attempt(const BusRequest &req, bool &aborted)
     bool from_cache = false;
     SlaveResult sres;
     if (req.cmd == BusCmd::Read) {
-        result.line.assign(slave_.wordsPerLine(), 0);
+        result.line = acquireLineBuffer();
+        fbsim_assert(result.line.size() == slave_.wordsPerLine());
         if (di_owner) {
             di_owner->supplyLine(req, result.line);
             from_cache = true;
+        } else if (req.fromBridge) {
+            // A down-forwarded read with no local owner has no data
+            // phase on this bus (the requester above already has the
+            // memory copy); hand back a defined, zeroed line.  Every
+            // other path overwrites the full buffer: supplyLine and
+            // the memory slave both copy wordsPerLine words.
+            std::fill(result.line.begin(), result.line.end(), Word{0});
         }
     }
     if (!req.fromBridge) {
@@ -149,14 +246,13 @@ Bus::attempt(const BusRequest &req, bool &aborted)
 
     // Phase 4: commit.  Each snooper resolves CH-conditional results
     // against the OR of the *other* modules' CH (itself excluded),
-    // including retention signalled from beyond this bus.
-    for (std::size_t i = 0; i < participants.size(); ++i) {
-        bool others_ch = sres.resp.ch || req.chHint;
-        for (std::size_t j = 0; j < replies.size() && !others_ch; ++j) {
-            if (j != i && replies[j].resp.ch)
-                others_ch = true;
-        }
-        participants[i]->commit(req, others_ch);
+    // including retention signalled from beyond this bus.  With the
+    // total CH count in hand this is one subtraction per snooper.
+    bool external_ch = sres.resp.ch || req.chHint;
+    for (std::size_t i = 0; i < scratch.participants.size(); ++i) {
+        bool others_ch =
+            external_ch || ch_count > (scratch.chFlags[i] ? 1u : 0u);
+        scratch.participants[i]->commit(req, others_ch);
     }
 
     result.resp = wired;

@@ -30,10 +30,13 @@
 #define FBSIM_BUS_BUS_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "bus/cost_model.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "core/events.h"
 #include "bus/memory_slave.h"
@@ -63,6 +66,12 @@ struct BusRequest
      * addition to this bus's own CH.
      */
     bool chHint = false;
+    /**
+     * The paper's bus-event column for (cmd, sig), stamped by
+     * Bus::execute() so each of the N snoopers reads it instead of
+     * re-deriving it.  Requesters never need to set this.
+     */
+    BusEvent event = BusEvent::ReadByCache;
 };
 
 /** What a snooper drives during the address cycle. */
@@ -99,6 +108,27 @@ class Snooper
     /** The module's bus id. */
     virtual MasterId snooperId() const = 0;
 
+    /**
+     * True if the bus's snoop filter may suppress this module's
+     * snoop() when its presence bit (maintained via notePresence) is
+     * clear.  Only modules whose snoop() is a pure function of held
+     * lines may opt in: a cache with no valid copy of the line neither
+     * responds nor changes state, so skipping it is unobservable.
+     * Modules with snoop side effects beyond held lines (bus bridges
+     * track remote sharing on every address cycle) must return false
+     * and are always snooped.
+     */
+    virtual bool filterable() const { return false; }
+
+    /**
+     * Cross-check probe: does this module hold a valid copy of `la`?
+     * Only consulted in snoop-filter cross-check mode, to assert the
+     * filter never suppresses a module that holds the line.  The
+     * conservative default ("maybe") would trip the assert, which is
+     * correct: only filterable modules are ever suppressed.
+     */
+    virtual bool holdsLine(LineAddr la) const { (void)la; return true; }
+
     /** Address cycle: choose and latch a response; no state change. */
     virtual SnoopReply snoop(const BusRequest &req) = 0;
 
@@ -134,6 +164,20 @@ struct BusStats
     std::uint64_t addressCycles = 0;     ///< incl. aborted attempts
     std::uint64_t dataWords = 0;         ///< total words moved
     Cycles busyCycles = 0;               ///< total bus occupancy
+
+    /** Filtered and exhaustive runs of one workload must agree. */
+    bool operator==(const BusStats &) const = default;
+};
+
+/**
+ * Snoop-filter effectiveness counters.  Kept separate from BusStats:
+ * transaction-level statistics are identical between filtered and
+ * exhaustive runs (and tests assert so); these two necessarily differ.
+ */
+struct SnoopFilterStats
+{
+    std::uint64_t snoopsInvoked = 0;     ///< snoop() calls made
+    std::uint64_t snoopsSuppressed = 0;  ///< calls skipped by the filter
 };
 
 /**
@@ -173,21 +217,84 @@ class Bus
     /** Execute one transaction to completion (including retries). */
     BusResult execute(const BusRequest &req);
 
+    /**
+     * Presence notification from a filterable snooper: `holds` says
+     * whether `id` now holds a valid copy of `la`.  Drives the snoop
+     * filter's per-line presence bitmask.  Notifications from modules
+     * that never registered (or exceeded the bitmask width) are
+     * ignored; such modules are always snooped.
+     */
+    void notePresence(MasterId id, LineAddr la, bool holds);
+
+    /**
+     * Enable/disable the snoop-filter fast path.  When disabled every
+     * attached snooper sees every address cycle (the paper's literal
+     * broadcast).  Presence is maintained either way, so the filter
+     * can be toggled mid-run.
+     */
+    void setSnoopFilterEnabled(bool on) { filterEnabled_ = on; }
+    bool snoopFilterEnabled() const { return filterEnabled_; }
+
+    /**
+     * Debug cross-check: suppressed snoopers are probed via
+     * holdsLine() and the bus panics if the filter would have
+     * silenced a module holding a valid copy.
+     */
+    void setSnoopCrossCheck(bool on) { crossCheck_ = on; }
+
+    /**
+     * Take a line-sized buffer from the bus's pool (capacity
+     * wordsPerLine(); contents unspecified).  Read results are built
+     * in pooled buffers; consumers that keep the data can swap their
+     * own storage into the result and recycle it, making steady-state
+     * line fills allocation-free.
+     */
+    std::vector<Word> acquireLineBuffer();
+
+    /** Return a buffer obtained from acquireLineBuffer (or any vector
+     *  of suitable capacity) to the pool. */
+    void recycleLineBuffer(std::vector<Word> &&buf);
+
     const BusCostModel &costModel() const { return cost_; }
     BusStats &stats() { return stats_; }
     const BusStats &stats() const { return stats_; }
+    const SnoopFilterStats &filterStats() const { return filterStats_; }
     MemorySlave &slave() { return slave_; }
     std::size_t wordsPerLine() const { return slave_.wordsPerLine(); }
 
   private:
+    /** Per-nesting-depth scratch state for one transaction attempt
+     *  (reused across attempts; nested abort pushes get their own). */
+    struct AttemptScratch
+    {
+        std::vector<Snooper *> participants;
+        std::vector<std::uint8_t> chFlags;
+    };
+
     BusResult attempt(const BusRequest &req, bool &aborted);
+    AttemptScratch &scratchFor(unsigned depth);
 
     MemorySlave &slave_;
     BusCostModel cost_;
     unsigned maxRetries_;
     std::vector<Snooper *> snoopers_;
+    /** Presence-bitmask bit of each snooper (parallel to snoopers_);
+     *  0 = not filterable, always snooped. */
+    std::vector<std::uint64_t> snooperBit_;
+    /** Each snooper's id (parallel to snoopers_), cached at attach so
+     *  the attempt loop's requester-skip needs no virtual call. */
+    std::vector<MasterId> snooperId_;
+    std::unordered_map<MasterId, std::uint64_t> bitOfId_;
+    std::uint64_t nextBit_ = 1;
+    /** line -> OR of presence bits of snoopers holding a valid copy. */
+    FlatMap64<std::uint64_t> presence_;
+    bool filterEnabled_ = true;
+    bool crossCheck_ = false;
     std::vector<BusObserver *> observers_;
     BusStats stats_;
+    SnoopFilterStats filterStats_;
+    std::vector<std::unique_ptr<AttemptScratch>> scratch_;
+    std::vector<std::vector<Word>> linePool_;
     unsigned depth_ = 0;   ///< nested-push depth guard
 };
 

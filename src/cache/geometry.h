@@ -12,6 +12,7 @@
 #ifndef FBSIM_CACHE_GEOMETRY_H_
 #define FBSIM_CACHE_GEOMETRY_H_
 
+#include <bit>
 #include <cstddef>
 
 #include "common/types.h"
@@ -32,21 +33,35 @@ struct CacheGeometry
     std::size_t capacityBytes() const
     { return lineBytes * numSets * assoc; }
 
-    /** Line address containing the byte address. */
-    LineAddr lineOf(Addr a) const { return a / lineBytes; }
+    /**
+     * Line address containing the byte address.  lineBytes and
+     * numSets are powers of two (validate() enforces it), so the
+     * address arithmetic below is shift/mask rather than the integer
+     * divisions the compiler would otherwise emit for runtime
+     * divisors - these run on every cache lookup.
+     */
+    LineAddr
+    lineOf(Addr a) const
+    {
+        return a >> std::countr_zero(lineBytes);
+    }
 
     /** First byte address of a line. */
-    Addr lineBase(LineAddr la) const { return la * lineBytes; }
+    Addr
+    lineBase(LineAddr la) const
+    {
+        return la << std::countr_zero(lineBytes);
+    }
 
     /** Index of the word within its line. */
     std::size_t
     wordIndex(Addr a) const
     {
-        return (a % lineBytes) / kWordBytes;
+        return (a & (lineBytes - 1)) / kWordBytes;
     }
 
     /** Set index for a line address. */
-    std::size_t setOf(LineAddr la) const { return la % numSets; }
+    std::size_t setOf(LineAddr la) const { return la & (numSets - 1); }
 
     /** fatal()s if the geometry is malformed (sizes, powers of two). */
     void validate() const;

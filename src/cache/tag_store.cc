@@ -16,11 +16,19 @@ TagStore::TagStore(const CacheGeometry &geometry, ReplacementKind repl,
 CacheLine *
 TagStore::find(LineAddr la)
 {
+    // Last-hit shortcut: lookups cluster heavily on the line just
+    // touched (snoop + commit of one transaction, read-then-write
+    // sequences).  lines_ never reallocates, and the full tag + state
+    // check below keeps the cached pointer from ever lying.
+    if (lastHit_ && lastHit_->valid() && lastHit_->addr == la)
+        return lastHit_;
     std::size_t set = geom_.setOf(la);
     for (std::size_t w = 0; w < geom_.assoc; ++w) {
         CacheLine &line = lines_[set * geom_.assoc + w];
-        if (line.valid() && line.addr == la)
+        if (line.valid() && line.addr == la) {
+            lastHit_ = &line;
             return &line;
+        }
     }
     return nullptr;
 }
@@ -28,11 +36,15 @@ TagStore::find(LineAddr la)
 const CacheLine *
 TagStore::peek(LineAddr la) const
 {
+    if (lastHit_ && lastHit_->valid() && lastHit_->addr == la)
+        return lastHit_;
     std::size_t set = geom_.setOf(la);
     for (std::size_t w = 0; w < geom_.assoc; ++w) {
         const CacheLine &line = lines_[set * geom_.assoc + w];
-        if (line.valid() && line.addr == la)
+        if (line.valid() && line.addr == la) {
+            lastHit_ = const_cast<CacheLine *>(&line);
             return &line;
+        }
     }
     return nullptr;
 }
@@ -95,8 +107,10 @@ TagStore::validLineCount() const
 std::size_t
 TagStore::wayOf(const CacheLine &line) const
 {
+    // idx == set * assoc + way by construction; recovering the way
+    // with a multiply avoids a division by the runtime-valued assoc.
     std::size_t idx = static_cast<std::size_t>(&line - lines_.data());
-    return idx % geom_.assoc;
+    return idx - geom_.setOf(line.addr) * geom_.assoc;
 }
 
 } // namespace fbsim

@@ -86,6 +86,8 @@ class TagStore
     CacheGeometry geom_;
     std::unique_ptr<ReplacementPolicy> repl_;
     std::vector<CacheLine> lines_;   // sets x ways, row-major
+    /** Last line find()/peek() returned; revalidated on every use. */
+    mutable CacheLine *lastHit_ = nullptr;
 };
 
 } // namespace fbsim

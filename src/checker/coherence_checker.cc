@@ -21,19 +21,6 @@ CoherenceChecker::addCache(const SnoopingCache *cache)
     caches_.push_back(cache);
 }
 
-void
-CoherenceChecker::noteWrite(Addr addr, Word value)
-{
-    oracle_[addr & ~(kWordBytes - 1)] = value;
-}
-
-Word
-CoherenceChecker::expected(Addr addr) const
-{
-    auto it = oracle_.find(addr & ~(kWordBytes - 1));
-    return it == oracle_.end() ? 0 : it->second;
-}
-
 std::string
 CoherenceChecker::noteRead(Addr addr, Word value) const
 {
@@ -44,6 +31,13 @@ CoherenceChecker::noteRead(Addr addr, Word value) const
                      static_cast<unsigned long long>(addr),
                      static_cast<unsigned long long>(value),
                      static_cast<unsigned long long>(want));
+}
+
+void
+CoherenceChecker::onTransaction(const BusRequest &req, const BusResult &)
+{
+    if (trackDirty_)
+        dirty_.insert(req.line);
 }
 
 std::vector<std::string>
@@ -60,106 +54,125 @@ CoherenceChecker::checkInvariants() const
     }
     memory_.forEachLine(
         [&](LineAddr la, std::span<const Word>) { lines.insert(la); });
-    for (const auto &[addr, value] : oracle_) {
-        (void)value;
-        lines.insert(addr / lineBytes_);
-    }
+    oracle_.forEach([&](Addr word_idx, Word) {
+        lines.insert(word_idx / wordsPerLine_);
+    });
 
-    auto word_addr = [&](LineAddr la, std::size_t wi) {
-        return la * lineBytes_ + wi * kWordBytes;
+    for (LineAddr la : lines)
+        checkLine(la, violations);
+    return violations;
+}
+
+std::vector<std::string>
+CoherenceChecker::checkDirtyLines()
+{
+    ++checksRun_;
+    std::vector<std::string> violations;
+    for (LineAddr la : dirty_)
+        checkLine(la, violations);
+    dirty_.clear();
+    return violations;
+}
+
+void
+CoherenceChecker::checkLine(LineAddr la,
+                            std::vector<std::string> &violations) const
+{
+    int exclusive_holders = 0;
+    int owners = 0;
+    int valid_holders = 0;
+    const SnoopingCache *exclusive_cache = nullptr;
+
+    // Oracle lookup by flat word index - one multiply, no byte-address
+    // remasking per word.
+    auto expected_word = [&](std::size_t wi) {
+        const Word *v = oracle_.find(la * wordsPerLine_ + wi);
+        return v ? *v : Word{0};
     };
 
-    for (LineAddr la : lines) {
-        int exclusive_holders = 0;
-        int owners = 0;
-        int valid_holders = 0;
-        const SnoopingCache *exclusive_cache = nullptr;
+    for (const SnoopingCache *cache : caches_) {
+        const CacheLine *line = cache->peekLine(la);
+        if (!line)
+            continue;
+        ++valid_holders;
+        if (isExclusive(line->state)) {
+            ++exclusive_holders;
+            exclusive_cache = cache;
+        }
+        if (isOwned(line->state))
+            ++owners;
 
-        for (const SnoopingCache *cache : caches_) {
-            const CacheLine *line = cache->peekLine(la);
-            if (!line)
-                continue;
-            ++valid_holders;
-            if (isExclusive(line->state)) {
-                ++exclusive_holders;
-                exclusive_cache = cache;
+        // V1: every valid copy matches the shared image.
+        for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
+            Word want = expected_word(wi);
+            if (line->data[wi] != want) {
+                violations.push_back(strprintf(
+                    "V1: cache %u holds line 0x%llx word %zu = "
+                    "0x%llx in state %s, shared image is 0x%llx",
+                    cache->clientId(),
+                    static_cast<unsigned long long>(la), wi,
+                    static_cast<unsigned long long>(line->data[wi]),
+                    std::string(stateName(line->state)).c_str(),
+                    static_cast<unsigned long long>(want)));
             }
-            if (isOwned(line->state))
-                ++owners;
+        }
 
-            // V1: every valid copy matches the shared image.
+        // V3: exclusive-unowned data matches main memory.
+        if (line->state == State::E) {
             for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
-                Word want = expected(word_addr(la, wi));
-                if (line->data[wi] != want) {
+                Word mem = memory_.peekWord(la, wi);
+                if (line->data[wi] != mem) {
                     violations.push_back(strprintf(
-                        "V1: cache %u holds line 0x%llx word %zu = "
-                        "0x%llx in state %s, shared image is 0x%llx",
+                        "V3: cache %u line 0x%llx word %zu in E = "
+                        "0x%llx but memory = 0x%llx",
                         cache->clientId(),
                         static_cast<unsigned long long>(la), wi,
-                        static_cast<unsigned long long>(line->data[wi]),
-                        std::string(stateName(line->state)).c_str(),
-                        static_cast<unsigned long long>(want)));
-                }
-            }
-
-            // V3: exclusive-unowned data matches main memory.
-            if (line->state == State::E) {
-                for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
-                    Word mem = memory_.peekWord(la, wi);
-                    if (line->data[wi] != mem) {
-                        violations.push_back(strprintf(
-                            "V3: cache %u line 0x%llx word %zu in E = "
-                            "0x%llx but memory = 0x%llx",
-                            cache->clientId(),
-                            static_cast<unsigned long long>(la), wi,
-                            static_cast<unsigned long long>(
-                                line->data[wi]),
-                            static_cast<unsigned long long>(mem)));
-                    }
-                }
-            }
-        }
-
-        // U1: exclusivity.
-        if (exclusive_holders > 1 ||
-            (exclusive_holders == 1 && valid_holders > 1)) {
-            violations.push_back(strprintf(
-                "U1: line 0x%llx has %d exclusive holder(s) among %d "
-                "valid holder(s)%s",
-                static_cast<unsigned long long>(la), exclusive_holders,
-                valid_holders,
-                exclusive_cache
-                    ? strprintf(" (exclusive in cache %u)",
-                                exclusive_cache->clientId())
-                          .c_str()
-                    : ""));
-        }
-
-        // U2: unique ownership.
-        if (owners > 1) {
-            violations.push_back(strprintf(
-                "U2: line 0x%llx is owned by %d caches",
-                static_cast<unsigned long long>(la), owners));
-        }
-
-        // V2: memory is the default owner - when no cache owns the
-        // line, memory must hold the shared image.
-        if (owners == 0) {
-            for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
-                Word want = expected(word_addr(la, wi));
-                Word mem = memory_.peekWord(la, wi);
-                if (mem != want) {
-                    violations.push_back(strprintf(
-                        "V2: line 0x%llx word %zu unowned; memory = "
-                        "0x%llx, shared image is 0x%llx",
-                        static_cast<unsigned long long>(la), wi,
-                        static_cast<unsigned long long>(mem),
-                        static_cast<unsigned long long>(want)));
+                        static_cast<unsigned long long>(
+                            line->data[wi]),
+                        static_cast<unsigned long long>(mem)));
                 }
             }
         }
     }
-    return violations;
+
+    // U1: exclusivity.
+    if (exclusive_holders > 1 ||
+        (exclusive_holders == 1 && valid_holders > 1)) {
+        violations.push_back(strprintf(
+            "U1: line 0x%llx has %d exclusive holder(s) among %d "
+            "valid holder(s)%s",
+            static_cast<unsigned long long>(la), exclusive_holders,
+            valid_holders,
+            exclusive_cache
+                ? strprintf(" (exclusive in cache %u)",
+                            exclusive_cache->clientId())
+                      .c_str()
+                : ""));
+    }
+
+    // U2: unique ownership.
+    if (owners > 1) {
+        violations.push_back(strprintf(
+            "U2: line 0x%llx is owned by %d caches",
+            static_cast<unsigned long long>(la), owners));
+    }
+
+    // V2: memory is the default owner - when no cache owns the
+    // line, memory must hold the shared image.
+    if (owners == 0) {
+        for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
+            Word want = expected_word(wi);
+            Word mem = memory_.peekWord(la, wi);
+            if (mem != want) {
+                violations.push_back(strprintf(
+                    "V2: line 0x%llx word %zu unowned; memory = "
+                    "0x%llx, shared image is 0x%llx",
+                    static_cast<unsigned long long>(la), wi,
+                    static_cast<unsigned long long>(mem),
+                    static_cast<unsigned long long>(want)));
+            }
+        }
+    }
 }
 
 } // namespace fbsim

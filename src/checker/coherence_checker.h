@@ -19,6 +19,17 @@
  * Value oracle: because bus transactions are atomic and the bus
  * serializes all accesses, every read must return the globally last
  * value written to that word (sequential consistency per location).
+ *
+ * Two scan modes exist.  checkInvariants() audits the full line
+ * universe (every line any cache, the memory or the oracle knows).
+ * checkDirtyLines() audits only lines touched since the last scan:
+ * the checker registers as a BusObserver on every bus of the system
+ * and marks the line of each completed transaction, and noteWrite()
+ * marks locally-written lines.  Lines not marked cannot have gained a
+ * violation - every state or data change is either a local write (V1
+ * territory, marked by noteWrite) or part of a bus transaction
+ * (marked by onTransaction); silently dropping a clean copy only
+ * removes holders, which cannot newly violate U1/U2/V2/V3.
  */
 
 #ifndef FBSIM_CHECKER_COHERENCE_CHECKER_H_
@@ -26,8 +37,11 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "bus/bus.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "memory/main_memory.h"
 #include "protocols/snooping_cache.h"
@@ -35,7 +49,7 @@
 namespace fbsim {
 
 /** The checker's view of the system under test. */
-class CoherenceChecker
+class CoherenceChecker : public BusObserver
 {
   public:
     /** @param memory backing store.
@@ -45,8 +59,14 @@ class CoherenceChecker
     /** Register a cache to be inspected (any number). */
     void addCache(const SnoopingCache *cache);
 
-    /** Record a processor write (updates the oracle). */
-    void noteWrite(Addr addr, Word value);
+    /** Record a processor write (updates the oracle, dirties the
+     *  line). */
+    void noteWrite(Addr addr, Word value)
+    {
+        oracle_[wordKey(addr)] = value;
+        if (trackDirty_)
+            dirty_.insert(addr / lineBytes_);
+    }
 
     /**
      * Record a processor read; returns an error description when the
@@ -55,7 +75,15 @@ class CoherenceChecker
     std::string noteRead(Addr addr, Word value) const;
 
     /** Oracle value for a word address. */
-    Word expected(Addr addr) const;
+    Word expected(Addr addr) const
+    {
+        const Word *v = oracle_.find(wordKey(addr));
+        return v ? *v : 0;
+    }
+
+    /** BusObserver: every completed transaction dirties its line. */
+    void onTransaction(const BusRequest &req,
+                       const BusResult &result) override;
 
     /**
      * Run the structural invariants (U1, U2, V1, V2, V3) over every
@@ -64,15 +92,47 @@ class CoherenceChecker
      */
     std::vector<std::string> checkInvariants() const;
 
+    /**
+     * Incremental scan: run the invariants only over lines dirtied
+     * since the last checkDirtyLines() call, then clear the dirty
+     * set.  Used by the per-access checking mode, where each access
+     * can only have perturbed the lines it transacted on.
+     */
+    std::vector<std::string> checkDirtyLines();
+
+    /** Lines currently marked dirty (for tests/reporting). */
+    std::size_t dirtyLineCount() const { return dirty_.size(); }
+
+    /**
+     * Enable/disable dirty-line tracking.  When nothing consumes
+     * checkDirtyLines() (per-access checking off, or in full-scan
+     * mode) the per-write and per-transaction set inserts are wasted
+     * work on the hot path; the system turns tracking off then.
+     */
+    void setTrackDirty(bool on)
+    {
+        trackDirty_ = on;
+        if (!on)
+            dirty_.clear();
+    }
+
     /** Total checks performed (for reporting). */
     std::uint64_t checksRun() const { return checksRun_; }
 
   private:
+    /** Run all invariants for one line, appending violations. */
+    void checkLine(LineAddr la, std::vector<std::string> &out) const;
+
+    /** Oracle key: word-aligned index into the flat address space. */
+    static Addr wordKey(Addr addr) { return addr / kWordBytes; }
+
     const MainMemory &memory_;
     std::size_t lineBytes_;
     std::size_t wordsPerLine_;
     std::vector<const SnoopingCache *> caches_;
-    std::unordered_map<Addr, Word> oracle_;   ///< word addr -> value
+    FlatMap64<Word> oracle_;                  ///< word index -> value
+    std::unordered_set<LineAddr> dirty_;
+    bool trackDirty_ = true;
     mutable std::uint64_t checksRun_ = 0;
 };
 

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * A minimal open-addressing hash map for 64-bit integer keys.
+ *
+ * The simulator's hottest lookups (the checker's value oracle, the
+ * bus's snoop-filter presence mask) are word- or line-address keyed
+ * maps probed on every access.  libstdc++'s std::unordered_map costs
+ * a modulo-by-prime plus a node indirection per probe; this map uses
+ * a power-of-two table with a multiplicative hash and linear probing,
+ * so the common hit is one multiply, one shift and one cache line.
+ *
+ * Empty slots are marked with a reserved key (~0) rather than a flag
+ * byte, which keeps a <uint64, uint64> slot at 16 bytes - four slots
+ * per cache line instead of two.  Address-derived keys (word indices,
+ * line numbers) can never reach 2^64 - 1, and inserts assert it.
+ *
+ * Deliberately tiny API: find / insert-or-assign / erase / iterate.
+ * Values must be trivially movable; erase uses backward-shift
+ * deletion, so no tombstones accumulate.  Not a general container -
+ * pointers returned by find() are invalidated by any mutation.
+ */
+
+#ifndef FBSIM_COMMON_FLAT_MAP_H_
+#define FBSIM_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+/** Open-addressing map from std::uint64_t to V.  The key ~0 is
+ *  reserved as the empty marker and must never be inserted. */
+template <typename V>
+class FlatMap64
+{
+  public:
+    FlatMap64() { rehash(kMinSlots); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void clear()
+    {
+        slots_.clear();
+        size_ = 0;
+        rehash(kMinSlots);
+    }
+
+    /** Pointer to the mapped value, or nullptr if absent.  Invalidated
+     *  by any mutating call. */
+    V *find(std::uint64_t key)
+    {
+        std::size_t i = indexOf(key);
+        while (slots_[i].key != kEmpty) {
+            if (slots_[i].key == key)
+                return &slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    const V *find(std::uint64_t key) const
+    {
+        return const_cast<FlatMap64 *>(this)->find(key);
+    }
+
+    /** Value for key, default-constructing it if absent. */
+    V &operator[](std::uint64_t key)
+    {
+        fbsim_assert(key != kEmpty);
+        std::size_t i = indexOf(key);
+        while (slots_[i].key != kEmpty) {
+            if (slots_[i].key == key)
+                return slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        if (size_ + 1 > (slots_.size() / 4) * 3) {
+            rehash(slots_.size() * 2);
+            i = indexOf(key);
+            while (slots_[i].key != kEmpty)
+                i = (i + 1) & mask_;
+        }
+        slots_[i].key = key;
+        slots_[i].value = V{};
+        ++size_;
+        return slots_[i].value;
+    }
+
+    /** Remove key if present; returns whether it was. */
+    bool erase(std::uint64_t key)
+    {
+        std::size_t i = indexOf(key);
+        while (slots_[i].key != kEmpty) {
+            if (slots_[i].key == key) {
+                // Backward-shift deletion keeps probe chains intact
+                // without tombstones.
+                std::size_t hole = i;
+                std::size_t j = (i + 1) & mask_;
+                while (slots_[j].key != kEmpty) {
+                    std::size_t home = indexOf(slots_[j].key);
+                    // Move j into the hole unless j sits between its
+                    // home and the hole (cyclically), i.e. moving it
+                    // would break its own probe chain.
+                    bool movable = ((j - home) & mask_) >=
+                                   ((j - hole) & mask_);
+                    if (movable) {
+                        slots_[hole] = std::move(slots_[j]);
+                        hole = j;
+                    }
+                    j = (j + 1) & mask_;
+                }
+                slots_[hole].key = kEmpty;
+                slots_[hole].value = V{};
+                --size_;
+                return true;
+            }
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** Visit every (key, value) pair in unspecified order. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_) {
+            if (s.key != kEmpty)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+    struct Slot
+    {
+        std::uint64_t key = kEmpty;
+        V value{};
+    };
+
+    static constexpr std::size_t kMinSlots = 16;
+
+    std::size_t indexOf(std::uint64_t key) const
+    {
+        // Fibonacci hashing: sequential line/word addresses spread
+        // over the top bits, which the mask then selects.
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ull) >> shift_) &
+               mask_;
+    }
+
+    void rehash(std::size_t new_slots)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_slots, Slot{});
+        mask_ = new_slots - 1;
+        shift_ = 64;
+        for (std::size_t n = new_slots; n > 1; n >>= 1)
+            --shift_;
+        for (Slot &s : old) {
+            if (s.key == kEmpty)
+                continue;
+            std::size_t i = indexOf(s.key);
+            while (slots_[i].key != kEmpty)
+                i = (i + 1) & mask_;
+            slots_[i] = std::move(s);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 64;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_COMMON_FLAT_MAP_H_

@@ -19,12 +19,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -34,66 +28,34 @@ Rng::Rng(std::uint64_t seed)
         s = splitmix64(x);
 }
 
-std::uint64_t
-Rng::next()
+void
+Rng::geometricRetune(double p)
 {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::below(std::uint64_t bound)
-{
-    fbsim_assert(bound != 0);
-    // Debiased modulo via rejection on the tail.
-    const std::uint64_t threshold = (0 - bound) % bound;
-    for (;;) {
-        std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
+    fbsim_assert(p > 0.0 && p <= 1.0);
+    geomP_ = p;
+    if (p >= 1.0)
+        return;
+    geomLogDenom_ = std::log1p(-p);
+    // cdf[k] = P(K <= k) = 1 - (1-p)^(k+1), stored as the smallest
+    // 53-bit draw NOT accepted at k (see geometric()).
+    double q = 1.0 - p;
+    double qk = 1.0;
+    for (std::size_t k = 0; k < kGeomTable; ++k) {
+        qk *= q;
+        geomThresh_[k] = static_cast<std::uint64_t>(
+            std::ceil((1.0 - qk) * 0x1.0p53));
     }
 }
 
 std::uint64_t
-Rng::range(std::uint64_t lo, std::uint64_t hi)
+Rng::geometricTail(double u)
 {
-    fbsim_assert(lo <= hi);
-    return lo + below(hi - lo + 1);
-}
-
-double
-Rng::uniform()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
-}
-
-std::uint64_t
-Rng::geometric(double p)
-{
-    fbsim_assert(p > 0.0 && p <= 1.0);
-    if (p >= 1.0)
-        return 0;
-    double u = uniform();
-    // Inverse transform; u in [0,1) keeps log argument positive.
-    double k = std::floor(std::log1p(-u) / std::log1p(-p));
-    return k < 0 ? 0 : static_cast<std::uint64_t>(k);
+    // Inverse transform; u in [0,1) keeps the log argument positive.
+    double k = std::floor(std::log1p(-u) / geomLogDenom_);
+    double floor_table = static_cast<double>(kGeomTable);
+    if (k < floor_table)
+        k = floor_table;
+    return static_cast<std::uint64_t>(k);
 }
 
 Rng

@@ -7,13 +7,20 @@
  * explicitly seeded Rng instances so that runs are reproducible across
  * platforms and standard library versions.  The generator is
  * xoshiro256**, seeded via SplitMix64.
+ *
+ * The draw members are defined inline: workload generation sits on the
+ * simulator's hot path and the call overhead of an out-of-line next()
+ * per reference is measurable.
  */
 
 #ifndef FBSIM_COMMON_RANDOM_H_
 #define FBSIM_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <cstddef>
+
+#include "common/logging.h"
 
 namespace fbsim {
 
@@ -39,31 +46,106 @@ class Rng
     result_type operator()() { return next(); }
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound); bound must be nonzero. */
-    std::uint64_t below(std::uint64_t bound);
+    std::uint64_t below(std::uint64_t bound)
+    {
+        fbsim_assert(bound != 0);
+        // Debiased multiply-shift (Lemire 2019): the common case is
+        // one 128-bit multiply, no division; the rejection threshold
+        // is only computed when the low half lands in the biased zone
+        // (probability bound / 2^64).
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial: true with probability p (clamped to [0,1]). */
-    bool chance(double p);
+    bool chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        // Integer threshold compare; for p in (0,1) the product is
+        // below 2^64 (the largest double < 1 maps to 2^64 - 2^11), so
+        // the cast is well defined.
+        return next() < static_cast<std::uint64_t>(p * 0x1.0p64);
+    }
 
     /**
      * Geometric re-reference distance: returns k >= 0 with
      * P(k) = p * (1-p)^k; used for temporal locality in workloads.
      */
-    std::uint64_t geometric(double p);
+    std::uint64_t geometric(double p)
+    {
+        if (p != geomP_)
+            geometricRetune(p);
+        if (p >= 1.0)
+            return 0;
+        // r/2^53 is the uniform draw; r < ceil(cdf * 2^53) is exactly
+        // u < cdf for integer r, so the walk never touches a double.
+        const std::uint64_t r = next() >> 11;
+        for (std::size_t k = 0; k < kGeomTable; ++k) {
+            if (r < geomThresh_[k])
+                return k;
+        }
+        return geometricTail(static_cast<double>(r) * 0x1.0p-53);
+    }
 
     /** Fork an independent stream (e.g., one per processor). */
     Rng fork();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    void geometricRetune(double p);
+    std::uint64_t geometricTail(double u);
+
     std::uint64_t s_[4];
+    // geometric() inverts the CDF by walking a memoized threshold
+    // table (thresh[k] = ceil((1 - (1-p)^(k+1)) * 2^53)): one raw
+    // draw per call and no per-draw transcendental.  Draws landing
+    // beyond the table fall back to the log-based inversion.
+    static constexpr std::size_t kGeomTable = 32;
+    double geomP_ = -1.0;
+    double geomLogDenom_ = 0.0;
+    std::array<std::uint64_t, kGeomTable> geomThresh_{};
 };
 
 } // namespace fbsim

@@ -119,6 +119,14 @@ class ActionChooser
     /** Pick the response to a snooped bus event. */
     virtual SnoopAction chooseSnoop(ClientKind kind, State s, BusEvent ev,
                                     std::span<const SnoopAction> alts) = 0;
+
+    /**
+     * True when the choice is a pure function of (kind, state, event,
+     * alts).  Caches memoize such choices per (state, event) and skip
+     * the table walk and virtual dispatch on the snoop hot path; a
+     * stateful chooser (random action selection) must return false.
+     */
+    virtual bool deterministic() const { return true; }
 };
 
 /** Always the paper's preferred (first) alternative. */
@@ -161,6 +169,7 @@ class RandomChooser : public ActionChooser
                             std::span<const LocalAction> alts) override;
     SnoopAction chooseSnoop(ClientKind kind, State s, BusEvent ev,
                             std::span<const SnoopAction> alts) override;
+    bool deterministic() const override { return false; }
 
   private:
     Rng rng_;

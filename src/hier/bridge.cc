@@ -44,6 +44,8 @@ BusBridge::forwardUp(const BusRequest &req, BusCmd cmd,
         fbsim_assert(r.line.size() == read_out.size());
         std::copy(r.line.begin(), r.line.end(), read_out.begin());
     }
+    if (!r.line.empty())
+        root_.recycleLineBuffer(std::move(r.line));
     SlaveResult out;
     out.resp = r.resp;
     out.cost = r.cost;
@@ -176,10 +178,12 @@ BusBridge::snoop(const BusRequest &req)
     BusResult r = leaf_->execute(down);
 
     if (req.cmd == BusCmd::Read && r.resp.di) {
-        pendingLine_ = std::move(r.line);
+        pendingLine_.swap(r.line);
         pendingValid_ = true;
         ++stats_.remoteInterventions;
     }
+    if (!r.line.empty())
+        leaf_->recycleLineBuffer(std::move(r.line));
 
     // Did the down-forward clear the cluster?  A read-for-modify or
     // invalidate kills every copy; a plain (col 9) write leaves a

@@ -9,6 +9,9 @@ namespace {
 /** Leaf-bus master id reserved for the bridge's down-forwards. */
 constexpr MasterId kBridgeLeafId = 0xfffe;
 
+/** Cap on recorded violations (mirrors System). */
+constexpr std::size_t kMaxRecordedViolations = 1000;
+
 } // namespace
 
 HierSystem::HierSystem(const HierConfig &config, std::size_t clusters)
@@ -20,8 +23,16 @@ HierSystem::HierSystem(const HierConfig &config, std::size_t clusters)
     rootSlave_ = std::make_unique<MainMemorySlave>(*memory_);
     rootBus_ = std::make_unique<Bus>(*rootSlave_, config_.rootCost,
                                      config_.maxBusRetries);
+    rootBus_->setSnoopFilterEnabled(config_.snoopFilter);
+    rootBus_->setSnoopCrossCheck(config_.snoopFilterCrossCheck);
     checker_ =
         std::make_unique<CoherenceChecker>(*memory_, config_.lineBytes);
+    // The checker observes every bus so incremental per-access scans
+    // see lines dirtied by any cluster's transactions; the tracking is
+    // skipped entirely when nothing will consume the dirty set.
+    rootBus_->addObserver(checker_.get());
+    checker_->setTrackDirty(config_.checkEveryAccess &&
+                            config_.incrementalCheck);
 
     clusters_.resize(clusters);
     for (std::size_t i = 0; i < clusters; ++i) {
@@ -30,6 +41,9 @@ HierSystem::HierSystem(const HierConfig &config, std::size_t clusters)
             static_cast<MasterId>(i), kBridgeLeafId, *rootBus_, words);
         cluster.bus = std::make_unique<Bus>(
             *cluster.bridge, config_.leafCost, config_.maxBusRetries);
+        cluster.bus->setSnoopFilterEnabled(config_.snoopFilter);
+        cluster.bus->setSnoopCrossCheck(config_.snoopFilterCrossCheck);
+        cluster.bus->addObserver(checker_.get());
         cluster.bridge->setLeafBus(cluster.bus.get());
         rootBus_->attach(cluster.bridge.get());
         // With three or more clusters a third cluster's CH cannot be
@@ -96,9 +110,9 @@ HierSystem::read(MasterId id, Addr addr)
 {
     fbsim_assert(id < clients_.size());
     AccessOutcome outcome = clients_[id].client->read(addr);
-    std::string err = checker_->noteRead(addr, outcome.value);
-    if (!err.empty() && violations_.size() < 1000)
-        violations_.push_back(err);
+    if (outcome.value != checker_->expected(addr) &&
+        violations_.size() < kMaxRecordedViolations)
+        violations_.push_back(checker_->noteRead(addr, outcome.value));
     if (config_.checkEveryAccess)
         afterAccess();
     return outcome;
@@ -177,8 +191,14 @@ HierSystem::bridge(std::size_t cluster)
 void
 HierSystem::afterAccess()
 {
-    std::vector<std::string> v = checker_->checkInvariants();
-    violations_.insert(violations_.end(), v.begin(), v.end());
+    std::vector<std::string> v = config_.incrementalCheck
+                                     ? checker_->checkDirtyLines()
+                                     : checker_->checkInvariants();
+    for (std::string &s : v) {
+        if (violations_.size() >= kMaxRecordedViolations)
+            break;
+        violations_.push_back(std::move(s));
+    }
 }
 
 } // namespace fbsim

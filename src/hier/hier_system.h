@@ -35,6 +35,12 @@ struct HierConfig
     unsigned maxBusRetries = 16;
     /** Run the full invariant check after every access (tests). */
     bool checkEveryAccess = false;
+    /** Snoop-filter fast path on root and leaf buses (see SystemConfig). */
+    bool snoopFilter = true;
+    /** Debug: assert the filter never suppresses a holder. */
+    bool snoopFilterCrossCheck = false;
+    /** checkEveryAccess re-verifies only dirtied lines (see SystemConfig). */
+    bool incrementalCheck = true;
 };
 
 /** A root bus plus clusters of caches behind bridges. */

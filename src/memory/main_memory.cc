@@ -13,9 +13,18 @@ MainMemory::MainMemory(std::size_t words_per_line)
 std::vector<Word> &
 MainMemory::lineRef(LineAddr la)
 {
-    auto it = store_.find(la);
-    if (it == store_.end())
-        it = store_.emplace(la, std::vector<Word>(wordsPerLine_, 0)).first;
+    // Bus traffic hits the same line repeatedly (word writes during a
+    // broadcast run, push-then-refill).  unordered_map nodes are
+    // pointer-stable, so a one-entry cache short-circuits the hash.
+    if (lastLine_ && lastAddr_ == la)
+        return *lastLine_;
+    // Single lookup; the vector is only allocated on first touch of a
+    // line, never as a discarded temporary.
+    auto [it, inserted] = store_.try_emplace(la);
+    if (inserted)
+        it->second.assign(wordsPerLine_, 0);
+    lastAddr_ = la;
+    lastLine_ = &it->second;
     return it->second;
 }
 
@@ -47,6 +56,8 @@ Word
 MainMemory::peekWord(LineAddr la, std::size_t word_idx) const
 {
     fbsim_assert(word_idx < wordsPerLine_);
+    if (lastLine_ && lastAddr_ == la)
+        return (*lastLine_)[word_idx];
     auto it = store_.find(la);
     return it == store_.end() ? 0 : it->second[word_idx];
 }

@@ -72,6 +72,10 @@ class MainMemory
 
     std::size_t wordsPerLine_;
     std::unordered_map<LineAddr, std::vector<Word>> store_;
+    /** One-entry lookup cache; nodes are stable and never erased, so
+     *  the pointer stays valid across inserts. */
+    LineAddr lastAddr_ = 0;
+    std::vector<Word> *lastLine_ = nullptr;
     MemoryStats stats_;
 };
 

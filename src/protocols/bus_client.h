@@ -20,6 +20,19 @@ struct AccessOutcome
     bool usedBus = false;
     unsigned busTransactions = 0;
     Cycles busCycles = 0;    ///< bus occupancy charged to this access
+
+    /**
+     * Accumulate another access's traffic into this one (multi-word
+     * transfers, sync sequences).  `value` is left alone: which word a
+     * compound access "returns" is the caller's decision.
+     */
+    AccessOutcome &operator+=(const AccessOutcome &other)
+    {
+        usedBus = usedBus || other.usedBus;
+        busTransactions += other.busTransactions;
+        busCycles += other.busCycles;
+        return *this;
+    }
 };
 
 /** A processor-side port into the shared memory image. */

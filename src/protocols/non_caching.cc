@@ -29,6 +29,7 @@ NonCachingMaster::read(Addr addr)
     outcome.busTransactions = 1;
     outcome.busCycles = r.cost;
     outcome.value = r.line[(addr % lineBytes_) / kWordBytes];
+    bus_.recycleLineBuffer(std::move(r.line));
     return outcome;
 }
 

@@ -1,5 +1,7 @@
 #include "protocols/snooping_cache.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace fbsim {
@@ -32,6 +34,9 @@ SnoopingCache::SnoopingCache(MasterId id, Bus &bus,
     fbsim_assert(kind_ != ClientKind::NonCaching);
     fbsim_assert(store_->wordsPerLine() == bus_.wordsPerLine());
     fbsim_assert(lineBytes_ / kWordBytes == store_->wordsPerLine());
+    fbsim_assert((lineBytes_ & (lineBytes_ - 1)) == 0);
+    lineShift_ = static_cast<unsigned>(std::countr_zero(lineBytes_));
+    memoize_ = chooser_->deterministic();
     name_ = table_.name();
     if (kind_ == ClientKind::WriteThrough)
         name_ += " (write-through)";
@@ -46,34 +51,70 @@ SnoopingCache::protocolName() const
     return name_.c_str();
 }
 
-State
-SnoopingCache::lineState(Addr addr) const
+const std::vector<LocalAction> &
+SnoopingCache::kindFiltered(const LocalCell &cell)
 {
-    const CacheLine *line = store_->peek(lineOf(addr));
-    return line ? line->state : State::I;
-}
-
-std::vector<LocalAction>
-SnoopingCache::kindFiltered(const LocalCell &cell) const
-{
-    std::vector<LocalAction> out;
+    candScratch_.clear();
     for (const LocalAction &a : cell) {
         if (a.kinds & kindBit(kind_))
-            out.push_back(a);
+            candScratch_.push_back(a);
     }
-    return out;
+    return candScratch_;
+}
+
+void
+SnoopingCache::fillLocalMemo(LocalMemo &m, State s, LocalEvent ev)
+{
+    const std::vector<LocalAction> &candidates =
+        kindFiltered(table_.local(s, ev));
+    m.empty = candidates.empty();
+    if (!m.empty)
+        m.action = chooser_->chooseLocal(kind_, s, ev, candidates);
+    m.filled = true;
+}
+
+void
+SnoopingCache::fillSnoopMemo(SnoopMemo &m, State s, BusEvent ev)
+{
+    const SnoopCell &cell = table_.snoop(s, ev);
+    if (cell.empty()) {
+        fbsim_panic("%s cache %u: illegal bus event col %d on line "
+                    "in state %s",
+                    name_.c_str(), id_, busEventColumn(ev),
+                    std::string(stateName(s)).c_str());
+    }
+    m.action = chooser_->chooseSnoop(kind_, s, ev, cell);
+    for (const SnoopAction &alt : cell) {
+        if (alt.next == toState(State::I) && !alt.bs) {
+            m.discardAlt = &alt;
+            break;
+        }
+    }
+    m.filled = true;
+}
+
+void
+SnoopingCache::setLineState(CacheLine &line, State next)
+{
+    bool was = isValid(line.state);
+    bool now = isValid(next);
+    line.state = next;
+    if (was != now)
+        bus_.notePresence(id_, line.addr, now);
 }
 
 AccessOutcome
 SnoopingCache::read(Addr addr)
 {
     ++stats_.reads;
-    bool hit = isValid(lineState(addr));
-    if (hit)
-        ++stats_.readHits;
-    else
+    // Every protocol table serves a read on a valid line locally, so a
+    // read used the bus iff it missed; no separate state probe needed.
+    AccessOutcome outcome = dispatchLocal(LocalEvent::Read, addr, 0, 0);
+    if (outcome.usedBus)
         ++stats_.readMisses;
-    return dispatchLocal(LocalEvent::Read, addr, 0, 0);
+    else
+        ++stats_.readHits;
+    return outcome;
 }
 
 AccessOutcome
@@ -104,11 +145,26 @@ SnoopingCache::dispatchLocal(LocalEvent ev, Addr addr, Word value,
 {
     fbsim_assert(depth < 3);
     LineAddr la = lineOf(addr);
-    CacheLine *line = store_->find(la);
+    CacheLine *line = cachedFind(la);
     State s = line ? line->state : State::I;
 
-    std::vector<LocalAction> candidates = kindFiltered(table_.local(s, ev));
-    if (candidates.empty()) {
+    LocalAction chosen;
+    const LocalAction *action = &chosen;
+    bool no_action;
+    if (memoize_) {
+        const LocalMemo &m = localMemoFor(s, ev);
+        no_action = m.empty;
+        action = &m.action;
+    } else {
+        const std::vector<LocalAction> &candidates =
+            kindFiltered(table_.local(s, ev));
+        no_action = candidates.empty();
+        if (!no_action) {
+            chosen = chooser_->chooseLocal(kind_, s, ev, candidates);
+            action = &chosen;
+        }
+    }
+    if (no_action) {
         // The paper's "--" cells: a Pass/Flush of a line we do not hold
         // (or hold clean, for Pass) is simply a no-op at the API level.
         if (ev == LocalEvent::Pass || ev == LocalEvent::Flush)
@@ -118,8 +174,8 @@ SnoopingCache::dispatchLocal(LocalEvent ev, Addr addr, Word value,
                     std::string(localEventName(ev)).c_str());
     }
 
-    LocalAction action = chooser_->chooseLocal(kind_, s, ev, candidates);
-    AccessOutcome outcome = executeLocal(action, ev, addr, value, depth);
+    AccessOutcome outcome =
+        executeLocal(*action, ev, addr, value, depth, line);
     if (coverage_)
         coverage_->noteLocal(s, ev, lineState(addr));
     return outcome;
@@ -127,7 +183,8 @@ SnoopingCache::dispatchLocal(LocalEvent ev, Addr addr, Word value,
 
 AccessOutcome
 SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
-                            Addr addr, Word value, int depth)
+                            Addr addr, Word value, int depth,
+                            CacheLine *line)
 {
     LineAddr la = lineOf(addr);
     std::size_t wi = wordIndexOf(addr);
@@ -151,7 +208,7 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
 
     if (!action.usesBus) {
         // Purely local transition (hit, silent upgrade, silent drop).
-        CacheLine *line = store_->find(la);
+        // The line was already located by dispatchLocal.
         fbsim_assert(line != nullptr);
         fbsim_assert(!action.next.conditional());
         if (ev == LocalEvent::Write)
@@ -160,7 +217,7 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         State ns = action.next.resolve(false);
         if (line->state != State::I && ns == State::I)
             ++stats_.evictions;
-        line->state = ns;
+        setLineState(*line, ns);
         if (isValid(ns))
             store_->touch(*line);
         return outcome;
@@ -183,8 +240,11 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         outcome.usedBus = true;
         outcome.busTransactions += 1;
         outcome.busCycles += r.cost;
-        nl.data = std::move(r.line);
-        nl.state = action.next.resolve(r.resp.ch);
+        // Swap the filled buffer in and donate our old storage back
+        // to the bus pool: steady-state fills never allocate.
+        nl.data.swap(r.line);
+        bus_.recycleLineBuffer(std::move(r.line));
+        setLineState(nl, action.next.resolve(r.resp.ch));
         store_->touch(nl);
         if (r.suppliedByCache)
             ++stats_.dirtyFills;
@@ -201,10 +261,10 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         outcome.busTransactions = 1;
         outcome.busCycles = r.cost;
         outcome.value = value;
-        CacheLine *line = store_->find(la);
+        CacheLine *line = cachedFind(la);
         if (line) {
             line->data[wi] = value;
-            line->state = action.next.resolve(r.resp.ch);
+            setLineState(*line, action.next.resolve(r.resp.ch));
             if (isValid(line->state))
                 store_->touch(*line);
         }
@@ -213,7 +273,7 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
 
       case BusCmd::WriteLine: {
         // Push (Pass keeps the copy, Flush discards it).
-        CacheLine *line = store_->find(la);
+        CacheLine *line = cachedFind(la);
         fbsim_assert(line != nullptr);
         req.wline = line->data;
         BusResult r = bus_.execute(req);
@@ -221,7 +281,7 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         outcome.busTransactions = 1;
         outcome.busCycles = r.cost;
         ++stats_.writebacks;
-        line->state = action.next.resolve(r.resp.ch);
+        setLineState(*line, action.next.resolve(r.resp.ch));
         outcome.value = line->data[wi];
         return outcome;
       }
@@ -234,7 +294,7 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
       case BusCmd::AddrOnly: {
         // Pure invalidate; our copy is current (it matches the owner,
         // by the shared-image invariant) so no data moves.
-        CacheLine *line = store_->find(la);
+        CacheLine *line = cachedFind(la);
         fbsim_assert(line != nullptr);
         BusResult r = bus_.execute(req);
         outcome.usedBus = true;
@@ -242,7 +302,7 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         outcome.busCycles = r.cost;
         if (ev == LocalEvent::Write)
             line->data[wi] = value;
-        line->state = action.next.resolve(r.resp.ch);
+        setLineState(*line, action.next.resolve(r.resp.ch));
         store_->touch(*line);
         outcome.value = line->data[wi];
         return outcome;
@@ -268,20 +328,33 @@ SnoopingCache::evict(CacheLine &victim, AccessOutcome &outcome)
 {
     State s = victim.state;
     ++stats_.evictions;
-    std::vector<LocalAction> candidates =
-        kindFiltered(table_.local(s, LocalEvent::Flush));
-    if (candidates.empty()) {
+    LocalAction chosen;
+    const LocalAction *actionp = &chosen;
+    bool no_action;
+    if (memoize_) {
+        const LocalMemo &m = localMemoFor(s, LocalEvent::Flush);
+        no_action = m.empty;
+        actionp = &m.action;
+    } else {
+        const std::vector<LocalAction> &candidates =
+            kindFiltered(table_.local(s, LocalEvent::Flush));
+        no_action = candidates.empty();
+        if (!no_action) {
+            chosen = chooser_->chooseLocal(kind_, s, LocalEvent::Flush,
+                                           candidates);
+        }
+    }
+    if (no_action) {
         // Unowned data may always be dropped silently.
         fbsim_assert(!isOwned(s));
-        victim.state = State::I;
+        setLineState(victim, State::I);
         return;
     }
-    LocalAction action =
-        chooser_->chooseLocal(kind_, s, LocalEvent::Flush, candidates);
+    const LocalAction &action = *actionp;
     if (coverage_)
         coverage_->noteLocal(s, LocalEvent::Flush, State::I);
     if (!action.usesBus) {
-        victim.state = State::I;
+        setLineState(victim, State::I);
         return;
     }
     fbsim_assert(action.cmd == BusCmd::WriteLine);
@@ -296,23 +369,25 @@ SnoopingCache::evict(CacheLine &victim, AccessOutcome &outcome)
     outcome.busTransactions += 1;
     outcome.busCycles += r.cost;
     ++stats_.writebacks;
-    victim.state = State::I;
+    setLineState(victim, State::I);
 }
 
 SnoopReply
 SnoopingCache::snoop(const BusRequest &req)
 {
-    pending_ = {};
+    // Clearing the flags alone un-latches any previous decision; the
+    // other fields are only read after a latch rewrites them.
+    pending_.active = false;
+    pending_.isPush = false;
     SnoopReply reply;
 
-    CacheLine *line = store_->find(req.line);
+    CacheLine *line = cachedFind(req.line);
     if (!line)
         return reply;
 
-    std::optional<BusEvent> ev = classifyBusEvent(req.cmd, req.sig);
-    fbsim_assert(ev.has_value());
+    BusEvent ev = req.event;
 
-    if (*ev == BusEvent::Push) {
+    if (ev == BusEvent::Push) {
         // A push by the (unique) owner: holders signal retention via
         // CH so an O->E / CH:S/E pass resolves correctly, but no state
         // changes (their copies already match the owner's).
@@ -323,7 +398,7 @@ SnoopingCache::snoop(const BusRequest &req)
         return reply;
     }
 
-    if (*ev == BusEvent::Sync) {
+    if (ev == BusEvent::Sync) {
         // The section 6 consistency command.  Owners abort, push the
         // line to memory and demote to an unowned state; the retried
         // command then finds memory valid.  With IM asserted (purge)
@@ -356,39 +431,54 @@ SnoopingCache::snoop(const BusRequest &req)
         return reply;
     }
 
-    const SnoopCell &cell = table_.snoop(line->state, *ev);
-    if (cell.empty()) {
-        fbsim_panic("%s cache %u: illegal bus event col %d on line in "
-                    "state %s",
-                    name_.c_str(), id_, busEventColumn(*ev),
-                    std::string(stateName(line->state)).c_str());
-    }
+    SnoopAction chosen;
+    const SnoopAction *action = &chosen;
+    if (memoize_) {
+        const SnoopMemo &m = snoopMemoFor(line->state, ev);
+        action = &m.action;
+        // Section 5.2 refinement: discard instead of update when the
+        // line is nearing replacement and the cell offers an
+        // invalidate.
+        if (discardNearReplacement_ && m.discardAlt && !action->bs &&
+            action->next.resolve(true) != State::I &&
+            (ev == BusEvent::BroadcastWriteCache ||
+             ev == BusEvent::BroadcastWriteNoCache) &&
+            !isOwned(line->state) && store_->nearReplacement(*line)) {
+            action = m.discardAlt;
+        }
+    } else {
+        const SnoopCell &cell = table_.snoop(line->state, ev);
+        if (cell.empty()) {
+            fbsim_panic("%s cache %u: illegal bus event col %d on line "
+                        "in state %s",
+                        name_.c_str(), id_, busEventColumn(ev),
+                        std::string(stateName(line->state)).c_str());
+        }
 
-    SnoopAction action =
-        chooser_->chooseSnoop(kind_, line->state, *ev, cell);
+        chosen = chooser_->chooseSnoop(kind_, line->state, ev, cell);
 
-    // Section 5.2 refinement: discard instead of update when the line
-    // is nearing replacement and the cell offers an invalidate.
-    if (discardNearReplacement_ && !action.bs &&
-        action.next.resolve(true) != State::I &&
-        (*ev == BusEvent::BroadcastWriteCache ||
-         *ev == BusEvent::BroadcastWriteNoCache) &&
-        !isOwned(line->state) && store_->nearReplacement(*line)) {
-        for (const SnoopAction &alt : cell) {
-            if (alt.next == toState(State::I) && !alt.bs) {
-                action = alt;
-                break;
+        // Section 5.2 refinement (as above).
+        if (discardNearReplacement_ && !chosen.bs &&
+            chosen.next.resolve(true) != State::I &&
+            (ev == BusEvent::BroadcastWriteCache ||
+             ev == BusEvent::BroadcastWriteNoCache) &&
+            !isOwned(line->state) && store_->nearReplacement(*line)) {
+            for (const SnoopAction &alt : cell) {
+                if (alt.next == toState(State::I) && !alt.bs) {
+                    chosen = alt;
+                    break;
+                }
             }
         }
     }
 
     pending_.active = true;
-    pending_.action = action;
+    pending_.action = *action;
     pending_.line = line;
-    reply.resp.ch = action.ch == Tri::Assert;
-    reply.resp.di = action.di;
-    reply.resp.sl = action.sl;
-    reply.resp.bs = action.bs;
+    reply.resp.ch = action->ch == Tri::Assert;
+    reply.resp.di = action->di;
+    reply.resp.sl = action->sl;
+    reply.resp.bs = action->bs;
     return reply;
 }
 
@@ -408,14 +498,16 @@ SnoopingCache::commit(const BusRequest &req, bool others_ch)
 {
     if (!pending_.active)
         return;
-    Pending p = pending_;
-    pending_ = {};
-    if (p.isPush)
+    // No copy: commit never re-enters the bus, so pending_ cannot be
+    // overwritten underneath us (unlike performAbortPush, which nests
+    // a transaction that re-snoops this cache).
+    pending_.active = false;
+    if (pending_.isPush)
         return;
 
-    CacheLine *line = p.line;
+    CacheLine *line = pending_.line;
     fbsim_assert(line && line->addr == req.line);
-    const SnoopAction &action = p.action;
+    const SnoopAction &action = pending_.action;
     fbsim_assert(!action.bs);
 
     if (req.cmd == BusCmd::WriteWord && (action.di || action.sl)) {
@@ -436,7 +528,7 @@ SnoopingCache::commit(const BusRequest &req, bool others_ch)
     }
     if (line->state != State::I && ns == State::I)
         ++stats_.invalidationsRecv;
-    line->state = ns;
+    setLineState(*line, ns);
 }
 
 void
@@ -463,7 +555,7 @@ SnoopingCache::performAbortPush(const BusRequest &req)
         if (ev.has_value())
             coverage_->noteSnoop(line->state, *ev, p.action.pushState);
     }
-    line->state = p.action.pushState;
+    setLineState(*line, p.action.pushState);
 }
 
 } // namespace fbsim

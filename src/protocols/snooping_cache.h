@@ -79,8 +79,13 @@ class SnoopingCache : public BusClient, public Snooper
     AccessOutcome write(Addr addr, Word value) override;
     AccessOutcome flush(Addr addr, bool keep_copy) override;
 
-    // Snooper interface.
+    // Snooper interface.  A cache's snoop() is a pure function of its
+    // held lines, so it opts into the bus's snoop filter and keeps the
+    // filter's presence bitmask current via setLineState().
     MasterId snooperId() const override { return id_; }
+    bool filterable() const override { return true; }
+    bool holdsLine(LineAddr la) const override
+    { return cachedPeek(la) != nullptr; }
     SnoopReply snoop(const BusRequest &req) override;
     void supplyLine(const BusRequest &req, std::span<Word> out) override;
     void commit(const BusRequest &req, bool others_ch) override;
@@ -94,7 +99,7 @@ class SnoopingCache : public BusClient, public Snooper
 
     /** Valid line holding `la`, or null (checker access). */
     const CacheLine *peekLine(LineAddr la) const
-    { return store_->peek(la); }
+    { return cachedPeek(la); }
 
     /** Visit every valid line (checker access). */
     void
@@ -111,16 +116,22 @@ class SnoopingCache : public BusClient, public Snooper
     { coverage_ = coverage; }
 
     /** Current state of the line containing `addr` (I if absent). */
-    State lineState(Addr addr) const;
+    State lineState(Addr addr) const
+    {
+        const CacheLine *line = cachedPeek(lineOf(addr));
+        return line ? line->state : State::I;
+    }
 
   private:
     /** Dispatch one local event on the line's current state. */
     AccessOutcome dispatchLocal(LocalEvent ev, Addr addr, Word value,
                                 int depth);
 
-    /** Execute a chosen local action. */
+    /** Execute a chosen local action on `line` (the resident line for
+     *  `addr`, or null when the address misses). */
     AccessOutcome executeLocal(const LocalAction &action, LocalEvent ev,
-                               Addr addr, Word value, int depth);
+                               Addr addr, Word value, int depth,
+                               CacheLine *line);
 
     /** Evict (flushing if owned) to make room, and install `la`. */
     CacheLine &allocateFor(LineAddr la, AccessOutcome &outcome);
@@ -128,12 +139,98 @@ class SnoopingCache : public BusClient, public Snooper
     /** Issue the victim's Flush per the table. */
     void evict(CacheLine &victim, AccessOutcome &outcome);
 
-    /** Candidates of a cell filtered by this client's kind. */
-    std::vector<LocalAction> kindFiltered(const LocalCell &cell) const;
+    /**
+     * Every consistency-state change funnels through here so the
+     * bus's snoop-filter presence bitmask tracks valid<->invalid
+     * transitions exactly.
+     */
+    void setLineState(CacheLine &line, State next);
 
-    LineAddr lineOf(Addr addr) const { return addr / lineBytes_; }
+    /**
+     * Candidates of a cell filtered by this client's kind.  Returns a
+     * reference to a per-cache scratch vector (valid until the next
+     * call; callers copy their chosen action before any recursion).
+     */
+    const std::vector<LocalAction> &kindFiltered(const LocalCell &cell);
+
+    /**
+     * Memoized action resolution.  With a deterministic chooser the
+     * resolved action is a pure function of (state, event) - the
+     * table, kind and policy are fixed at construction - so the first
+     * resolution of each pair is cached and the hot path skips the
+     * kind filter, table walk and virtual chooser dispatch.  Stateful
+     * choosers (random action selection) disable memoization.
+     */
+    struct LocalMemo
+    {
+        bool filled = false;
+        bool empty = false;    ///< "--" cell: no legal action
+        LocalAction action;
+    };
+    struct SnoopMemo
+    {
+        bool filled = false;
+        SnoopAction action;
+        /** Invalidate alternative for the section 5.2 near-replacement
+         *  discard, if the cell offers one (points into the table). */
+        const SnoopAction *discardAlt = nullptr;
+    };
+    void fillLocalMemo(LocalMemo &m, State s, LocalEvent ev);
+    void fillSnoopMemo(SnoopMemo &m, State s, BusEvent ev);
+
+    LocalMemo &localMemoFor(State s, LocalEvent ev)
+    {
+        LocalMemo &m =
+            localMemo_[static_cast<int>(s)][static_cast<int>(ev)];
+        if (!m.filled)
+            fillLocalMemo(m, s, ev);
+        return m;
+    }
+
+    SnoopMemo &snoopMemoFor(State s, BusEvent ev)
+    {
+        SnoopMemo &m =
+            snoopMemo_[static_cast<int>(s)][static_cast<int>(ev)];
+        if (!m.filled)
+            fillSnoopMemo(m, s, ev);
+        return m;
+    }
+
+    /**
+     * Line-store lookups funnel through a one-entry pointer cache:
+     * one access probes the same line several times (hit check,
+     * dispatch, execute; snoop then commit), and every probe through
+     * the LineStore interface is a virtual call.  Line storage is
+     * stable (both stores size their arrays at construction), and the
+     * valid + tag revalidation keeps a recycled frame from lying.
+     */
+    CacheLine *cachedFind(LineAddr la)
+    {
+        CacheLine *l = lastLine_;
+        if (l && l->valid() && l->addr == la)
+            return l;
+        l = store_->find(la);
+        if (l)
+            lastLine_ = l;
+        return l;
+    }
+
+    const CacheLine *cachedPeek(LineAddr la) const
+    {
+        const CacheLine *l = lastLine_;
+        if (l && l->valid() && l->addr == la)
+            return l;
+        l = store_->peek(la);
+        if (l)
+            lastLine_ = const_cast<CacheLine *>(l);
+        return l;
+    }
+
+    // lineBytes_ is a power of two (the store's geometry validates
+    // it), so per-access address splitting is shift/mask.
+    LineAddr lineOf(Addr addr) const { return addr >> lineShift_; }
     std::size_t wordIndexOf(Addr addr) const
-    { return (addr % lineBytes_) / kWordBytes; }
+    { return (addr & (lineBytes_ - 1)) / kWordBytes; }
 
     MasterId id_;
     Bus &bus_;
@@ -142,10 +239,16 @@ class SnoopingCache : public BusClient, public Snooper
     ClientKind kind_;
     bool discardNearReplacement_;
     std::size_t lineBytes_;
+    unsigned lineShift_ = 0;
     std::unique_ptr<LineStore> store_;
     CacheStats stats_;
     TransitionCoverage *coverage_ = nullptr;
     std::string name_;
+    std::vector<LocalAction> candScratch_;   ///< kindFiltered() reuse
+    bool memoize_ = false;   ///< chooser_->deterministic()
+    LocalMemo localMemo_[kNumStates][kNumLocalEvents];
+    SnoopMemo snoopMemo_[kNumStates][kNumBusEvents];
+    mutable CacheLine *lastLine_ = nullptr;   ///< cachedFind/cachedPeek
 
     /** Latched snoop decision between snoop() and commit(). */
     struct Pending

@@ -47,11 +47,18 @@ Engine::run(const std::vector<RefStream *> &streams,
     Arbiter arbiter(config_.arbitration, n);
     Cycles bus_free = 0;
 
+    // Compact mirror of each proc's next-ready time, scanned once per
+    // executed reference; a drained stream parks at the sentinel so
+    // the scan needs no separate hasRef test.
+    constexpr Cycles kIdle = ~Cycles{0};
+    std::vector<Cycles> ready(n, 0);
+
     auto fetch = [&](std::size_t i) {
         if (!procs[i].hasRef && procs[i].done < refs_per_proc) {
             procs[i].ref = streams[i]->next();
             procs[i].hasRef = true;
         }
+        ready[i] = procs[i].hasRef ? procs[i].readyAt : kIdle;
     };
     for (std::size_t i = 0; i < n; ++i)
         fetch(i);
@@ -90,14 +97,12 @@ Engine::run(const std::vector<RefStream *> &streams,
 
     for (;;) {
         // Earliest pending reference.
-        std::size_t imin = n;
-        for (std::size_t i = 0; i < n; ++i) {
-            if (procs[i].hasRef &&
-                (imin == n || procs[i].readyAt < procs[imin].readyAt)) {
+        std::size_t imin = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+            if (ready[i] < ready[imin])
                 imin = i;
-            }
         }
-        if (imin == n)
+        if (ready[imin] == kIdle)
             break;
 
         ProcState &p = procs[imin];
@@ -111,15 +116,18 @@ Engine::run(const std::vector<RefStream *> &streams,
 
         // Bus transaction: grant at max(bus free, requester ready);
         // everyone who is also ready by then competes in arbitration.
+        // The arbiter probes candidates lazily in its own scan order,
+        // so only masters up to the winner pay the cache-state lookup;
+        // imin is known to be ready and bus-bound already.
         Cycles grant = std::max(bus_free, p.readyAt);
-        std::vector<bool> requesting(n, false);
-        for (std::size_t i = 0; i < n; ++i) {
-            requesting[i] =
-                procs[i].hasRef && procs[i].readyAt <= grant &&
-                system_.wouldUseBus(static_cast<MasterId>(i),
-                                    procs[i].ref.write, procs[i].ref.addr);
-        }
-        std::optional<MasterId> winner = arbiter.grant(requesting);
+        std::optional<MasterId> winner =
+            arbiter.grantWhere([&](std::size_t i) {
+                return i == imin ||
+                       (ready[i] <= grant &&
+                        system_.wouldUseBus(static_cast<MasterId>(i),
+                                            procs[i].ref.write,
+                                            procs[i].ref.addr));
+            });
         fbsim_assert(winner.has_value());
         std::size_t w = *winner;
         execute(w, std::max(bus_free, procs[w].readyAt));

@@ -33,8 +33,24 @@ struct SystemConfig
     std::size_t lineBytes = 32;
     BusCostModel cost;
     unsigned maxBusRetries = 16;
-    /** Run the full invariant check after every access (slow; tests). */
+    /** Run the invariant check after every access (slow; tests). */
     bool checkEveryAccess = false;
+    /**
+     * Snoop-filter fast path: only snoop caches whose presence bit
+     * says they may hold the line.  Off = the paper's literal
+     * broadcast to every module.  Behaviour (final states, checker
+     * verdicts, BusStats) is identical either way; only snoop fan-out
+     * differs.
+     */
+    bool snoopFilter = true;
+    /** Debug: assert the filter never suppresses a holder. */
+    bool snoopFilterCrossCheck = false;
+    /**
+     * checkEveryAccess re-verifies only lines dirtied since the last
+     * check (incremental).  Off = full universe scan per access.
+     * checkNow() always scans the full universe.
+     */
+    bool incrementalCheck = true;
 };
 
 /** Everything needed to add one cache to the system. */

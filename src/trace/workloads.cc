@@ -14,6 +14,17 @@ wordIn(Rng &rng, Addr line_base, std::size_t line_bytes)
     return line_base + rng.below(words) * kWordBytes;
 }
 
+/** Integer Bernoulli threshold: draw succeeds iff next() < result. */
+std::uint64_t
+chanceThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return ~std::uint64_t{0};
+    return static_cast<std::uint64_t>(p * 0x1.0p64);
+}
+
 } // namespace
 
 Arch85Workload::Arch85Workload(const Arch85Params &params,
@@ -23,6 +34,11 @@ Arch85Workload::Arch85Workload(const Arch85Params &params,
 {
     fbsim_assert(params.sharedLines > 0);
     fbsim_assert(params.privateLines > 0);
+    privateBase_ = (params_.sharedLines +
+                    proc_ * params_.privateLines) * params_.lineBytes;
+    sharedThresh_ = chanceThreshold(params_.pShared);
+    sharedWriteThresh_ = chanceThreshold(params_.pSharedWrite);
+    privateWriteThresh_ = chanceThreshold(params_.pPrivateWrite);
 }
 
 Addr
@@ -30,26 +46,29 @@ Arch85Workload::privateBase() const
 {
     // Private regions start past the shared region, one disjoint pool
     // per processor.
-    return (params_.sharedLines +
-            proc_ * params_.privateLines) * params_.lineBytes;
+    return privateBase_;
 }
 
 ProcRef
 Arch85Workload::next()
 {
     ProcRef ref;
-    if (rng_.chance(params_.pShared)) {
+    if (rng_.next() < sharedThresh_) {
         std::size_t line = rng_.below(params_.sharedLines);
         ref.addr = wordIn(rng_, sharedBase() + line * params_.lineBytes,
                           params_.lineBytes);
-        ref.write = rng_.chance(params_.pSharedWrite);
+        ref.write = rng_.next() < sharedWriteThresh_;
     } else {
         // Geometric stack distance approximates LRU temporal locality.
         std::size_t depth = rng_.geometric(params_.pLocality);
-        std::size_t line = depth % params_.privateLines;
-        ref.addr = wordIn(rng_, privateBase() + line * params_.lineBytes,
+        // Nearly every draw is shallower than the pool, so the wrap
+        // division is skipped unless actually needed.
+        std::size_t line = depth < params_.privateLines
+                               ? depth
+                               : depth % params_.privateLines;
+        ref.addr = wordIn(rng_, privateBase_ + line * params_.lineBytes,
                           params_.lineBytes);
-        ref.write = rng_.chance(params_.pPrivateWrite);
+        ref.write = rng_.next() < privateWriteThresh_;
     }
     return ref;
 }

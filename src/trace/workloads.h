@@ -75,6 +75,13 @@ class Arch85Workload : public RefStream
   private:
     Arch85Params params_;
     std::size_t proc_;
+    Addr privateBase_;   ///< hoisted: two multiplies off the hot path
+    // The three Bernoulli draws per reference compare a raw generator
+    // word against these precomputed integer thresholds, instead of
+    // converting the probability per call.
+    std::uint64_t sharedThresh_;
+    std::uint64_t sharedWriteThresh_;
+    std::uint64_t privateWriteThresh_;
     Rng rng_;
 };
 
