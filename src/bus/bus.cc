@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace fbsim {
 
@@ -95,12 +96,23 @@ Bus::execute(const BusRequest &req_in)
     BusRequest req = req_in;
     req.event = *ev;
 
+    // Nested abort pushes share the outer transaction's schedule tick.
+    if (faults_ && depth_ == 0)
+        faults_->beginTransaction();
+
     BusResult result;
     for (unsigned round = 0; round <= maxRetries_; ++round) {
         bool aborted = false;
         BusResult attempt_result = attempt(req, aborted);
         result.cost += attempt_result.cost;
-        result.aborts += aborted ? 1 : 0;
+        if (aborted) {
+            result.aborts += 1;
+            // Exponential backoff before re-arbitrating (no-op with
+            // the default retryBackoffBase of 0).
+            Cycles backoff = cost_.backoffCost(result.aborts);
+            result.cost += backoff;
+            stats_.backoffCycles += backoff;
+        }
         if (!aborted) {
             result.resp = attempt_result.resp;
             result.line = std::move(attempt_result.line);
@@ -141,6 +153,18 @@ Bus::execute(const BusRequest &req_in)
             return result;
         }
         ++stats_.aborts;
+    }
+    ++stats_.retryExhausted;
+    if (faults_) {
+        // Injected faults make exhaustion a legal outcome: give up
+        // coherently (no attempt changed any state) and let the master
+        // surface a faulted access to the watchdog.
+        warnImpl("bus transaction for line %llu gave up after %u "
+                 "retries %s",
+                 static_cast<unsigned long long>(req.line), maxRetries_,
+                 faults_->describe().c_str());
+        result.converged = false;
+        return result;
     }
     fbsim_panic("bus transaction for line %llu did not converge after "
                 "%u retries",
@@ -187,16 +211,47 @@ Bus::attempt(const BusRequest &req, bool &aborted)
             }
             continue;
         }
+        // Intermittently unresponsive snooper: the module misses this
+        // address cycle entirely - no response, no latched transition.
+        // Only filterable snoopers (caches) can be muted; bridges have
+        // snoop side effects whose loss the model cannot express.
+        if (faults_ && bit != 0 && faults_->fireMute(snooperId_[i]))
+            continue;
         SnoopReply reply = s->snoop(req);
         wired = wired | reply.resp;
         if (reply.resp.di) {
             // Ownership is unique, so at most one module intervenes.
-            fbsim_assert(di_owner == nullptr);
-            di_owner = s;
+            // Under fault injection a muted invalidate can leave two
+            // modules believing they own a line; keep the first
+            // responder (deterministic attach order), count the
+            // conflict, and rely on the always-on checker to report
+            // the divergence itself.  Without an injector a double
+            // assertion is a protocol bug and stays fatal.
+            if (di_owner == nullptr) {
+                di_owner = s;
+            } else if (faults_) {
+                ++stats_.responseConflicts;
+            } else {
+                fbsim_panic("modules %u and %u both intervened on line "
+                            "%llu",
+                            di_owner->snooperId(), s->snooperId(),
+                            static_cast<unsigned long long>(req.line));
+            }
         }
         if (reply.resp.bs) {
-            fbsim_assert(bs_owner == nullptr);
-            bs_owner = s;
+            if (bs_owner == nullptr) {
+                bs_owner = s;
+            } else if (faults_) {
+                // Both busy modules want to push; serve the first now.
+                // The loser is re-snooped on the retry round, asserts
+                // BS again and pushes then.
+                ++stats_.responseConflicts;
+            } else {
+                fbsim_panic("modules %u and %u both asserted BS on "
+                            "line %llu",
+                            bs_owner->snooperId(), s->snooperId(),
+                            static_cast<unsigned long long>(req.line));
+            }
         }
         ch_count += reply.resp.ch ? 1 : 0;
         scratch.participants.push_back(s);
@@ -214,7 +269,23 @@ Bus::attempt(const BusRequest &req, bool &aborted)
         --depth_;
         return result;
     }
+    // Spurious BS (a glitch on the busy line): the attempt aborts with
+    // no owner and thus no push; the master simply retries.  Checked
+    // after the genuine-owner abort so a storm cannot mask a real push.
+    if (faults_ && faults_->fireSpuriousAbort(req.line)) {
+        aborted = true;
+        result.cost = cost_.addrCycles + cost_.abortPenalty;
+        ++stats_.spuriousAborts;
+        return result;
+    }
     aborted = false;
+    // Wired-OR glitch: one of CH/DI/SL inverted as latched by the
+    // participants.  Flipping DI can only *set* it here when no module
+    // owns the line, so di_owner stays null and memory supplies the
+    // data - exactly the failure mode where a reader sees stale data
+    // that the checker's value oracle must catch.
+    if (faults_)
+        wired = faults_->corruptResponse(wired);
 
     // Phase 3: data transfer.  A local intervening owner supplies (or
     // captures) the data; the slave participates in every transaction
@@ -240,6 +311,20 @@ Bus::attempt(const BusRequest &req, bool &aborted)
     if (!req.fromBridge) {
         sres = slave_.transact(req, di_owner != nullptr, wired.ch,
                                result.line);
+        if (sres.dropped) {
+            // The slave's read response was lost in flight: the
+            // handshake times out and the attempt turns into an abort
+            // round (no snooper commits, the master retries).  The
+            // master paid the full memory latency waiting for data
+            // that never arrived.
+            recycleLineBuffer(std::move(result.line));
+            result.line.clear();
+            aborted = true;
+            ++stats_.droppedResponses;
+            result.cost = cost_.addrCycles + cost_.memLatency +
+                          cost_.abortPenalty;
+            return result;
+        }
         wired = wired | sres.resp;
     }
     result.suppliedByCache = from_cache;
@@ -266,6 +351,7 @@ Bus::attempt(const BusRequest &req, bool &aborted)
                              : 0;
         result.cost = result.cost - assumed + sres.cost;
     }
+    result.cost += sres.extraDelay;
     return result;
 }
 

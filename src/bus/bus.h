@@ -43,6 +43,8 @@
 
 namespace fbsim {
 
+class FaultInjector;
+
 /** A master's transaction request. */
 struct BusRequest
 {
@@ -86,7 +88,18 @@ struct BusResult
     ResponseSignals resp;         ///< wired-OR of all snooper responses
     std::vector<Word> line;       ///< read data (BusCmd::Read only)
     bool suppliedByCache = false; ///< read data came via DI
-    unsigned aborts = 0;          ///< BS abort/retry count
+    /**
+     * False when the transaction gave up after maxRetries abort
+     * rounds (possible only under fault injection; without it the bus
+     * panics instead, since a fault-free protocol must converge).  A
+     * non-converged transaction changed no snooper or memory state
+     * and carries no read data; masters surface it as a faulted
+     * access and the watchdog takes it from there.
+     */
+    bool converged = true;
+    /** BS abort/retry count; 64-bit like BusStats::aborts so long
+     *  fault campaigns cannot overflow either counter. */
+    std::uint64_t aborts = 0;
     Cycles cost = 0;              ///< bus cycles incl. aborted attempts
 };
 
@@ -161,9 +174,14 @@ struct BusStats
     std::uint64_t interventions = 0;     ///< reads supplied via DI
     std::uint64_t writeCaptures = 0;     ///< word writes absorbed via DI
     std::uint64_t aborts = 0;            ///< BS abort/retry rounds
+    std::uint64_t spuriousAborts = 0;    ///< of which fault-injected
+    std::uint64_t droppedResponses = 0;  ///< slave responses lost (fault)
+    std::uint64_t retryExhausted = 0;    ///< transactions that gave up
+    std::uint64_t responseConflicts = 0; ///< double DI/BS under faults
     std::uint64_t addressCycles = 0;     ///< incl. aborted attempts
     std::uint64_t dataWords = 0;         ///< total words moved
     Cycles busyCycles = 0;               ///< total bus occupancy
+    Cycles backoffCycles = 0;            ///< idle abort-retry backoff
 
     /** Filtered and exhaustive runs of one workload must agree. */
     bool operator==(const BusStats &) const = default;
@@ -243,6 +261,20 @@ class Bus
     void setSnoopCrossCheck(bool on) { crossCheck_ = on; }
 
     /**
+     * Attach a fault injector (not owned; null detaches).  With an
+     * injector attached the bus draws spurious aborts, snooper mutes
+     * and response flips from it, and - because injected faults make
+     * retry exhaustion a legal outcome - a transaction that still
+     * draws BS after maxRetries rounds returns converged=false
+     * instead of panicking.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+    FaultInjector *faultInjector() { return faults_; }
+
+    /** Abort/retry bound per transaction. */
+    unsigned maxRetries() const { return maxRetries_; }
+
+    /**
      * Take a line-sized buffer from the bus's pool (capacity
      * wordsPerLine(); contents unspecified).  Read results are built
      * in pooled buffers; consumers that keep the data can swap their
@@ -295,6 +327,7 @@ class Bus
     SnoopFilterStats filterStats_;
     std::vector<std::unique_ptr<AttemptScratch>> scratch_;
     std::vector<std::vector<Word>> linePool_;
+    FaultInjector *faults_ = nullptr;  ///< not owned; null = fault-free
     unsigned depth_ = 0;   ///< nested-push depth guard
 };
 

@@ -3,6 +3,17 @@
 namespace fbsim {
 
 Cycles
+BusCostModel::backoffCost(std::uint64_t k) const
+{
+    if (retryBackoffBase == 0 || k == 0)
+        return 0;
+    // Clamp the shift; the cap bounds the result anyway.
+    unsigned shift = k - 1 > 30 ? 30u : static_cast<unsigned>(k - 1);
+    Cycles backoff = retryBackoffBase << shift;
+    return backoff < retryBackoffCap ? backoff : retryBackoffCap;
+}
+
+Cycles
 BusCostModel::attemptCost(BusCmd cmd, const MasterSignals &sig,
                           std::size_t words, bool from_cache) const
 {

@@ -31,6 +31,21 @@ struct BusCostModel
     Cycles dataCycle = 1;        ///< per word transferred
     Cycles abortPenalty = 1;     ///< wasted cycles on a BS abort
 
+    /**
+     * Exponential abort-retry backoff: after the k-th consecutive
+     * abort of one transaction the master idles
+     * min(retryBackoffBase << (k-1), retryBackoffCap) cycles before
+     * re-arbitrating.  Defuses abort storms (fault injection, or
+     * pathological BS contention) at the cost of latency.  A base of
+     * 0 disables backoff entirely - the default, preserving the
+     * paper's immediate-retry timing.
+     */
+    Cycles retryBackoffBase = 0;
+    Cycles retryBackoffCap = 64;
+
+    /** Backoff idle cycles after the k-th consecutive abort (k >= 1). */
+    Cycles backoffCost(std::uint64_t k) const;
+
     /** Cost of one (non-aborted) transaction attempt.
      *  @param cmd    transaction payload class
      *  @param sig    master intent signals

@@ -2,6 +2,7 @@
 
 #include "bus/bus.h"
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace fbsim {
 
@@ -10,12 +11,17 @@ MainMemorySlave::transact(const BusRequest &req, bool local_owner,
                           bool /* local_ch */,
                           std::span<Word> read_out)
 {
+    SlaveResult res;
     switch (req.cmd) {
       case BusCmd::Read:
         if (local_owner) {
             // Intervention preempts memory, which is NOT updated - the
             // Futurebus limitation that motivates the O state.
             ++memory_.stats().inhibited;
+        } else if (faults_ && faults_->fireMemoryDrop()) {
+            // Response lost in flight: the line buffer stays unfilled
+            // and the bus converts the attempt into an abort round.
+            res.dropped = true;
         } else {
             std::span<const Word> line = memory_.readLine(req.line);
             fbsim_assert(read_out.size() == line.size());
@@ -46,7 +52,9 @@ MainMemorySlave::transact(const BusRequest &req, bool local_owner,
         // owner's push during the abort/retry rounds.
         break;
     }
-    return {};
+    if (faults_ && !res.dropped)
+        res.extraDelay = faults_->fireMemoryDelay();
+    return res;
 }
 
 } // namespace fbsim

@@ -21,6 +21,7 @@
 namespace fbsim {
 
 struct BusRequest;
+class FaultInjector;
 
 /** What the slave contributes to a transaction. */
 struct SlaveResult
@@ -30,6 +31,13 @@ struct SlaveResult
     /** Cycles spent beyond this bus (0 = plain local memory; the cost
      *  model then applies its own memory latency). */
     Cycles cost = 0;
+    /** Fault injection: the read response was lost in flight.  The
+     *  read buffer holds no valid data; the bus treats the attempt
+     *  like an abort and the master retries. */
+    bool dropped = false;
+    /** Fault injection: extra response latency charged to the
+     *  transaction on top of the modelled cost. */
+    Cycles extraDelay = 0;
 };
 
 /** Slave port of a bus. */
@@ -75,8 +83,16 @@ class MainMemorySlave : public MemorySlave
 
     MainMemory &memory() { return memory_; }
 
+    /** Attach a fault injector (not owned; null detaches).  Drawn on
+     *  for delayed and dropped responses.  Drops are restricted to
+     *  read responses: a dropped read is recoverable by retry, while
+     *  silently losing a write or push would diverge the memory image
+     *  with no transaction-level symptom to detect. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
   private:
     MainMemory &memory_;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace fbsim

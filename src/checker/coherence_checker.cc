@@ -30,7 +30,8 @@ CoherenceChecker::noteRead(Addr addr, Word value) const
     return strprintf("read of 0x%llx returned 0x%llx, expected 0x%llx",
                      static_cast<unsigned long long>(addr),
                      static_cast<unsigned long long>(value),
-                     static_cast<unsigned long long>(want));
+                     static_cast<unsigned long long>(want)) +
+           annotation();
 }
 
 void
@@ -78,6 +79,7 @@ void
 CoherenceChecker::checkLine(LineAddr la,
                             std::vector<std::string> &violations) const
 {
+    const std::size_t first = violations.size();
     int exclusive_holders = 0;
     int owners = 0;
     int valid_holders = 0;
@@ -171,6 +173,16 @@ CoherenceChecker::checkLine(LineAddr la,
                     static_cast<unsigned long long>(mem),
                     static_cast<unsigned long long>(want)));
             }
+        }
+    }
+
+    // Stamp the reproduction tag (fault seed/schedule) onto every
+    // violation this line contributed.
+    if (violations.size() > first) {
+        std::string tag = annotation();
+        if (!tag.empty()) {
+            for (std::size_t i = first; i < violations.size(); ++i)
+                violations[i] += tag;
         }
     }
 }

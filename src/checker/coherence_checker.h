@@ -35,6 +35,7 @@
 #ifndef FBSIM_CHECKER_COHERENCE_CHECKER_H_
 #define FBSIM_CHECKER_COHERENCE_CHECKER_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -104,6 +105,27 @@ class CoherenceChecker : public BusObserver
     std::size_t dirtyLineCount() const { return dirty_.size(); }
 
     /**
+     * Mark a line dirty directly (fault injection: a data flip changes
+     * cached contents without any bus transaction or noteWrite, so the
+     * incremental scan would otherwise never revisit the line).
+     */
+    void markLineDirty(LineAddr la)
+    {
+        if (trackDirty_)
+            dirty_.insert(la);
+    }
+
+    /**
+     * Attach a context annotator: its string is appended to every
+     * violation and read-mismatch message.  The fault layer supplies
+     * the injector's reproduction tag (seed, schedule, transaction
+     * index) so any failing campaign can be replayed from the log
+     * line alone.
+     */
+    void setAnnotator(std::function<std::string()> annotator)
+    { annotator_ = std::move(annotator); }
+
+    /**
      * Enable/disable dirty-line tracking.  When nothing consumes
      * checkDirtyLines() (per-access checking off, or in full-scan
      * mode) the per-write and per-transaction set inserts are wasted
@@ -123,6 +145,10 @@ class CoherenceChecker : public BusObserver
     /** Run all invariants for one line, appending violations. */
     void checkLine(LineAddr la, std::vector<std::string> &out) const;
 
+    /** The annotator's tag (" [ ... ]"), or empty when unset. */
+    std::string annotation() const
+    { return annotator_ ? " " + annotator_() : std::string(); }
+
     /** Oracle key: word-aligned index into the flat address space. */
     static Addr wordKey(Addr addr) { return addr / kWordBytes; }
 
@@ -133,6 +159,7 @@ class CoherenceChecker : public BusObserver
     FlatMap64<Word> oracle_;                  ///< word index -> value
     std::unordered_set<LineAddr> dirty_;
     bool trackDirty_ = true;
+    std::function<std::string()> annotator_;
     mutable std::uint64_t checksRun_ = 0;
 };
 

@@ -35,6 +35,16 @@ buildFireflyTable()
     t.setLocal(State::E, LocalEvent::Read, {stay(State::E)});
     t.setLocal(State::E, LocalEvent::Write, {stay(State::M)});
     t.setLocal(State::S, LocalEvent::Read, {stay(State::S)});
+    // The published cell asserts CA on the broadcast.  In the class
+    // convention CA on a broadcast write is the writer's claim that it
+    // will own the line afterwards (Dragon's CH?O:M), which tells a
+    // foreign owner it may stand down to S - but a Firefly writer
+    // writes through and keeps at most a memory-consistent S copy, so
+    // in a mixed system an owner that stands down orphans its line's
+    // other dirty words (memory received only the broadcast word).
+    // This is one concrete mechanism behind the paper's claim that
+    // Firefly is NOT a class member: do not mix it with owner-based
+    // protocols and expect coherence.
     t.setLocal(State::S, LocalEvent::Write,
                {issue(kChSE, CA_IM_BC, BusCmd::WriteWord)});
     t.setLocal(State::I, LocalEvent::Read,

@@ -1,0 +1,181 @@
+#include "fault/fault_injector.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+namespace {
+
+/** Summarize one site's schedule ("abort(p=0.010,w=[5,90))"). */
+void
+appendSite(std::string &out, const char *name, const FaultSchedule &s,
+           const std::string &extra = {})
+{
+    if (!s.enabled())
+        return;
+    if (!out.empty())
+        out += ' ';
+    out += name;
+    out += '(';
+    bool first = true;
+    if (s.probability > 0.0) {
+        out += strprintf("p=%.4g", s.probability);
+        first = false;
+    }
+    if (s.windowStart != 0 || s.windowEnd != ~std::uint64_t{0}) {
+        out += strprintf("%sw=[%llu,%llu)", first ? "" : ",",
+                         static_cast<unsigned long long>(s.windowStart),
+                         static_cast<unsigned long long>(s.windowEnd));
+        first = false;
+    }
+    if (!s.scriptAt.empty()) {
+        out += strprintf("%sscript=%zu", first ? "" : ",",
+                         s.scriptAt.size());
+        first = false;
+    }
+    if (!extra.empty())
+        out += (first ? "" : ",") + extra;
+    out += ')';
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &config) : config_(config)
+{
+    // One independent stream per site: enabling or re-ordering one
+    // site's draws never perturbs another's schedule, which keeps
+    // ablation campaigns (one site at a time) comparable.
+    for (int i = 0; i < kNumSites; ++i)
+        rng_[i] = Rng(config_.seed +
+                      static_cast<std::uint64_t>(i + 1) *
+                          0x9e3779b97f4a7c15ull);
+    for (int i = 0; i < kNumSites; ++i) {
+        const FaultSchedule *s = nullptr;
+        switch (static_cast<Site>(i)) {
+          case kSpuriousAbort: s = &config_.spuriousAbort; break;
+          case kMemoryDelay:   s = &config_.memoryDelay; break;
+          case kMemoryDrop:    s = &config_.memoryDrop; break;
+          case kDataFlip:      s = &config_.dataFlip; break;
+          case kResponseFlip:  s = &config_.responseFlip; break;
+          case kSnooperMute:   s = &config_.snooperMute; break;
+          case kNumSites:      break;
+        }
+        if (s) {
+            for (std::size_t k = 1; k < s->scriptAt.size(); ++k)
+                fbsim_assert(s->scriptAt[k - 1] <= s->scriptAt[k]);
+        }
+    }
+    appendSite(siteSummary_, "abort", config_.spuriousAbort,
+               config_.abortStormProb > 0.0
+                   ? strprintf("storm=%.3gx%u", config_.abortStormProb,
+                               config_.abortStormLength)
+                   : std::string());
+    appendSite(siteSummary_, "delay", config_.memoryDelay,
+               strprintf("+%llu", static_cast<unsigned long long>(
+                                      config_.memoryDelayCycles)));
+    appendSite(siteSummary_, "drop", config_.memoryDrop);
+    appendSite(siteSummary_, "flip", config_.dataFlip);
+    appendSite(siteSummary_, "resp", config_.responseFlip);
+    appendSite(siteSummary_, "mute", config_.snooperMute);
+    if (siteSummary_.empty())
+        siteSummary_ = "idle";
+}
+
+bool
+FaultInjector::fire(Site site, const FaultSchedule &sched)
+{
+    // Scripted entries fire once each, at the site's first opportunity
+    // in (or after) their transaction.
+    std::size_t &cur = scriptCursor_[site];
+    if (cur < sched.scriptAt.size() && sched.scriptAt[cur] <= txn_) {
+        ++cur;
+        return true;
+    }
+    if (sched.probability <= 0.0)
+        return false;
+    if (txn_ < sched.windowStart || txn_ >= sched.windowEnd)
+        return false;
+    return rng_[site].chance(sched.probability);
+}
+
+bool
+FaultInjector::fireSpuriousAbort(LineAddr line)
+{
+    if (stormRemaining_ > 0 && line == stormLine_) {
+        --stormRemaining_;
+        ++stats_.stormAborts;
+        return true;
+    }
+    if (!fire(kSpuriousAbort, config_.spuriousAbort))
+        return false;
+    ++stats_.spuriousAborts;
+    if (config_.abortStormProb > 0.0 && config_.abortStormLength > 0 &&
+        rng_[kSpuriousAbort].chance(config_.abortStormProb)) {
+        stormLine_ = line;
+        stormRemaining_ = config_.abortStormLength;
+    }
+    return true;
+}
+
+bool
+FaultInjector::fireMute(MasterId /* id */)
+{
+    if (!fire(kSnooperMute, config_.snooperMute))
+        return false;
+    ++stats_.snooperMutes;
+    return true;
+}
+
+ResponseSignals
+FaultInjector::corruptResponse(ResponseSignals resp)
+{
+    if (!fire(kResponseFlip, config_.responseFlip))
+        return resp;
+    ++stats_.responseFlips;
+    // BS glitches are the spurious-abort site; here only the
+    // informational lines flip.  A CH flip can send a master to a
+    // wrongly exclusive state (a detectable U1/V3 violation) or to a
+    // needlessly shared one (harmless); DI/SL flips are visible only
+    // in statistics, since data routing follows the latched owner.
+    switch (rng_[kResponseFlip].below(3)) {
+      case 0: resp.ch = !resp.ch; break;
+      case 1: resp.di = !resp.di; break;
+      case 2: resp.sl = !resp.sl; break;
+    }
+    return resp;
+}
+
+Cycles
+FaultInjector::fireMemoryDelay()
+{
+    if (!fire(kMemoryDelay, config_.memoryDelay))
+        return 0;
+    ++stats_.memoryDelays;
+    return config_.memoryDelayCycles;
+}
+
+bool
+FaultInjector::fireMemoryDrop()
+{
+    if (!fire(kMemoryDrop, config_.memoryDrop))
+        return false;
+    ++stats_.memoryDrops;
+    return true;
+}
+
+bool
+FaultInjector::shouldFlipData()
+{
+    return fire(kDataFlip, config_.dataFlip);
+}
+
+std::string
+FaultInjector::describe() const
+{
+    return strprintf("[fault seed=0x%llx txn=%llu %s]",
+                     static_cast<unsigned long long>(config_.seed),
+                     static_cast<unsigned long long>(txn_),
+                     siteSummary_.c_str());
+}
+
+} // namespace fbsim

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Deterministic fault injection for the bus, memory slave and caches.
+ *
+ * The paper's compatibility claim (section 3.4) is that any mix of
+ * legal protocol choices keeps the memory image consistent, and its BS
+ * abort-push-retry mechanism (section 4) is the class's only recovery
+ * path.  Neither earns trust until exercised under adverse conditions,
+ * so fbsim can inject faults at the points where real Futurebus
+ * systems fail:
+ *
+ *  - spurious BS aborts (a glitch on the open-collector busy line),
+ *    optionally escalating into an abort storm on one line;
+ *  - delayed or dropped memory-slave responses (the address handshake
+ *    times out and the master retries);
+ *  - single-bit flips in cached line data (array soft errors) and in
+ *    the snooped response signals CH/DI/SL (wired-OR glitches);
+ *  - intermittently unresponsive snoopers (a module that misses an
+ *    address cycle entirely).
+ *
+ * Every fault site is schedulable independently: by per-opportunity
+ * probability, by a transaction window, or by an explicit script of
+ * transaction indices.  All draws come from per-site xoshiro streams
+ * forked from one seed, so a campaign is reproducible from the seed
+ * alone and enabling one site never perturbs another's schedule.
+ *
+ * The injector only *injects*; recovery and detection live elsewhere
+ * (bounded retry with backoff in bus/, the livelock watchdog and cache
+ * quarantine in sim/, the CoherenceChecker as oracle).  The contract a
+ * fault campaign verifies is: every injected fault is either recovered
+ * (the shared image stays consistent) or detected (a checker violation
+ * or watchdog trip carrying this injector's seed) - never silent.
+ */
+
+#ifndef FBSIM_FAULT_FAULT_INJECTOR_H_
+#define FBSIM_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "core/events.h"
+
+namespace fbsim {
+
+/**
+ * When one fault site fires.  A site is active when `probability` is
+ * positive or `scriptAt` is non-empty.  The clock is the 1-based index
+ * of top-level bus transactions (nested abort pushes share their outer
+ * transaction's tick).
+ */
+struct FaultSchedule
+{
+    /** Chance of firing per opportunity (per attempt, per response). */
+    double probability = 0.0;
+
+    /** Probabilistic firing is confined to [windowStart, windowEnd). */
+    std::uint64_t windowStart = 0;
+    std::uint64_t windowEnd = ~std::uint64_t{0};
+
+    /** Explicit transaction indices (ascending); each fires once, at
+     *  the site's first opportunity in that transaction. */
+    std::vector<std::uint64_t> scriptAt;
+
+    bool enabled() const
+    { return probability > 0.0 || !scriptAt.empty(); }
+};
+
+/** Full configuration of a fault campaign. */
+struct FaultConfig
+{
+    /** Master seed; all per-site streams derive from it. */
+    std::uint64_t seed = 1;
+
+    /** Spurious BS abort of a transaction attempt (no owner push). */
+    FaultSchedule spuriousAbort;
+    /** Chance a spurious abort escalates into a storm: the next
+     *  `abortStormLength` attempts on that line all abort. */
+    double abortStormProb = 0.0;
+    unsigned abortStormLength = 8;
+
+    /** Memory-slave response delayed by `memoryDelayCycles`. */
+    FaultSchedule memoryDelay;
+    Cycles memoryDelayCycles = 32;
+
+    /** Memory-slave read response lost; the attempt times out and the
+     *  master retries (bounded by the bus's maxRetries). */
+    FaultSchedule memoryDrop;
+
+    /** Single-bit flip in one random valid cached line. */
+    FaultSchedule dataFlip;
+
+    /** One of CH/DI/SL inverted in the wired-OR snoop response. */
+    FaultSchedule responseFlip;
+
+    /** A snooping cache misses an address cycle entirely. */
+    FaultSchedule snooperMute;
+
+    bool
+    anyEnabled() const
+    {
+        return spuriousAbort.enabled() || memoryDelay.enabled() ||
+               memoryDrop.enabled() || dataFlip.enabled() ||
+               responseFlip.enabled() || snooperMute.enabled();
+    }
+};
+
+/** Injection counters, one per fault site. */
+struct FaultStats
+{
+    std::uint64_t spuriousAborts = 0;  ///< injected abort rounds
+    std::uint64_t stormAborts = 0;     ///< of which storm follow-ups
+    std::uint64_t memoryDelays = 0;
+    std::uint64_t memoryDrops = 0;
+    std::uint64_t dataFlips = 0;
+    std::uint64_t responseFlips = 0;
+    std::uint64_t snooperMutes = 0;
+
+    bool operator==(const FaultStats &) const = default;
+
+    /** Total faults injected. */
+    std::uint64_t
+    injected() const
+    {
+        return spuriousAborts + stormAborts + memoryDelays +
+               memoryDrops + dataFlips + responseFlips + snooperMutes;
+    }
+
+    /**
+     * Faults that can perturb the memory image (and must therefore be
+     * caught by the checker or watchdog).  Aborts, delays and drops
+     * are pure timing faults: the retry machinery recovers them with
+     * no state divergence.
+     */
+    std::uint64_t
+    corrupting() const
+    {
+        return dataFlips + responseFlips + snooperMutes;
+    }
+};
+
+/** One injector serves one bus/system; not thread-safe. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config);
+
+    /** Advance the schedule clock (called by the bus once per
+     *  top-level transaction, before the first attempt). */
+    void beginTransaction() { ++txn_; }
+
+    /** Current 1-based top-level transaction index. */
+    std::uint64_t transactionIndex() const { return txn_; }
+
+    /** Should this attempt on `line` draw a spurious BS abort? */
+    bool fireSpuriousAbort(LineAddr line);
+
+    /** Should snooper `id` miss this address cycle? */
+    bool fireMute(MasterId id);
+
+    /** Possibly invert one of CH/DI/SL in the wired-OR response. */
+    ResponseSignals corruptResponse(ResponseSignals resp);
+
+    /** Extra slave latency for this transaction (0 = none). */
+    Cycles fireMemoryDelay();
+
+    /** Should the slave's read response be lost? */
+    bool fireMemoryDrop();
+
+    /** Is a cached-line bit flip due?  The caller (System) picks the
+     *  victim cache/line with dataFlipRng(), applies the flip, and
+     *  calls noteDataFlip() - so the flip is counted only when a
+     *  valid line actually existed. */
+    bool shouldFlipData();
+
+    /** Stream for victim cache/line/bit selection. */
+    Rng &dataFlipRng() { return rng_[kDataFlip]; }
+
+    /** Count one applied data flip. */
+    void noteDataFlip() { ++stats_.dataFlips; }
+
+    const FaultConfig &config() const { return config_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /**
+     * Reproduction tag emitted with every failure message (checker
+     * violations, watchdog trips, bus give-ups): the seed and active
+     * schedule, plus the transaction index at which the message was
+     * generated.  "[fault seed=0x2a txn=317 abort(p=0.01,storm=0.2x8)
+     * flip(p=0.001)]" plus the campaign's code are enough to replay
+     * the identical run.
+     */
+    std::string describe() const;
+
+  private:
+    enum Site : int {
+        kSpuriousAbort = 0,
+        kMemoryDelay,
+        kMemoryDrop,
+        kDataFlip,
+        kResponseFlip,
+        kSnooperMute,
+        kNumSites,
+    };
+
+    /** Schedule test for one site (consumes at most one draw). */
+    bool fire(Site site, const FaultSchedule &sched);
+
+    FaultConfig config_;
+    Rng rng_[kNumSites];
+    std::size_t scriptCursor_[kNumSites] = {};
+    std::uint64_t txn_ = 0;
+    LineAddr stormLine_ = 0;
+    unsigned stormRemaining_ = 0;
+    FaultStats stats_;
+    std::string siteSummary_;   ///< precomputed schedule description
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_FAULT_FAULT_INJECTOR_H_

@@ -20,6 +20,15 @@ struct AccessOutcome
     bool usedBus = false;
     unsigned busTransactions = 0;
     Cycles busCycles = 0;    ///< bus occupancy charged to this access
+    /**
+     * The access did not complete: a bus transaction it needed gave up
+     * after exhausting its abort retries (possible only under fault
+     * injection).  A faulted read returns no meaningful value; a
+     * faulted write did not reach the shared image.  The system layer
+     * counts consecutive faulted accesses per master and trips the
+     * livelock watchdog.
+     */
+    bool faulted = false;
 
     /**
      * Accumulate another access's traffic into this one (multi-word
@@ -31,6 +40,7 @@ struct AccessOutcome
         usedBus = usedBus || other.usedBus;
         busTransactions += other.busTransactions;
         busCycles += other.busCycles;
+        faulted = faulted || other.faulted;
         return *this;
     }
 };

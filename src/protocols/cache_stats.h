@@ -28,6 +28,9 @@ struct CacheStats
     std::uint64_t writeCaptures = 0;      ///< words captured via DI
     std::uint64_t abortPushes = 0;        ///< BS abort/push responses
     std::uint64_t dirtyFills = 0;         ///< fills supplied by a cache
+    std::uint64_t faultedAccesses = 0;    ///< gave up (fault injection)
+    std::uint64_t illegalSnoops = 0;      ///< undefined cells ignored
+                                          ///  (fault-degraded mode)
 
     double
     missRatio() const

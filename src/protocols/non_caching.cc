@@ -28,6 +28,11 @@ NonCachingMaster::read(Addr addr)
     outcome.usedBus = true;
     outcome.busTransactions = 1;
     outcome.busCycles = r.cost;
+    if (!r.converged) {
+        outcome.faulted = true;
+        ++stats_.faultedAccesses;
+        return outcome;
+    }
     outcome.value = r.line[(addr % lineBytes_) / kWordBytes];
     bus_.recycleLineBuffer(std::move(r.line));
     return outcome;
@@ -51,6 +56,10 @@ NonCachingMaster::write(Addr addr, Word value)
     outcome.busTransactions = 1;
     outcome.busCycles = r.cost;
     outcome.value = value;
+    if (!r.converged) {
+        outcome.faulted = true;
+        ++stats_.faultedAccesses;
+    }
     return outcome;
 }
 

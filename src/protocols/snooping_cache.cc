@@ -78,6 +78,11 @@ SnoopingCache::fillSnoopMemo(SnoopMemo &m, State s, BusEvent ev)
 {
     const SnoopCell &cell = table_.snoop(s, ev);
     if (cell.empty()) {
+        if (faultTolerant_) {
+            m.empty = true;
+            m.filled = true;
+            return;
+        }
         fbsim_panic("%s cache %u: illegal bus event col %d on line "
                     "in state %s",
                     name_.c_str(), id_, busEventColumn(ev),
@@ -107,9 +112,15 @@ AccessOutcome
 SnoopingCache::read(Addr addr)
 {
     ++stats_.reads;
+    if (quarantined_) {
+        ++stats_.readMisses;
+        return bypassRead(addr);
+    }
     // Every protocol table serves a read on a valid line locally, so a
     // read used the bus iff it missed; no separate state probe needed.
     AccessOutcome outcome = dispatchLocal(LocalEvent::Read, addr, 0, 0);
+    if (outcome.faulted)
+        ++stats_.faultedAccesses;
     if (outcome.usedBus)
         ++stats_.readMisses;
     else
@@ -121,8 +132,14 @@ AccessOutcome
 SnoopingCache::write(Addr addr, Word value)
 {
     ++stats_.writes;
+    if (quarantined_) {
+        ++stats_.writeMisses;
+        return bypassWrite(addr, value);
+    }
     bool present = isValid(lineState(addr));
     AccessOutcome outcome = dispatchLocal(LocalEvent::Write, addr, value, 0);
+    if (outcome.faulted)
+        ++stats_.faultedAccesses;
     if (!present)
         ++stats_.writeMisses;
     else if (outcome.usedBus)
@@ -135,8 +152,60 @@ SnoopingCache::write(Addr addr, Word value)
 AccessOutcome
 SnoopingCache::flush(Addr addr, bool keep_copy)
 {
-    return dispatchLocal(keep_copy ? LocalEvent::Pass : LocalEvent::Flush,
-                         addr, 0, 0);
+    if (quarantined_)
+        return {};
+    AccessOutcome outcome =
+        dispatchLocal(keep_copy ? LocalEvent::Pass : LocalEvent::Flush,
+                      addr, 0, 0);
+    if (outcome.faulted)
+        ++stats_.faultedAccesses;
+    return outcome;
+}
+
+AccessOutcome
+SnoopingCache::bypassRead(Addr addr)
+{
+    BusRequest req;
+    req.master = id_;
+    req.cmd = BusCmd::Read;
+    req.sig = {false, false, false};   // "I,R**": no CA asserted
+    req.line = lineOf(addr);
+    BusResult r = bus_.execute(req);
+    AccessOutcome outcome;
+    outcome.usedBus = true;
+    outcome.busTransactions = 1;
+    outcome.busCycles = r.cost;
+    if (!r.converged) {
+        outcome.faulted = true;
+        ++stats_.faultedAccesses;
+        return outcome;
+    }
+    outcome.value = r.line[wordIndexOf(addr)];
+    bus_.recycleLineBuffer(std::move(r.line));
+    return outcome;
+}
+
+AccessOutcome
+SnoopingCache::bypassWrite(Addr addr, Word value)
+{
+    BusRequest req;
+    req.master = id_;
+    req.cmd = BusCmd::WriteWord;
+    req.sig = {false, true, false};    // "I,IM,W**"
+    req.line = lineOf(addr);
+    req.wordIdx = wordIndexOf(addr);
+    req.wdata = value;
+    BusResult r = bus_.execute(req);
+    AccessOutcome outcome;
+    outcome.usedBus = true;
+    outcome.busTransactions = 1;
+    outcome.busCycles = r.cost;
+    outcome.value = value;
+    if (!r.converged) {
+        outcome.faulted = true;
+        ++stats_.faultedAccesses;
+    }
+    return outcome;
 }
 
 AccessOutcome
@@ -196,12 +265,19 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         fbsim_assert(ev == LocalEvent::Write);
         AccessOutcome fill = dispatchLocal(LocalEvent::Read, addr, 0,
                                            depth + 1);
+        if (fill.faulted) {
+            // The fill gave up (fault injection); the line is still
+            // invalid, so dispatching the write would just re-resolve
+            // to this same read-then-write.  Fail the whole access.
+            return fill;
+        }
         AccessOutcome wr = dispatchLocal(LocalEvent::Write, addr, value,
                                          depth + 1);
         outcome.usedBus = fill.usedBus || wr.usedBus;
         outcome.busTransactions =
             fill.busTransactions + wr.busTransactions;
         outcome.busCycles = fill.busCycles + wr.busCycles;
+        outcome.faulted = wr.faulted;
         outcome.value = wr.value;
         return outcome;
     }
@@ -235,22 +311,34 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
       case BusCmd::Read: {
         // Fill (plain read miss or read-for-ownership).  Make room
         // first: the victim's push precedes our fill on the bus.
-        CacheLine &nl = allocateFor(la, outcome);
+        CacheLine *nl = allocateFor(la, outcome);
+        if (!nl) {
+            // The victim's writeback gave up (fault injection); its
+            // frame is still occupied, so the fill cannot proceed.
+            outcome.faulted = true;
+            return outcome;
+        }
         BusResult r = bus_.execute(req);
         outcome.usedBus = true;
         outcome.busTransactions += 1;
         outcome.busCycles += r.cost;
+        if (!r.converged) {
+            // No data arrived and no snooper changed state; the frame
+            // stays invalid and the access fails.
+            outcome.faulted = true;
+            return outcome;
+        }
         // Swap the filled buffer in and donate our old storage back
         // to the bus pool: steady-state fills never allocate.
-        nl.data.swap(r.line);
+        nl->data.swap(r.line);
         bus_.recycleLineBuffer(std::move(r.line));
-        setLineState(nl, action.next.resolve(r.resp.ch));
-        store_->touch(nl);
+        setLineState(*nl, action.next.resolve(r.resp.ch));
+        store_->touch(*nl);
         if (r.suppliedByCache)
             ++stats_.dirtyFills;
-        if (ev == LocalEvent::Write && isValid(nl.state))
-            nl.data[wi] = value;
-        outcome.value = nl.data[wi];
+        if (ev == LocalEvent::Write && isValid(nl->state))
+            nl->data[wi] = value;
+        outcome.value = nl->data[wi];
         return outcome;
       }
 
@@ -261,6 +349,11 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         outcome.busTransactions = 1;
         outcome.busCycles = r.cost;
         outcome.value = value;
+        if (!r.converged) {
+            // The word never reached the bus; local state unchanged.
+            outcome.faulted = true;
+            return outcome;
+        }
         CacheLine *line = cachedFind(la);
         if (line) {
             line->data[wi] = value;
@@ -280,6 +373,12 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         outcome.usedBus = true;
         outcome.busTransactions = 1;
         outcome.busCycles = r.cost;
+        if (!r.converged) {
+            // Memory never captured the line; keep state (and thus
+            // ownership/data) so nothing is lost.
+            outcome.faulted = true;
+            return outcome;
+        }
         ++stats_.writebacks;
         setLineState(*line, action.next.resolve(r.resp.ch));
         outcome.value = line->data[wi];
@@ -300,6 +399,11 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
         outcome.usedBus = true;
         outcome.busTransactions = 1;
         outcome.busCycles = r.cost;
+        if (!r.converged) {
+            // Nobody saw the invalidate; the write must not land.
+            outcome.faulted = true;
+            return outcome;
+        }
         if (ev == LocalEvent::Write)
             line->data[wi] = value;
         setLineState(*line, action.next.resolve(r.resp.ch));
@@ -311,23 +415,28 @@ SnoopingCache::executeLocal(const LocalAction &action, LocalEvent ev,
     fbsim_panic("unreachable");
 }
 
-CacheLine &
+CacheLine *
 SnoopingCache::allocateFor(LineAddr la, AccessOutcome &outcome)
 {
     // The store may demand several evictions (a sector cache replaces
     // a whole sector's subsectors at once).
     for (CacheLine *victim : store_->evictionSet(la)) {
         fbsim_assert(victim->valid());
-        evict(*victim, outcome);
+        if (!evict(*victim, outcome)) {
+            // The victim's writeback gave up (fault injection); it
+            // still holds valid owned data, so installing over it
+            // would lose the only copy.  Fail the allocation instead.
+            outcome.faulted = true;
+            return nullptr;
+        }
     }
-    return store_->install(la, State::I);
+    return &store_->install(la, State::I);
 }
 
-void
+bool
 SnoopingCache::evict(CacheLine &victim, AccessOutcome &outcome)
 {
     State s = victim.state;
-    ++stats_.evictions;
     LocalAction chosen;
     const LocalAction *actionp = &chosen;
     bool no_action;
@@ -347,15 +456,17 @@ SnoopingCache::evict(CacheLine &victim, AccessOutcome &outcome)
     if (no_action) {
         // Unowned data may always be dropped silently.
         fbsim_assert(!isOwned(s));
+        ++stats_.evictions;
         setLineState(victim, State::I);
-        return;
+        return true;
     }
     const LocalAction &action = *actionp;
     if (coverage_)
         coverage_->noteLocal(s, LocalEvent::Flush, State::I);
     if (!action.usesBus) {
+        ++stats_.evictions;
         setLineState(victim, State::I);
-        return;
+        return true;
     }
     fbsim_assert(action.cmd == BusCmd::WriteLine);
     BusRequest req;
@@ -368,8 +479,36 @@ SnoopingCache::evict(CacheLine &victim, AccessOutcome &outcome)
     outcome.usedBus = true;
     outcome.busTransactions += 1;
     outcome.busCycles += r.cost;
+    if (!r.converged) {
+        // Writeback gave up (fault injection): keep the victim's state
+        // and data so the only copy is not lost.
+        return false;
+    }
+    ++stats_.evictions;
     ++stats_.writebacks;
     setLineState(victim, State::I);
+    return true;
+}
+
+SnoopReply
+SnoopingCache::ignoredIllegalSnoop(State s, BusEvent ev, LineAddr la)
+{
+    // Fault-degraded: the protocol never generates this (state, event)
+    // pair, so reaching it means an injected fault already diverged
+    // the system (e.g. double ownership after a muted invalidate).
+    // Respond as if the address cycle was missed; the always-on
+    // checker reports the underlying divergence.
+    ++stats_.illegalSnoops;
+    if (!warnedIllegalSnoop_) {
+        warnedIllegalSnoop_ = true;
+        warnImpl("%s cache %u: ignoring illegal bus event col %d on "
+                 "line %llu in state %s (fault-degraded; counted in "
+                 "illegalSnoops)",
+                 name_.c_str(), id_, busEventColumn(ev),
+                 static_cast<unsigned long long>(la),
+                 std::string(stateName(s)).c_str());
+    }
+    return {};
 }
 
 SnoopReply
@@ -435,6 +574,8 @@ SnoopingCache::snoop(const BusRequest &req)
     const SnoopAction *action = &chosen;
     if (memoize_) {
         const SnoopMemo &m = snoopMemoFor(line->state, ev);
+        if (m.empty)
+            return ignoredIllegalSnoop(line->state, ev, req.line);
         action = &m.action;
         // Section 5.2 refinement: discard instead of update when the
         // line is nearing replacement and the cell offers an
@@ -449,6 +590,8 @@ SnoopingCache::snoop(const BusRequest &req)
     } else {
         const SnoopCell &cell = table_.snoop(line->state, ev);
         if (cell.empty()) {
+            if (faultTolerant_)
+                return ignoredIllegalSnoop(line->state, ev, req.line);
             fbsim_panic("%s cache %u: illegal bus event col %d on line "
                         "in state %s",
                         name_.c_str(), id_, busEventColumn(ev),
@@ -547,7 +690,14 @@ SnoopingCache::performAbortPush(const BusRequest &req)
     push.sig = {p.action.pushCa, false, false};
     push.line = line->addr;
     push.wline = line->data;
-    bus_.execute(push);
+    BusResult r = bus_.execute(push);
+    if (!r.converged) {
+        // The nested push gave up (fault injection): keep ownership
+        // and data; the outer transaction's next round aborts again
+        // and re-triggers the push until one side succeeds or the
+        // outer retry budget runs out.
+        return;
+    }
     ++stats_.abortPushes;
     ++stats_.writebacks;
     if (coverage_) {
@@ -556,6 +706,51 @@ SnoopingCache::performAbortPush(const BusRequest &req)
             coverage_->noteSnoop(line->state, *ev, p.action.pushState);
     }
     setLineState(*line, p.action.pushState);
+}
+
+AccessOutcome
+SnoopingCache::quarantine()
+{
+    AccessOutcome outcome;
+    if (quarantined_)
+        return outcome;
+    // Collect first: evict() invalidates through setLineState, which
+    // must not run under the store's own iteration.
+    std::vector<LineAddr> held;
+    store_->forEachValidLine([&](const CacheLine &line) {
+        held.push_back(line.addr);
+    });
+    for (LineAddr la : held) {
+        CacheLine *line = cachedFind(la);
+        if (!line)
+            continue;   // invalidated by an earlier flush's snoop
+        if (!evict(*line, outcome)) {
+            // Even the quarantine flush could not converge.  Loud data
+            // loss beats silent corruption: drop the copy and say so.
+            warnImpl("cache %u quarantine: flush of line %llu did "
+                     "not converge; owned data lost",
+                     id_, static_cast<unsigned long long>(la));
+            setLineState(*line, State::I);
+        }
+    }
+    quarantined_ = true;
+    return outcome;
+}
+
+std::optional<LineAddr>
+SnoopingCache::corruptRandomBit(Rng &rng)
+{
+    std::vector<CacheLine *> victims;
+    store_->forEachValidLine([&](const CacheLine &line) {
+        victims.push_back(const_cast<CacheLine *>(&line));
+    });
+    if (victims.empty())
+        return std::nullopt;
+    CacheLine *victim = victims[rng.below(victims.size())];
+    std::size_t wi = rng.below(victim->data.size());
+    unsigned bit = static_cast<unsigned>(rng.below(kWordBytes * 8));
+    victim->data[wi] ^= Word{1} << bit;
+    return victim->addr;
 }
 
 } // namespace fbsim

@@ -17,10 +17,12 @@
 #define FBSIM_PROTOCOLS_SNOOPING_CACHE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "bus/bus.h"
 #include "cache/line_store.h"
+#include "common/random.h"
 #include "core/policy.h"
 #include "core/protocol_table.h"
 #include "protocols/bus_client.h"
@@ -115,6 +117,39 @@ class SnoopingCache : public BusClient, public Snooper
     void setCoverage(TransitionCoverage *coverage)
     { coverage_ = coverage; }
 
+    /**
+     * Graceful degradation: flush every owned line to memory (via the
+     * table's legal Flush actions), invalidate all copies, and bypass
+     * the cache from then on - reads and writes go straight to the bus
+     * like a non-caching master's, so the processor keeps running
+     * coherently, just slower.  Called by the system layer when this
+     * cache trips the livelock watchdog or fails a data-integrity
+     * check.  Returns the bus traffic of the flush sweep; if a flush
+     * push itself fails to converge the line is force-invalidated with
+     * a warning (loud data loss beats silent corruption).
+     */
+    AccessOutcome quarantine();
+    bool quarantined() const { return quarantined_; }
+
+    /**
+     * Fault-degraded mode (set by the system layer when an injector is
+     * attached): a snooped bus event with no table cell for the line's
+     * state - reachable only after a fault has already driven the
+     * system into states the protocol never generates, e.g. divergent
+     * double ownership from a muted invalidate - is ignored like a
+     * missed address cycle (no response, no transition) and counted,
+     * instead of panicking.  The checker reports the divergence.
+     */
+    void setFaultTolerant(bool on) { faultTolerant_ = on; }
+
+    /**
+     * Fault injection: flip one random bit in one random valid line's
+     * data (victim chosen via `rng`).  Returns the corrupted line's
+     * address, or nullopt if the cache holds no valid line.  Does NOT
+     * count the injection - the caller owns the FaultStats.
+     */
+    std::optional<LineAddr> corruptRandomBit(Rng &rng);
+
     /** Current state of the line containing `addr` (I if absent). */
     State lineState(Addr addr) const
     {
@@ -133,11 +168,24 @@ class SnoopingCache : public BusClient, public Snooper
                                Addr addr, Word value, int depth,
                                CacheLine *line);
 
-    /** Evict (flushing if owned) to make room, and install `la`. */
-    CacheLine &allocateFor(LineAddr la, AccessOutcome &outcome);
+    /** Evict (flushing if owned) to make room, and install `la`.
+     *  Null if a victim's writeback failed to converge (fault
+     *  injection): the victim keeps its state and the access fails. */
+    CacheLine *allocateFor(LineAddr la, AccessOutcome &outcome);
 
-    /** Issue the victim's Flush per the table. */
-    void evict(CacheLine &victim, AccessOutcome &outcome);
+    /** Issue the victim's Flush per the table.  False if its push did
+     *  not converge (the victim keeps its state and data). */
+    bool evict(CacheLine &victim, AccessOutcome &outcome);
+
+    /** Fault-degraded handling of a snooped event with no table cell:
+     *  count it, warn once, and respond as if the address cycle was
+     *  missed (empty reply, no latched action). */
+    SnoopReply ignoredIllegalSnoop(State s, BusEvent ev, LineAddr la);
+
+    /** Cache-bypass accesses used while quarantined (the non-caching
+     *  master's transaction shapes). */
+    AccessOutcome bypassRead(Addr addr);
+    AccessOutcome bypassWrite(Addr addr, Word value);
 
     /**
      * Every consistency-state change funnels through here so the
@@ -170,6 +218,7 @@ class SnoopingCache : public BusClient, public Snooper
     struct SnoopMemo
     {
         bool filled = false;
+        bool empty = false;    ///< no cell; tolerated under faults
         SnoopAction action;
         /** Invalidate alternative for the section 5.2 near-replacement
          *  discard, if the cell offers one (points into the table). */
@@ -242,6 +291,9 @@ class SnoopingCache : public BusClient, public Snooper
     unsigned lineShift_ = 0;
     std::unique_ptr<LineStore> store_;
     CacheStats stats_;
+    bool quarantined_ = false;
+    bool faultTolerant_ = false;
+    bool warnedIllegalSnoop_ = false;   ///< one warning per cache
     TransitionCoverage *coverage_ = nullptr;
     std::string name_;
     std::vector<LocalAction> candScratch_;   ///< kindFiltered() reuse

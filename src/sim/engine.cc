@@ -77,6 +77,8 @@ Engine::run(const std::vector<RefStream *> &streams,
         } else {
             outcome = system_.read(static_cast<MasterId>(i), p.ref.addr);
         }
+        if (outcome.faulted)
+            ++result.faultedRefs;
         ProcTiming &timing = result.procs[i];
         timing.refs += 1;
         timing.execCycles += config_.hitCycles;
@@ -135,6 +137,8 @@ Engine::run(const std::vector<RefStream *> &streams,
 
     for (const ProcTiming &p : result.procs)
         result.elapsed = std::max(result.elapsed, p.finishTime);
+    result.watchdogTrips = system_.watchdogTrips();
+    result.quarantines = system_.quarantineCount();
     return result;
 }
 

@@ -56,6 +56,10 @@ struct EngineResult
     Cycles elapsed = 0;          ///< max processor finish time
     Cycles busBusy = 0;          ///< cycles the bus carried a transaction
     std::vector<ProcTiming> procs;
+    /** Fault-campaign outcomes (zero in fault-free runs). */
+    std::uint64_t faultedRefs = 0;   ///< refs that gave up on retry
+    std::uint64_t watchdogTrips = 0; ///< no-progress detections
+    std::uint64_t quarantines = 0;   ///< caches isolated
 
     /** Bus utilization in [0,1]. */
     double

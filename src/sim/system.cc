@@ -30,6 +30,15 @@ System::System(const SystemConfig &config) : config_(config)
     bus_->addObserver(checker_.get());
     checker_->setTrackDirty(config_.checkEveryAccess &&
                             config_.incrementalCheck);
+    if (config_.faults && config_.faults->anyEnabled()) {
+        faults_ = std::make_unique<FaultInjector>(*config_.faults);
+        bus_->setFaultInjector(faults_.get());
+        slave_->setFaultInjector(faults_.get());
+        // Every checker message carries the injector's reproduction
+        // tag: seed + schedule + transaction index.
+        checker_->setAnnotator(
+            [this]() { return faults_->describe(); });
+    }
 }
 
 System::~System() = default;
@@ -52,10 +61,13 @@ System::addCache(const CacheSpec &spec)
     auto cache = std::make_unique<SnoopingCache>(
         id, *bus_, protocolTable(spec.protocol),
         makeChooser(spec.chooser, spec.policy, spec.seed), cfg);
+    if (faults_)
+        cache->setFaultTolerant(true);
     bus_->attach(cache.get());
     checker_->addCache(cache.get());
     caches_.push_back(cache.get());
     clients_.push_back(std::move(cache));
+    noProgress_.push_back(0);
     return id;
 }
 
@@ -78,10 +90,13 @@ System::addSectorCache(const CacheSpec &spec,
         makeChooser(spec.chooser, spec.policy, spec.seed),
         std::move(store), config_.lineBytes, ClientKind::CopyBack,
         spec.discardNearReplacement);
+    if (faults_)
+        cache->setFaultTolerant(true);
     bus_->attach(cache.get());
     checker_->addCache(cache.get());
     caches_.push_back(cache.get());
     clients_.push_back(std::move(cache));
+    noProgress_.push_back(0);
     return id;
 }
 
@@ -92,6 +107,7 @@ System::addNonCachingMaster(bool broadcast_writes)
     clients_.push_back(std::make_unique<NonCachingMaster>(
         id, *bus_, config_.lineBytes, broadcast_writes));
     caches_.push_back(nullptr);
+    noProgress_.push_back(0);
     return id;
 }
 
@@ -122,12 +138,23 @@ System::read(MasterId id, Addr addr)
     AccessOutcome outcome = client(id).read(addr);
     // Value verification is cheap and always on; the structural scan
     // only runs when configured.  The violation string is only built
-    // on an actual mismatch - the match test is one oracle probe.
-    if (outcome.value != checker_->expected(addr) &&
-        violations_.size() < kMaxRecordedViolations)
-        violations_.push_back(checker_->noteRead(addr, outcome.value));
-    if (config_.checkEveryAccess)
-        afterAccess();
+    // on an actual mismatch - the match test is one oracle probe.  A
+    // faulted read returned no data, so there is no value to verify
+    // (and blaming a timing fault as corruption would be wrong).
+    if (!outcome.faulted &&
+        outcome.value != checker_->expected(addr)) {
+        if (violations_.size() < kMaxRecordedViolations)
+            violations_.push_back(
+                checker_->noteRead(addr, outcome.value));
+        // Failed data-integrity check: if the reader's own cache holds
+        // the line valid, its array is the prime corruption suspect.
+        if (config_.quarantineOnIntegrity && faults_) {
+            SnoopingCache *cache = caches_[id];
+            if (cache && isValid(cache->lineState(addr)))
+                quarantine(id);
+        }
+    }
+    postAccess(id, outcome);
     return outcome;
 }
 
@@ -135,9 +162,11 @@ AccessOutcome
 System::write(MasterId id, Addr addr, Word value)
 {
     AccessOutcome outcome = client(id).write(addr, value);
-    checker_->noteWrite(addr, value);
-    if (config_.checkEveryAccess)
-        afterAccess();
+    // A faulted write never reached the shared image; advancing the
+    // oracle would charge the fault to every later reader.
+    if (!outcome.faulted)
+        checker_->noteWrite(addr, value);
+    postAccess(id, outcome);
     return outcome;
 }
 
@@ -145,8 +174,7 @@ AccessOutcome
 System::flush(MasterId id, Addr addr, bool keep_copy)
 {
     AccessOutcome outcome = client(id).flush(addr, keep_copy);
-    if (config_.checkEveryAccess)
-        afterAccess();
+    postAccess(id, outcome);
     return outcome;
 }
 
@@ -196,8 +224,9 @@ System::syncLine(MasterId id, Addr addr, bool purge)
     total.usedBus = true;
     total.busTransactions += 1;
     total.busCycles += r.cost;
-    if (config_.checkEveryAccess)
-        afterAccess();
+    if (!r.converged)
+        total.faulted = true;
+    postAccess(id, total);
     return total;
 }
 
@@ -233,6 +262,87 @@ System::afterAccess()
             break;
         violations_.push_back(std::move(s));
     }
+}
+
+void
+System::postAccess(MasterId id, const AccessOutcome &outcome)
+{
+    if (faults_) {
+        if (outcome.faulted) {
+            unsigned &rounds = noProgress_[id];
+            if (++rounds >= config_.watchdogRounds) {
+                ++watchdogTrips_;
+                std::string msg = strprintf(
+                    "watchdog: master %u made no forward progress over "
+                    "%u consecutive faulted accesses %s",
+                    id, rounds, faults_->describe().c_str());
+                warnImpl("%s", msg.c_str());
+                recordFaultEvent(std::move(msg));
+                rounds = 0;
+                if (config_.quarantineOnWatchdog)
+                    quarantine(id);
+            }
+        } else {
+            noProgress_[id] = 0;
+        }
+        maybeCorruptCache();
+    }
+    if (config_.checkEveryAccess)
+        afterAccess();
+}
+
+void
+System::maybeCorruptCache()
+{
+    if (!faults_->shouldFlipData())
+        return;
+    // Victim selection comes from the data-flip stream itself, so the
+    // whole fault - when and where - replays from the seed.
+    std::vector<SnoopingCache *> candidates;
+    for (SnoopingCache *cache : caches_) {
+        if (cache && !cache->quarantined())
+            candidates.push_back(cache);
+    }
+    if (candidates.empty())
+        return;
+    Rng &rng = faults_->dataFlipRng();
+    SnoopingCache *victim = candidates[rng.below(candidates.size())];
+    std::optional<LineAddr> la = victim->corruptRandomBit(rng);
+    if (!la)
+        return;
+    faults_->noteDataFlip();
+    // No bus transaction touched the line, so dirty it by hand for
+    // the incremental scan.
+    checker_->markLineDirty(*la);
+    recordFaultEvent(strprintf(
+        "data flip: cache %u line 0x%llx %s", victim->clientId(),
+        static_cast<unsigned long long>(*la),
+        faults_->describe().c_str()));
+}
+
+bool
+System::quarantine(MasterId id)
+{
+    fbsim_assert(id < caches_.size());
+    SnoopingCache *cache = caches_[id];
+    if (!cache || cache->quarantined())
+        return false;
+    ++quarantines_;
+    std::string msg = strprintf(
+        "quarantine: cache %u flushed and isolated%s%s", id,
+        faults_ ? " " : "",
+        faults_ ? faults_->describe().c_str() : "");
+    warnImpl("%s", msg.c_str());
+    recordFaultEvent(std::move(msg));
+    cache->quarantine();
+    return true;
+}
+
+void
+System::recordFaultEvent(std::string event)
+{
+    if (faultEvents_.size() < kMaxRecordedViolations)
+        faultEvents_.push_back(std::move(event));
 }
 
 } // namespace fbsim

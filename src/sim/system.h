@@ -12,11 +12,13 @@
 #define FBSIM_SIM_SYSTEM_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bus/bus.h"
 #include "checker/coherence_checker.h"
+#include "fault/fault_injector.h"
 #include "memory/main_memory.h"
 #include "protocols/bus_client.h"
 #include "protocols/factory.h"
@@ -51,6 +53,26 @@ struct SystemConfig
      * checkNow() always scans the full universe.
      */
     bool incrementalCheck = true;
+    /**
+     * Fault campaign (nullopt = fault-free).  When any site is
+     * enabled the system builds a FaultInjector, wires it into the
+     * bus and memory slave, and arms the recovery machinery below.
+     */
+    std::optional<FaultConfig> faults;
+    /**
+     * Livelock/starvation watchdog: a master whose accesses come back
+     * faulted (retry-exhausted) this many times consecutively has made
+     * no forward progress; the trip is recorded and - with
+     * quarantineOnWatchdog - its cache is quarantined.
+     */
+    unsigned watchdogRounds = 8;
+    bool quarantineOnWatchdog = true;
+    /**
+     * Quarantine a cache whose read returns a value that differs from
+     * the oracle while it holds the line valid (a failed data
+     * integrity check, e.g. after an injected bit flip).
+     */
+    bool quarantineOnIntegrity = false;
 };
 
 /** Everything needed to add one cache to the system. */
@@ -147,6 +169,28 @@ class System
     const std::vector<std::string> &violations() const
     { return violations_; }
 
+    /**
+     * Quarantine a cache: flush owned lines to memory, invalidate the
+     * rest, and route its processor's accesses straight to the bus
+     * from then on.  Returns false for non-caching masters and caches
+     * already quarantined.  Invoked automatically by the watchdog /
+     * integrity machinery; callable directly for tests and manual
+     * isolation.
+     */
+    bool quarantine(MasterId id);
+
+    /** The fault injector, or null in a fault-free system. */
+    FaultInjector *faultInjector() { return faults_.get(); }
+    const FaultInjector *faultInjector() const { return faults_.get(); }
+
+    /** Log of watchdog trips, quarantines and data-flip injections
+     *  (each entry carries the injector's reproduction tag). */
+    const std::vector<std::string> &faultEvents() const
+    { return faultEvents_; }
+
+    std::uint64_t watchdogTrips() const { return watchdogTrips_; }
+    std::uint64_t quarantineCount() const { return quarantines_; }
+
     const SystemConfig &config() const { return config_; }
     Bus &bus() { return *bus_; }
     const Bus &bus() const { return *bus_; }
@@ -156,14 +200,29 @@ class System
   private:
     void afterAccess();
 
+    /** Per-access fault bookkeeping: watchdog progress counting and
+     *  scheduled cache-array bit flips, then the configured checks. */
+    void postAccess(MasterId id, const AccessOutcome &outcome);
+
+    /** Fire a scheduled data flip into a random valid cached line. */
+    void maybeCorruptCache();
+
+    void recordFaultEvent(std::string event);
+
     SystemConfig config_;
     std::unique_ptr<MainMemory> memory_;
     std::unique_ptr<MainMemorySlave> slave_;
     std::unique_ptr<Bus> bus_;
     std::unique_ptr<CoherenceChecker> checker_;
+    std::unique_ptr<FaultInjector> faults_;
     std::vector<std::unique_ptr<BusClient>> clients_;
     std::vector<SnoopingCache *> caches_;   ///< indexed by id; may be null
     std::vector<std::string> violations_;
+    /** Consecutive faulted accesses per master (watchdog state). */
+    std::vector<unsigned> noProgress_;
+    std::vector<std::string> faultEvents_;
+    std::uint64_t watchdogTrips_ = 0;
+    std::uint64_t quarantines_ = 0;
 };
 
 } // namespace fbsim

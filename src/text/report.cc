@@ -57,6 +57,18 @@ renderBusStats(const BusStats &s)
                      static_cast<unsigned long long>(s.aborts),
                      static_cast<unsigned long long>(s.dataWords),
                      static_cast<unsigned long long>(s.busyCycles));
+    if (s.spuriousAborts || s.droppedResponses || s.retryExhausted ||
+        s.backoffCycles || s.responseConflicts) {
+        out += strprintf(
+            "     faults: %llu spurious aborts, %llu dropped "
+            "responses, %llu retry exhaustions, %llu backoff cycles, "
+            "%llu response conflicts\n",
+            static_cast<unsigned long long>(s.spuriousAborts),
+            static_cast<unsigned long long>(s.droppedResponses),
+            static_cast<unsigned long long>(s.retryExhausted),
+            static_cast<unsigned long long>(s.backoffCycles),
+            static_cast<unsigned long long>(s.responseConflicts));
+    }
     return out;
 }
 
@@ -79,6 +91,41 @@ renderEngineResult(const EngineResult &r)
                          static_cast<unsigned long long>(
                              p.busServiceCycles));
     }
+    return out;
+}
+
+std::string
+renderFaultReport(const System &system)
+{
+    const FaultInjector *fi = system.faultInjector();
+    if (!fi)
+        return {};
+    const FaultStats &s = fi->stats();
+    std::string out;
+    out += strprintf("fault campaign %s\n", fi->describe().c_str());
+    out += strprintf("  injected: %llu spurious aborts (%llu storm), "
+                     "%llu delays, %llu drops, %llu data flips, "
+                     "%llu response flips, %llu mutes\n",
+                     static_cast<unsigned long long>(s.spuriousAborts),
+                     static_cast<unsigned long long>(s.stormAborts),
+                     static_cast<unsigned long long>(s.memoryDelays),
+                     static_cast<unsigned long long>(s.memoryDrops),
+                     static_cast<unsigned long long>(s.dataFlips),
+                     static_cast<unsigned long long>(s.responseFlips),
+                     static_cast<unsigned long long>(s.snooperMutes));
+    out += strprintf(
+        "  recovery: %llu retry exhaustions, %llu response conflicts, "
+        "%llu watchdog trips, %llu quarantines, %llu violations "
+        "recorded\n",
+        static_cast<unsigned long long>(
+            system.bus().stats().retryExhausted),
+        static_cast<unsigned long long>(
+            system.bus().stats().responseConflicts),
+        static_cast<unsigned long long>(system.watchdogTrips()),
+        static_cast<unsigned long long>(system.quarantineCount()),
+        static_cast<unsigned long long>(system.violations().size()));
+    for (const std::string &ev : system.faultEvents())
+        out += "  event: " + ev + "\n";
     return out;
 }
 

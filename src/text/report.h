@@ -23,6 +23,14 @@ std::string renderBusStats(const BusStats &stats);
 /** Timed-run summary (per-processor utilization + bus load). */
 std::string renderEngineResult(const EngineResult &result);
 
+/**
+ * Fault-campaign summary: injector seed/schedule, per-site injection
+ * counts, recovery counters (retries exhausted, watchdog trips,
+ * quarantines) and the recorded fault events.  Empty string for a
+ * fault-free system.
+ */
+std::string renderFaultReport(const System &system);
+
 } // namespace fbsim
 
 #endif // FBSIM_TEXT_REPORT_H_
