@@ -13,10 +13,13 @@
 #define FBSIM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign_runner.h"
 #include "sim/engine.h"
 #include "sim/system.h"
 #include "trace/workloads.h"
@@ -170,6 +173,84 @@ verdict(bool ok, const char *what)
 {
     std::printf("\n[%s] %s\n", ok ? "PASS" : "FAIL", what);
     return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------- //
+// Campaign plumbing: the sweeps below declare their cross products
+// as CampaignSpecs and execute them on the CampaignRunner's thread
+// pool.  --jobs N (or FBSIM_JOBS) picks the worker count; results
+// are bit-identical for every N, so the default of 1 only costs
+// wall-clock.
+
+/** Worker count from --jobs N / --jobs=N argv or FBSIM_JOBS env. */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            return static_cast<unsigned>(std::atoi(argv[i] + 7));
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            return static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+    if (const char *env = std::getenv("FBSIM_JOBS"))
+        return static_cast<unsigned>(std::atoi(env));
+    return 1;
+}
+
+/** The ProtocolMix equivalent of makeSystem(). */
+inline ProtocolMix
+mixOf(const ProtocolSetup &setup, std::size_t procs,
+      std::size_t num_sets = 64, std::size_t assoc = 2)
+{
+    ProtocolMix mix;
+    mix.name = setup.name;
+    for (std::size_t i = 0; i < procs; ++i) {
+        MixSlot slot;
+        if (setup.nonCaching) {
+            slot.nonCaching = true;
+        } else {
+            slot.cache.protocol = setup.protocol;
+            slot.cache.chooser = setup.chooser;
+            slot.cache.policy = setup.policy;
+            slot.cache.writeThrough = setup.writeThrough;
+            slot.cache.numSets = num_sets;
+            slot.cache.assoc = assoc;
+            slot.cache.seed = i + 1;
+        }
+        mix.slots.push_back(slot);
+    }
+    return mix;
+}
+
+/** The RunMetrics view of a campaign job (same fields as runTimed). */
+inline RunMetrics
+metricsOf(const CampaignResult &r)
+{
+    RunMetrics m;
+    m.procUtilization = r.procUtilization();
+    m.busUtilization = r.busUtilization();
+    m.systemPower = r.systemPower();
+    m.busCyclesPerRef = r.busCyclesPerRef();
+    m.dataWordsPerRef = r.dataWordsPerRef();
+    m.transactionsPerRef = r.transactionsPerRef();
+    m.missRatio = r.missRatio();
+    m.invalidations = r.cacheTotals.invalidationsRecv;
+    m.updates = r.cacheTotals.updatesRecv;
+    m.aborts = r.bus.aborts;
+    m.consistent = r.consistent;
+    return m;
+}
+
+/** Run a campaign at `jobs` workers; RunMetrics in job-index order. */
+inline std::vector<RunMetrics>
+runCampaignMetrics(const CampaignSpec &spec, unsigned jobs)
+{
+    CampaignReport report = CampaignRunner(jobs).run(spec);
+    std::vector<RunMetrics> metrics;
+    metrics.reserve(report.results.size());
+    for (const CampaignResult &r : report.results)
+        metrics.push_back(metricsOf(r));
+    return metrics;
 }
 
 } // namespace fbsim::bench

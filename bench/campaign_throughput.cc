@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Campaign-runner scaling and trace-parse throughput, recorded as
+ * BENCH_campaign.json.
+ *
+ * Two measurements:
+ *
+ *  1. Trace parsing: the buffered in-place scanner (parseTrace) vs the
+ *     istream fallback (readTrace) on a synthetic trace, in ns per
+ *     reference.
+ *
+ *  2. Campaign scaling: the mixed Berkeley/Illinois/Firefly fault
+ *     campaign (the PR-3 acceptance study) as a CampaignSpec of
+ *     seed-replica jobs, executed at --jobs 1/2/4/8.  Reports jobs/sec
+ *     per worker count and cross-checks that every worker count
+ *     produced the byte-identical merged report - the speedup is free,
+ *     the results are the same.
+ *
+ * Flags: --out <path> (default BENCH_campaign.json in the CWD),
+ * --quick (smaller workload for CI smoke).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "text/report.h"
+#include "trace/trace_io.h"
+
+using namespace fbsim;
+using namespace fbsim::bench;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// ---------------------------------------------------------------- //
+// Trace parsing: buffered scanner vs istream fallback.
+
+std::string
+syntheticTraceText(std::size_t refs, std::size_t procs)
+{
+    std::vector<TraceRef> trace;
+    trace.reserve(refs);
+    Rng rng(1234);
+    for (std::size_t i = 0; i < refs; ++i) {
+        TraceRef r;
+        r.proc = static_cast<MasterId>(rng.below(procs));
+        r.write = rng.chance(0.3);
+        r.addr = rng.below(1 << 20) * kWordBytes;
+        trace.push_back(r);
+    }
+    std::ostringstream out;
+    writeTrace(out, trace);
+    return out.str();
+}
+
+struct ParseTiming
+{
+    double bufferedNsPerRef = 0;
+    double streamNsPerRef = 0;
+    std::size_t refs = 0;
+    bool identical = false;
+};
+
+ParseTiming
+measureTraceParse(std::size_t refs, int reps)
+{
+    std::string text = syntheticTraceText(refs, 8);
+    ParseTiming t;
+
+    std::vector<TraceRef> buffered;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        std::string err;
+        buffered = parseTrace(text, &err);
+    }
+    t.bufferedNsPerRef = secondsSince(start) * 1e9 /
+                         (static_cast<double>(refs) * reps);
+
+    std::vector<TraceRef> streamed;
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        std::istringstream in(text);
+        std::string err;
+        streamed = readTrace(in, &err);
+    }
+    t.streamNsPerRef = secondsSince(start) * 1e9 /
+                       (static_cast<double>(refs) * reps);
+
+    t.refs = buffered.size();
+    t.identical = buffered.size() == streamed.size();
+    for (std::size_t i = 0; t.identical && i < buffered.size(); ++i) {
+        t.identical = buffered[i].proc == streamed[i].proc &&
+                      buffered[i].write == streamed[i].write &&
+                      buffered[i].addr == streamed[i].addr;
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------- //
+// Campaign scaling: the mixed fault study over seed replicas.
+
+CampaignSpec
+mixedFaultCampaign(std::size_t replicas, std::uint64_t refs_per_proc)
+{
+    CampaignSpec spec;
+    spec.campaignSeed = 1;
+    spec.refsPerProc = refs_per_proc;
+    spec.base.lineBytes = 32;
+    spec.base.checkEveryAccess = true;
+
+    ProtocolMix mix;
+    mix.name = "Berkeley+Illinois+Firefly";
+    const ProtocolKind kinds[] = {ProtocolKind::Berkeley,
+                                  ProtocolKind::Illinois,
+                                  ProtocolKind::Firefly};
+    for (std::size_t i = 0; i < std::size(kinds); ++i) {
+        MixSlot slot;
+        slot.cache.protocol = kinds[i];
+        slot.cache.numSets = 4;
+        slot.cache.assoc = 2;
+        slot.cache.seed = i + 1;
+        mix.slots.push_back(slot);
+    }
+    spec.mixes.push_back(std::move(mix));
+
+    Arch85Params params;
+    params.pShared = 0.3;
+    params.sharedLines = 12;
+    for (std::size_t rep = 0; rep < replicas; ++rep) {
+        WorkloadSpec w = arch85SeededWorkload(
+            "seed-rep" + std::to_string(rep), params);
+        spec.workloads.push_back(std::move(w));
+    }
+
+    spec.faultFactory = [](std::uint64_t job_seed, std::size_t) {
+        FaultConfig fc;
+        fc.seed = job_seed;
+        fc.spuriousAbort.probability = 0.01;
+        fc.abortStormProb = 0.2;
+        fc.abortStormLength = 4;
+        fc.memoryDelay.probability = 0.005;
+        fc.memoryDelayCycles = 16;
+        fc.memoryDrop.probability = 0.005;
+        fc.dataFlip.probability = 0.002;
+        fc.responseFlip.probability = 0.002;
+        fc.snooperMute.probability = 0.02;
+        return std::optional<FaultConfig>(fc);
+    };
+    return spec;
+}
+
+struct ScalePoint
+{
+    unsigned workers = 0;
+    double seconds = 0;
+    double jobsPerSec = 0;
+    bool identical = false;   ///< report matches the --jobs 1 bytes
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = "BENCH_campaign.json";
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    std::printf("=== campaign runner throughput ===\n\n");
+
+    // 1. Trace parse.
+    const std::size_t kParseRefs = quick ? 20000 : 200000;
+    ParseTiming parse = measureTraceParse(kParseRefs, quick ? 2 : 5);
+    std::printf("trace parse (%zu refs): buffered %.1f ns/ref, "
+                "istream %.1f ns/ref (%.2fx), identical: %s\n",
+                parse.refs, parse.bufferedNsPerRef,
+                parse.streamNsPerRef,
+                parse.streamNsPerRef / parse.bufferedNsPerRef,
+                parse.identical ? "yes" : "NO");
+
+    // 2. Campaign scaling.
+    const std::size_t kReplicas = 8;
+    const std::uint64_t kRefs = quick ? 800 : 60000;
+    CampaignSpec spec = mixedFaultCampaign(kReplicas, kRefs);
+    std::printf("\nmixed fault campaign: %zu jobs x 3 procs x %llu "
+                "refs/proc (host cpus: %u)\n",
+                spec.numJobs(),
+                static_cast<unsigned long long>(kRefs),
+                ThreadPool::hardwareJobs());
+    std::printf("%8s %12s %12s %12s\n", "jobs", "seconds", "jobs/sec",
+                "identical");
+
+    std::vector<ScalePoint> points;
+    std::string baseline_table;
+    bool ok = parse.identical;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        auto start = std::chrono::steady_clock::now();
+        CampaignReport report = CampaignRunner(workers).run(spec);
+        ScalePoint p;
+        p.workers = workers;
+        p.seconds = secondsSince(start);
+        p.jobsPerSec = static_cast<double>(report.results.size()) /
+                       p.seconds;
+        std::string table = renderCampaignTable(report);
+        if (workers == 1)
+            baseline_table = table;
+        p.identical = table == baseline_table;
+        ok = ok && p.identical;
+        points.push_back(p);
+        std::printf("%8u %12.3f %12.2f %12s\n", p.workers, p.seconds,
+                    p.jobsPerSec, p.identical ? "yes" : "NO");
+    }
+
+    // Record.
+    FILE *out = std::fopen(out_path, "w");
+    if (out) {
+        std::fprintf(out, "{\n");
+        std::fprintf(
+            out,
+            "  \"description\": \"Campaign-runner record for the "
+            "parallel campaign PR. 'scaling' times the mixed "
+            "Berkeley/Illinois/Firefly fault campaign (%zu "
+            "shared-nothing jobs) at --jobs 1/2/4/8; 'identical' "
+            "means the merged report was byte-identical to the "
+            "--jobs 1 run. 'trace_parse' compares the buffered "
+            "in-place scanner against the istream fallback. Speedup "
+            "scales with physical cores; see machine.cpus.\",\n",
+            spec.numJobs());
+        std::fprintf(out, "  \"machine\": {\n    \"cpus\": %u\n  },\n",
+                     ThreadPool::hardwareJobs());
+        std::fprintf(out,
+                     "  \"trace_parse\": {\n"
+                     "    \"refs\": %zu,\n"
+                     "    \"buffered_ns_per_ref\": %.1f,\n"
+                     "    \"istream_ns_per_ref\": %.1f,\n"
+                     "    \"speedup\": %.2f\n  },\n",
+                     parse.refs, parse.bufferedNsPerRef,
+                     parse.streamNsPerRef,
+                     parse.streamNsPerRef / parse.bufferedNsPerRef);
+        std::fprintf(out, "  \"scaling\": {\n");
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const ScalePoint &p = points[i];
+            std::fprintf(out,
+                         "    \"jobs_%u\": {\n"
+                         "      \"seconds\": %.3f,\n"
+                         "      \"jobs_per_sec\": %.2f,\n"
+                         "      \"speedup_vs_serial\": %.2f,\n"
+                         "      \"identical_report\": %s\n    }%s\n",
+                         p.workers, p.seconds, p.jobsPerSec,
+                         points[0].seconds / p.seconds,
+                         p.identical ? "true" : "false",
+                         i + 1 < points.size() ? "," : "");
+        }
+        std::fprintf(out, "  }\n}\n");
+        std::fclose(out);
+        std::printf("\nwrote %s\n", out_path);
+    } else {
+        std::printf("\ncannot write %s\n", out_path);
+        ok = false;
+    }
+
+    return verdict(ok, "campaign throughput (reports byte-identical "
+                       "at every worker count)");
+}

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "common/logging.h"
 #include "common/random.h"
 
 using namespace fbsim;
@@ -62,7 +63,7 @@ class ScatteredBlockWorkload : public RefStream
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== P3: line size selection at fixed capacity "
                 "(section 5.1) ===\n\n");
@@ -72,31 +73,38 @@ main()
     const std::size_t kProcs = 4;
     const std::uint64_t kRefs = 12000;
 
+    // One campaign over the geometry axis: each point sets the
+    // system line size and resizes the sets to hold capacity fixed.
+    CampaignSpec spec;
+    spec.refsPerProc = kRefs;
+    spec.mixes.push_back(mixOf(ProtocolSetup{}, kProcs));
+    for (std::size_t line : kLineSizes) {
+        GeometryPoint g;
+        g.name = strprintf("%zuB", line);
+        g.lineBytes = line;
+        g.numSets = kCapacity / (line * 2);
+        g.assoc = 2;
+        spec.geometries.push_back(g);
+    }
+    WorkloadSpec w;
+    w.name = "scattered-blocks";
+    w.make = [](std::size_t proc, std::size_t, std::uint64_t) {
+        return std::unique_ptr<RefStream>(
+            new ScatteredBlockWorkload(512, 0.25, proc, 3));
+    };
+    spec.workloads.push_back(std::move(w));
+    std::vector<RunMetrics> rows =
+        runCampaignMetrics(spec, parseJobs(argc, argv));
+
     std::printf("%-10s %10s %14s %14s %12s\n", "line", "miss%",
                 "words/ref", "bus-cyc/ref", "utilization");
-
-    std::vector<RunMetrics> rows;
     bool ok = true;
-    for (std::size_t line : kLineSizes) {
-        SystemConfig config;
-        config.lineBytes = line;
-
-        ProtocolSetup setup;   // MOESI preferred
-        auto sys = makeSystem(setup, kProcs, config,
-                              /*num_sets=*/kCapacity / (line * 2),
-                              /*assoc=*/2);
-        std::vector<std::unique_ptr<RefStream>> streams;
-        std::vector<RefStream *> raw;
-        for (std::size_t p = 0; p < kProcs; ++p) {
-            streams.push_back(std::make_unique<ScatteredBlockWorkload>(
-                512, 0.25, p, 3));
-            raw.push_back(streams.back().get());
-        }
-        RunMetrics m = runTimed(*sys, raw, kRefs);
-        rows.push_back(m);
-        std::printf("%-10zu %9.2f%% %14.3f %14.3f %12.3f\n", line,
-                    100.0 * m.missRatio, m.dataWordsPerRef,
-                    m.busCyclesPerRef, m.procUtilization);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunMetrics &m = rows[i];
+        std::printf("%-10zu %9.2f%% %14.3f %14.3f %12.3f\n",
+                    kLineSizes[i], 100.0 * m.missRatio,
+                    m.dataWordsPerRef, m.busCyclesPerRef,
+                    m.procUtilization);
         ok = ok && m.consistent;
     }
 

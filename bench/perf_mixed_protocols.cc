@@ -22,19 +22,20 @@ using namespace fbsim::bench;
 
 namespace {
 
-RunMetrics
-runConfig(int which, std::size_t procs, const Arch85Params &params,
-          std::uint64_t refs)
+ProtocolMix
+mixConfig(int which, std::size_t procs)
 {
-    SystemConfig config;
-    auto sys = std::make_unique<System>(config);
+    ProtocolMix mix;
     for (std::size_t i = 0; i < procs; ++i) {
+        MixSlot slot;
         if (which == 1 && i + 1 == procs) {
             // Mixed system: the last slot is a non-caching master.
-            sys->addNonCachingMaster(true);
+            slot.nonCaching = true;
+            slot.broadcastWrites = true;
+            mix.slots.push_back(slot);
             continue;
         }
-        CacheSpec spec;
+        CacheSpec &spec = slot.cache;
         spec.numSets = 64;
         spec.assoc = 2;
         spec.seed = i + 1;
@@ -54,19 +55,15 @@ runConfig(int which, std::size_t procs, const Arch85Params &params,
             spec.seed = 1000 + i;
             break;
         }
-        sys->addCache(spec);
+        mix.slots.push_back(slot);
     }
-    auto streams = makeArch85Streams(params, procs, 17);
-    std::vector<RefStream *> raw;
-    for (auto &s : streams)
-        raw.push_back(s.get());
-    return runTimed(*sys, raw, refs);
+    return mix;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== P4: mixed protocols and random action selection "
                 "at full speed (section 3.4) ===\n\n");
@@ -82,11 +79,23 @@ main()
         "mixed: MOESI+Berkeley+Dragon+WT+I/O",
         "random legal action everywhere",
     };
-    RunMetrics metrics[3];
+
+    // All three configurations in one campaign on the mix axis;
+    // Arch85 streams keep the historical fixed seed (17).
+    CampaignSpec spec;
+    spec.refsPerProc = kRefs;
+    for (int which = 0; which < 3; ++which) {
+        ProtocolMix mix = mixConfig(which, kProcs);
+        mix.name = names[which];
+        spec.mixes.push_back(std::move(mix));
+    }
+    spec.workloads.push_back(arch85Workload("arch85", params, 17));
+    std::vector<RunMetrics> metrics =
+        runCampaignMetrics(spec, parseJobs(argc, argv));
+
     std::printf("%-38s %12s %12s %12s %12s\n", "configuration",
                 "util", "bus util", "cyc/ref", "consistent");
     for (int which = 0; which < 3; ++which) {
-        metrics[which] = runConfig(which, kProcs, params, kRefs);
         std::printf("%-38s %12.3f %12.3f %12.3f %12s\n", names[which],
                     metrics[which].procUtilization,
                     metrics[which].busUtilization,

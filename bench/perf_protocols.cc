@@ -16,12 +16,13 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/logging.h"
 
 using namespace fbsim;
 using namespace fbsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== P1: protocol comparison - utilization vs number "
                 "of processors (Arch85-style workload) ===\n\n");
@@ -35,17 +36,35 @@ main()
 
     std::vector<ProtocolSetup> lineup = standardLineup();
 
+    // The whole sweep is one campaign: (protocol x N) on the mix
+    // axis, executed by the runner at --jobs workers.  Stream seeds
+    // match the pre-campaign serial code, so the numbers are the
+    // same for every worker count.
+    CampaignSpec spec;
+    spec.refsPerProc = kRefs;
+    for (const ProtocolSetup &setup : lineup) {
+        for (std::size_t n : kProcCounts) {
+            ProtocolMix mix = mixOf(setup, n);
+            mix.name = setup.name + strprintf("/N=%zu", n);
+            spec.mixes.push_back(std::move(mix));
+        }
+    }
+    spec.workloads.push_back(arch85Workload("arch85", params, 1));
+    std::vector<RunMetrics> sweep =
+        runCampaignMetrics(spec, parseJobs(argc, argv));
+
     std::printf("mean processor utilization:\n%-20s", "protocol");
     for (std::size_t n : kProcCounts)
         std::printf("  N=%-5zu", n);
     std::printf("\n");
 
     // utilization[setup][n_idx], bus[setup][n_idx]
+    const std::size_t kNs = std::size(kProcCounts);
     std::vector<std::vector<RunMetrics>> results(lineup.size());
     for (std::size_t si = 0; si < lineup.size(); ++si) {
         std::printf("%-20s", lineup[si].name.c_str());
-        for (std::size_t n : kProcCounts) {
-            RunMetrics m = runArch85(lineup[si], n, params, kRefs);
+        for (std::size_t ni = 0; ni < kNs; ++ni) {
+            RunMetrics m = sweep[si * kNs + ni];
             results[si].push_back(m);
             std::printf("  %6.3f ", m.procUtilization);
         }

@@ -29,52 +29,53 @@ namespace {
 struct Pattern
 {
     const char *name;
-    /** Build one stream per processor. */
-    std::vector<std::unique_ptr<RefStream>> (*make)(std::size_t);
+    WorkloadSpec workload;
     /** Which policy should win (true = update). */
     bool updateShouldWin;
 };
 
-std::vector<std::unique_ptr<RefStream>>
-makeProducerConsumer(std::size_t procs)
+WorkloadSpec
+producerConsumerWorkload()
 {
-    std::vector<std::unique_ptr<RefStream>> out;
-    for (std::size_t p = 0; p < procs; ++p) {
-        out.push_back(std::make_unique<ProducerConsumerWorkload>(
-            32, 4, /*producer=*/p == 0, p + 1));
-    }
-    return out;
+    WorkloadSpec w;
+    w.name = "producer-consumer";
+    w.make = [](std::size_t proc, std::size_t, std::uint64_t) {
+        return std::unique_ptr<RefStream>(new ProducerConsumerWorkload(
+            32, 4, /*producer=*/proc == 0, proc + 1));
+    };
+    return w;
 }
 
-std::vector<std::unique_ptr<RefStream>>
-makeReadMostly(std::size_t procs)
+WorkloadSpec
+readMostlyWorkload()
 {
-    std::vector<std::unique_ptr<RefStream>> out;
-    for (std::size_t p = 0; p < procs; ++p) {
-        out.push_back(std::make_unique<ReadMostlyWorkload>(
-            32, 16, /*p_write=*/0.05, p + 1));
-    }
-    return out;
+    WorkloadSpec w;
+    w.name = "read-mostly table";
+    w.make = [](std::size_t proc, std::size_t, std::uint64_t) {
+        return std::unique_ptr<RefStream>(new ReadMostlyWorkload(
+            32, 16, /*p_write=*/0.05, proc + 1));
+    };
+    return w;
 }
 
-std::vector<std::unique_ptr<RefStream>>
-makePingPong(std::size_t procs)
+WorkloadSpec
+pingPongWorkload()
 {
     // Eight writes per ownership visit over a pool large enough that
     // visits rarely overlap: the migratory regime, where one
     // invalidation followed by silent M writes beats eight broadcasts
     // feeding copies nobody reads before the next owner takes over.
-    std::vector<std::unique_ptr<RefStream>> out;
-    for (std::size_t p = 0; p < procs; ++p) {
-        out.push_back(std::make_unique<PingPongWorkload>(
-            32, 32, p, 100 + p, /*writes_per_visit=*/8));
-    }
-    return out;
+    WorkloadSpec w;
+    w.name = "migratory ping-pong";
+    w.make = [](std::size_t proc, std::size_t, std::uint64_t) {
+        return std::unique_ptr<RefStream>(new PingPongWorkload(
+            32, 32, proc, 100 + proc, /*writes_per_visit=*/8));
+    };
+    return w;
 }
 
-RunMetrics
-runPattern(const Pattern &pattern, bool update, std::size_t procs,
-           std::uint64_t refs)
+ProtocolSetup
+sharedWriteSetup(bool update)
 {
     ProtocolSetup setup;
     setup.name = update ? "update" : "invalidate";
@@ -82,44 +83,59 @@ runPattern(const Pattern &pattern, bool update, std::size_t procs,
     setup.policy.sharedWrite = update
                                    ? MoesiPolicy::SharedWrite::Broadcast
                                    : MoesiPolicy::SharedWrite::Invalidate;
-    auto sys = makeSystem(setup, procs);
-    auto streams = pattern.make(procs);
-    std::vector<RefStream *> raw;
-    for (auto &s : streams)
-        raw.push_back(s.get());
-    return runTimed(*sys, raw, refs);
+    return setup;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== P2: broadcast-update vs invalidate across "
                 "sharing patterns (section 5.2) ===\n\n");
 
-    const Pattern patterns[] = {
-        {"producer-consumer", makeProducerConsumer, true},
-        {"read-mostly table", makeReadMostly, true},
-        {"migratory ping-pong", makePingPong, false},
-    };
     const std::size_t kProcs = 6;
     const std::uint64_t kRefs = 8000;
+    const unsigned jobs = parseJobs(argc, argv);
+
+    Pattern patterns[] = {
+        {"producer-consumer", producerConsumerWorkload(), true},
+        {"read-mostly table", readMostlyWorkload(), true},
+        {"migratory ping-pong", pingPongWorkload(), false},
+    };
+
+    // {update, invalidate} x the three sharing patterns, plus the
+    // refined lineup on the migratory pattern - one campaign.
+    CampaignSpec spec;
+    spec.refsPerProc = kRefs;
+    spec.mixes.push_back(mixOf(sharedWriteSetup(true), kProcs));
+    spec.mixes.push_back(mixOf(sharedWriteSetup(false), kProcs));
+    {
+        ProtocolMix refined = mixOf(sharedWriteSetup(true), kProcs);
+        refined.name = "update+discard";
+        for (MixSlot &slot : refined.slots)
+            slot.cache.discardNearReplacement = true;
+        spec.mixes.push_back(std::move(refined));
+    }
+    for (const Pattern &p : patterns)
+        spec.workloads.push_back(p.workload);
+    CampaignReport report = CampaignRunner(jobs).run(spec);
 
     std::printf("%-22s %26s %26s   %s\n", "",
                 "update: bus-cyc/ref util", "inval:  bus-cyc/ref util",
                 "winner");
     bool ok = true;
-    for (const Pattern &p : patterns) {
-        RunMetrics up = runPattern(p, true, kProcs, kRefs);
-        RunMetrics inv = runPattern(p, false, kProcs, kRefs);
+    for (std::size_t wi = 0; wi < std::size(patterns); ++wi) {
+        RunMetrics up = metricsOf(report.at(0, 0, 0, wi));
+        RunMetrics inv = metricsOf(report.at(1, 0, 0, wi));
         bool update_won = up.procUtilization > inv.procUtilization;
-        std::printf("%-22s %13.2f %11.3f %14.2f %11.3f   %s\n", p.name,
-                    up.busCyclesPerRef, up.procUtilization,
-                    inv.busCyclesPerRef, inv.procUtilization,
+        std::printf("%-22s %13.2f %11.3f %14.2f %11.3f   %s\n",
+                    patterns[wi].name, up.busCyclesPerRef,
+                    up.procUtilization, inv.busCyclesPerRef,
+                    inv.procUtilization,
                     update_won ? "update" : "invalidate");
         ok = ok && up.consistent && inv.consistent;
-        ok = ok && (update_won == p.updateShouldWin);
+        ok = ok && (update_won == patterns[wi].updateShouldWin);
     }
 
     // Section 5.2 refinement: near-replacement discard recovers part
@@ -128,26 +144,8 @@ main()
     std::printf("\nrefinement (update + discard-near-replacement) on "
                 "migratory ping-pong:\n");
     {
-        ProtocolSetup refined;
-        refined.chooser = ChooserKind::Policy;
-        refined.policy.sharedWrite = MoesiPolicy::SharedWrite::Broadcast;
-        auto sys = std::make_unique<System>(SystemConfig{});
-        for (std::size_t i = 0; i < kProcs; ++i) {
-            CacheSpec spec;
-            spec.chooser = ChooserKind::Policy;
-            spec.policy.sharedWrite = MoesiPolicy::SharedWrite::Broadcast;
-            spec.numSets = 64;
-            spec.assoc = 2;
-            spec.discardNearReplacement = true;
-            spec.seed = i + 1;
-            sys->addCache(spec);
-        }
-        auto streams = makePingPong(kProcs);
-        std::vector<RefStream *> raw;
-        for (auto &s : streams)
-            raw.push_back(s.get());
-        RunMetrics m = runTimed(*sys, raw, kRefs);
-        RunMetrics plain = runPattern(patterns[2], true, kProcs, kRefs);
+        RunMetrics m = metricsOf(report.at(2, 0, 0, 2));
+        RunMetrics plain = metricsOf(report.at(0, 0, 0, 2));
         std::printf("  plain update: %.2f bus-cyc/ref; refined: %.2f "
                     "bus-cyc/ref\n",
                     plain.busCyclesPerRef, m.busCyclesPerRef);

@@ -5,8 +5,13 @@
  * and report utilization and coherence statistics.
  *
  * Usage:
- *   trace_driven <trace-file> [protocol] [procs]
+ *   trace_driven <trace-file> [protocol|all] [procs] [--jobs N]
  *   trace_driven --generate <trace-file> [procs] [refs]
+ *
+ * The replay runs as a campaign job, so `all` sweeps every protocol
+ * over the same trace in one CampaignRunner invocation and `--jobs N`
+ * spreads the sweep over N worker threads (the merged table is
+ * bit-identical for every N).
  *
  * The --generate mode writes a synthetic Archibald-Baer style trace so
  * the example is runnable with no external data (the paper itself had
@@ -17,6 +22,7 @@
 #include <cstring>
 #include <memory>
 
+#include "campaign/campaign_runner.h"
 #include "sim/engine.h"
 #include "sim/system.h"
 #include "text/report.h"
@@ -46,6 +52,19 @@ generate(const char *path, std::size_t procs, std::size_t refs)
     return 0;
 }
 
+/** One 128x4 mix of `procs` caches running `kind`. */
+ProtocolMix
+traceMix(ProtocolKind kind, std::size_t procs)
+{
+    CacheSpec spec;
+    spec.protocol = kind;
+    spec.numSets = 128;
+    spec.assoc = 4;
+    ProtocolMix mix = homogeneousMix(
+        std::string(protocolKindName(kind)), spec, procs);
+    return mix;
+}
+
 } // namespace
 
 int
@@ -56,69 +75,99 @@ main(int argc, char **argv)
         std::size_t refs = argc > 4 ? std::atoi(argv[4]) : 100000;
         return generate(argv[2], procs, refs);
     }
-    if (argc < 2) {
+
+    // Pull --jobs N / --jobs=N out of argv before positional parsing.
+    unsigned jobs = 1;
+    std::vector<char *> args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+
+    if (args.empty()) {
         std::fprintf(stderr,
-                     "usage: %s <trace-file> [protocol] [procs]\n"
+                     "usage: %s <trace-file> [protocol|all] [procs] "
+                     "[--jobs N]\n"
                      "       %s --generate <trace-file> [procs] "
                      "[refs]\n",
                      argv[0], argv[0]);
         return 1;
     }
 
+    bool sweep_all = false;
     ProtocolKind kind = ProtocolKind::Moesi;
-    if (argc > 2) {
-        auto parsed = protocolKindFromName(argv[2]);
-        if (!parsed) {
-            std::fprintf(stderr, "unknown protocol %s\n", argv[2]);
-            return 1;
+    if (args.size() > 1) {
+        if (std::strcmp(args[1], "all") == 0) {
+            sweep_all = true;
+        } else {
+            auto parsed = protocolKindFromName(args[1]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown protocol %s\n", args[1]);
+                return 1;
+            }
+            kind = *parsed;
         }
-        kind = *parsed;
     }
 
-    std::vector<TraceRef> trace = readTraceFile(argv[1]);
+    auto trace = std::make_shared<std::vector<TraceRef>>(
+        readTraceFile(args[0]));
     MasterId max_proc = 0;
-    for (const TraceRef &r : trace)
+    for (const TraceRef &r : *trace)
         max_proc = std::max(max_proc, r.proc);
-    std::size_t procs = argc > 3
-                            ? static_cast<std::size_t>(std::atoi(argv[3]))
-                            : max_proc + 1;
+    std::size_t procs =
+        args.size() > 2 ? static_cast<std::size_t>(std::atoi(args[2]))
+                        : max_proc + 1;
 
-    std::printf("%zu references, %zu processors, protocol %s\n",
-                trace.size(), procs,
-                std::string(protocolKindName(kind)).c_str());
+    // Each processor replays its own sub-trace; run every stream for
+    // the shortest shard so no processor wraps around.
+    std::vector<std::uint64_t> per_proc(procs, 0);
+    for (const TraceRef &r : *trace) {
+        if (r.proc < procs)
+            ++per_proc[r.proc];
+    }
+    std::uint64_t shortest = ~std::uint64_t{0};
+    for (std::uint64_t n : per_proc)
+        shortest = std::min(shortest, n ? n : 1);
 
-    SystemConfig config;
-    System system(config);
-    for (std::size_t i = 0; i < procs; ++i) {
-        CacheSpec spec;
-        spec.protocol = kind;
-        spec.numSets = 128;
-        spec.assoc = 4;
-        spec.seed = i + 1;
-        system.addCache(spec);
+    std::printf("%zu references, %zu processors, protocol %s, "
+                "--jobs %u\n",
+                trace->size(), procs,
+                sweep_all ? "all"
+                          : std::string(protocolKindName(kind)).c_str(),
+                jobs);
+
+    CampaignSpec spec;
+    spec.refsPerProc = shortest;
+    if (sweep_all) {
+        for (ProtocolKind k :
+             {ProtocolKind::Moesi, ProtocolKind::Berkeley,
+              ProtocolKind::Dragon, ProtocolKind::WriteOnce,
+              ProtocolKind::Illinois, ProtocolKind::Firefly})
+            spec.mixes.push_back(traceMix(k, procs));
+    } else {
+        spec.mixes.push_back(traceMix(kind, procs));
+    }
+    spec.workloads.push_back(traceWorkload("trace", trace));
+
+    CampaignReport report = CampaignRunner(jobs).run(spec);
+
+    if (sweep_all) {
+        // The sweep table: one row per protocol over the same trace.
+        std::printf("\n%s", renderCampaignTable(report).c_str());
+        return report.allConsistent() ? 0 : 1;
     }
 
-    // Timed replay: each processor runs its own sub-trace.
-    auto split = splitTraceByProc(trace, procs);
-    std::size_t shortest = split[0].size();
-    std::vector<std::unique_ptr<VectorStream>> streams;
-    std::vector<RefStream *> raw;
-    for (auto &refs : split) {
-        shortest = std::min(shortest, refs.size());
-        streams.push_back(std::make_unique<VectorStream>(refs));
-        raw.push_back(streams.back().get());
-    }
-
-    Engine engine(system, {});
-    EngineResult result = engine.run(raw, shortest);
-
-    std::printf("\n%s\n%s\n%s", renderEngineResult(result).c_str(),
-                renderClientStats(system).c_str(),
-                renderBusStats(system.bus().stats()).c_str());
-
-    std::vector<std::string> violations = system.checkNow();
+    const CampaignResult &r = report.at(0);
+    std::printf("\n%s\n%s", renderEngineResult(r.engine).c_str(),
+                renderBusStats(r.bus).c_str());
     std::printf("\ncoherence: %s\n",
-                violations.empty() ? "consistent"
-                                   : violations.front().c_str());
-    return violations.empty() ? 0 : 1;
+                r.consistent ? "consistent"
+                             : r.violations.front().c_str());
+    return r.consistent ? 0 : 1;
 }

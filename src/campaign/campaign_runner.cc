@@ -1,0 +1,237 @@
+#include "campaign/campaign_runner.h"
+
+#include <atomic>
+
+#include "common/bounded_queue.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "text/report.h"
+
+namespace fbsim {
+
+const std::vector<std::vector<ProcRef>> &
+CampaignScratch::shards(const std::vector<TraceRef> &trace,
+                        std::size_t procs)
+{
+    if (traceKey_ == &trace && shardProcs_ == procs)
+        return shards_;
+    if (shards_.size() < procs)
+        shards_.resize(procs);
+    for (std::size_t p = 0; p < procs; ++p)
+        shards_[p].clear();
+    for (const TraceRef &r : trace) {
+        fbsim_assert(r.proc < procs);
+        shards_[r.proc].push_back({r.write, r.addr});
+    }
+    for (std::size_t p = 0; p < procs; ++p) {
+        if (shards_[p].empty())
+            shards_[p].push_back({false, 0});
+    }
+    traceKey_ = &trace;
+    shardProcs_ = procs;
+    return shards_;
+}
+
+std::vector<CampaignJob>
+expandCampaign(const CampaignSpec &spec)
+{
+    fbsim_assert(!spec.mixes.empty());
+    fbsim_assert(!spec.workloads.empty());
+    std::vector<CampaignJob> jobs;
+    jobs.reserve(spec.numJobs());
+    CampaignJob job;
+    for (std::size_t mi = 0; mi < spec.numMixes(); ++mi) {
+        for (std::size_t gi = 0; gi < spec.numGeometries(); ++gi) {
+            for (std::size_t ci = 0; ci < spec.numCosts(); ++ci) {
+                for (std::size_t wi = 0; wi < spec.numWorkloads();
+                     ++wi) {
+                    for (std::size_t fi = 0; fi < spec.numFaults();
+                         ++fi) {
+                        job.index = jobs.size();
+                        job.mixIdx = mi;
+                        job.geometryIdx = gi;
+                        job.costIdx = ci;
+                        job.workloadIdx = wi;
+                        job.faultIdx = fi;
+                        job.seed = Rng::deriveSeed(spec.campaignSeed,
+                                                   job.index);
+                        jobs.push_back(job);
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+CampaignResult
+runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
+               CampaignScratch &scratch)
+{
+    const ProtocolMix &mix = spec.mixes[job.mixIdx];
+    const std::size_t procs = mix.slots.size();
+    fbsim_assert(procs > 0);
+
+    // Per-job configuration: base overridden by the job's axis points.
+    SystemConfig config = spec.base;
+    const GeometryPoint *geometry =
+        spec.geometries.empty() ? nullptr
+                                : &spec.geometries[job.geometryIdx];
+    if (geometry && geometry->lineBytes)
+        config.lineBytes = geometry->lineBytes;
+    if (!spec.costs.empty())
+        config.cost = spec.costs[job.costIdx].cost;
+    if (spec.faultFactory)
+        config.faults = spec.faultFactory(job.seed, job.index);
+    else if (!spec.faults.empty())
+        config.faults = spec.faults[job.faultIdx].faults;
+
+    // The job's own shared-nothing System (and, via config.faults,
+    // its own FaultInjector - injectors are per-System by contract).
+    System system(config);
+    for (const MixSlot &slot : mix.slots) {
+        if (slot.nonCaching) {
+            system.addNonCachingMaster(slot.broadcastWrites);
+            continue;
+        }
+        CacheSpec cache = slot.cache;
+        if (geometry && geometry->numSets)
+            cache.numSets = geometry->numSets;
+        if (geometry && geometry->assoc)
+            cache.assoc = geometry->assoc;
+        system.addCache(cache);
+    }
+
+    // Reference streams: trace shards (worker-cached) or the
+    // workload factory, seeded from the job seed.
+    const WorkloadSpec &workload = spec.workloads[job.workloadIdx];
+    scratch.streams.clear();
+    scratch.raw.clear();
+    if (workload.trace) {
+        const auto &shards = scratch.shards(*workload.trace, procs);
+        for (std::size_t p = 0; p < procs; ++p) {
+            scratch.streams.push_back(
+                std::make_unique<SpanStream>(shards[p]));
+            scratch.raw.push_back(scratch.streams.back().get());
+        }
+    } else {
+        fbsim_assert(static_cast<bool>(workload.make));
+        for (std::size_t p = 0; p < procs; ++p) {
+            scratch.streams.push_back(
+                workload.make(p, procs, job.seed));
+            scratch.raw.push_back(scratch.streams.back().get());
+        }
+    }
+
+    std::uint64_t refs = workload.refsPerProc ? workload.refsPerProc
+                                              : spec.refsPerProc;
+    fbsim_assert(refs > 0);
+
+    CampaignResult result;
+    result.job = job;
+    Engine engine(system, spec.engine);
+    result.engine = engine.run(scratch.raw, refs);
+
+    result.bus = system.bus().stats();
+    for (MasterId id = 0; id < system.numClients(); ++id) {
+        if (const SnoopingCache *cache = system.cacheOf(id))
+            result.cacheTotals += cache->stats();
+    }
+    result.violations = system.violations();
+    if (spec.terminalCheck) {
+        for (std::string &v : system.checkNow())
+            result.violations.push_back(std::move(v));
+    }
+    result.consistent = result.violations.empty();
+    result.faultEvents = system.faultEvents();
+    result.watchdogTrips = system.watchdogTrips();
+    result.quarantines = system.quarantineCount();
+    if (const FaultInjector *injector = system.faultInjector()) {
+        result.faults = injector->stats();
+        result.faultReport = renderFaultReport(system);
+    }
+    return result;
+}
+
+CampaignRunner::CampaignRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? 1 : jobs)
+{
+}
+
+CampaignReport
+CampaignRunner::run(const CampaignSpec &spec) const
+{
+    std::vector<CampaignJob> jobs = expandCampaign(spec);
+
+    CampaignReport report;
+    for (const ProtocolMix &mix : spec.mixes)
+        report.mixNames.push_back(mix.name);
+    if (spec.geometries.empty()) {
+        report.geometryNames.push_back("default");
+    } else {
+        for (const GeometryPoint &g : spec.geometries)
+            report.geometryNames.push_back(g.name);
+    }
+    if (spec.costs.empty()) {
+        report.costNames.push_back("default");
+    } else {
+        for (const CostPoint &c : spec.costs)
+            report.costNames.push_back(c.name);
+    }
+    for (const WorkloadSpec &w : spec.workloads)
+        report.workloadNames.push_back(w.name);
+    if (spec.faultFactory) {
+        report.faultNames.push_back("factory");
+    } else if (spec.faults.empty()) {
+        report.faultNames.push_back("none");
+    } else {
+        for (const FaultPoint &f : spec.faults)
+            report.faultNames.push_back(f.name);
+    }
+
+    report.results.resize(jobs.size());
+    if (jobs.empty())
+        return report;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, jobs.size()));
+    if (workers <= 1) {
+        // Serial path: identical results by construction, no threads
+        // (also the baseline `--jobs 1` must reproduce).
+        CampaignScratch scratch;
+        for (const CampaignJob &job : jobs)
+            report.results[job.index] =
+                runCampaignJob(spec, job, scratch);
+        return report;
+    }
+
+    // Workers claim the next unclaimed job and push results through a
+    // bounded queue; this (merging) thread slots them by job index.
+    std::atomic<std::size_t> next{0};
+    BoundedQueue<CampaignResult> done(2 * workers);
+    {
+        ThreadPool pool(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.submit([&spec, &jobs, &next, &done] {
+                CampaignScratch scratch;
+                for (;;) {
+                    std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= jobs.size())
+                        return;
+                    done.push(runCampaignJob(spec, jobs[i], scratch));
+                }
+            });
+        }
+        for (std::size_t n = 0; n < jobs.size(); ++n) {
+            CampaignResult result = done.pop();
+            std::size_t index = result.job.index;
+            report.results[index] = std::move(result);
+        }
+        pool.wait();
+    }
+    return report;
+}
+
+} // namespace fbsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Thread-pool execution of a CampaignSpec.
+ *
+ * Every job of the cross product is independent by construction
+ * (campaign_spec.h), so the runner schedules them over a fixed-size
+ * ThreadPool: each worker claims the next job index, builds that
+ * job's private System/Engine (and FaultInjector when faulted), runs
+ * it, and ships the CampaignResult through a bounded result queue to
+ * the merging thread, which slots results by job index.  The merged
+ * report is therefore bit-identical for any worker count - `--jobs 1`
+ * equals the serial run, and `--jobs N` is just faster.
+ *
+ * Per-worker scratch keeps the trace-sharding buffers and stream
+ * arena alive across the jobs a worker executes, so a campaign of a
+ * thousand trace replays shards the trace once per worker, not once
+ * per job.
+ */
+
+#ifndef FBSIM_CAMPAIGN_CAMPAIGN_RUNNER_H_
+#define FBSIM_CAMPAIGN_CAMPAIGN_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "campaign/campaign_spec.h"
+
+namespace fbsim {
+
+/**
+ * Per-worker reusable buffers.  One instance lives on each worker's
+ * stack for the duration of the campaign; jobs borrow from it and
+ * must not keep references past their own execution.
+ */
+class CampaignScratch
+{
+  public:
+    /**
+     * Per-processor shards of `trace`, rebuilt only when (trace,
+     * procs) differs from the previous job's; the shard vectors'
+     * capacity is recycled.  Shards mirror splitTraceByProc(): a
+     * processor with no references gets one idle read of address 0.
+     */
+    const std::vector<std::vector<ProcRef>> &
+    shards(const std::vector<TraceRef> &trace, std::size_t procs);
+
+    /** Stream arena, cleared (capacity kept) between jobs. */
+    std::vector<std::unique_ptr<RefStream>> streams;
+    std::vector<RefStream *> raw;
+
+  private:
+    const void *traceKey_ = nullptr;
+    std::size_t shardProcs_ = 0;
+    std::vector<std::vector<ProcRef>> shards_;
+};
+
+/** Expand the cross product in canonical (merge) order. */
+std::vector<CampaignJob> expandCampaign(const CampaignSpec &spec);
+
+/**
+ * Execute one job: build the job's System from the spec axes, drive
+ * the workload through a timed Engine, and collect every statistic
+ * the report needs.  Pure apart from `scratch` reuse - calling it
+ * from any thread, in any order, yields the same result.
+ */
+CampaignResult runCampaignJob(const CampaignSpec &spec,
+                              const CampaignJob &job,
+                              CampaignScratch &scratch);
+
+/** Runs campaigns over `jobs` worker threads (1 = serial, in-order). */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(unsigned jobs = 1);
+
+    /** Execute every job and merge results in job-index order. */
+    CampaignReport run(const CampaignSpec &spec) const;
+
+    unsigned jobs() const { return jobs_; }
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_CAMPAIGN_CAMPAIGN_RUNNER_H_

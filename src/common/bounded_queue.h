@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bounded multi-producer single-consumer queue.
+ *
+ * The campaign runner's result channel: worker threads push finished
+ * job results, the merging thread pops them.  The bound applies
+ * backpressure so a slow consumer (or one enormous result) cannot make
+ * the queue hold the whole campaign in memory at once.  A short
+ * critical section around a ring of preallocated slots is
+ * "lock-free-enough" here: pushes happen once per *simulation*, many
+ * milliseconds apart, so contention is unmeasurable.
+ */
+
+#ifndef FBSIM_COMMON_BOUNDED_QUEUE_H_
+#define FBSIM_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+/** Blocking FIFO with a fixed capacity. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity)
+        : slots_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /** Block until a slot is free, then enqueue. */
+    void
+    push(T value)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notFull_.wait(lock,
+                          [this] { return size_ < slots_.size(); });
+            slots_[(head_ + size_) % slots_.size()] = std::move(value);
+            ++size_;
+        }
+        notEmpty_.notify_one();
+    }
+
+    /** Block until a value is available, then dequeue it. */
+    T
+    pop()
+    {
+        T value;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock, [this] { return size_ > 0; });
+            value = std::move(slots_[head_]);
+            head_ = (head_ + 1) % slots_.size();
+            --size_;
+        }
+        notFull_.notify_one();
+        return value;
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_COMMON_BOUNDED_QUEUE_H_

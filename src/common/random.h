@@ -128,6 +128,24 @@ class Rng
     /** Fork an independent stream (e.g., one per processor). */
     Rng fork();
 
+    /**
+     * Derive a stream seed from a base seed and a stream index (a
+     * SplitMix64 finalizer over their combination).  This is the
+     * campaign layer's seeding discipline: job i of a campaign uses
+     * deriveSeed(campaignSeed, i), so every job's randomness is a
+     * pure function of (campaignSeed, jobIndex) - independent of
+     * worker count and schedule - and no two jobs share a stream.
+     */
+    static std::uint64_t
+    deriveSeed(std::uint64_t seed, std::uint64_t stream)
+    {
+        std::uint64_t x =
+            seed + 0x9e3779b97f4a7c15ull * (stream + 0x632be59bd9b4e019ull);
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
   private:
     static std::uint64_t rotl(std::uint64_t x, int k)
     {

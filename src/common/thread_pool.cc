@@ -1,0 +1,74 @@
+#include "common/thread_pool.h"
+
+namespace fbsim {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock,
+                  [this] { return tasks_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        taskReady_.wait(
+            lock, [this] { return shutdown_ || !tasks_.empty(); });
+        if (tasks_.empty()) {
+            if (shutdown_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++running_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --running_;
+        if (tasks_.empty() && running_ == 0)
+            allIdle_.notify_all();
+    }
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+} // namespace fbsim

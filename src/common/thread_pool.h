@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for run-level parallelism.
+ *
+ * fbsim's simulations are single-threaded by design (a System is a
+ * shared-nothing object); the pool exists to run *many independent*
+ * simulations concurrently - protocol sweeps, fault campaigns,
+ * sensitivity studies.  Tasks are plain callables; the pool makes no
+ * ordering promises, so anything needing deterministic output must
+ * sequence its own results (see campaign/campaign_runner.h, which
+ * merges by job index).
+ */
+
+#ifndef FBSIM_COMMON_THREAD_POOL_H_
+#define FBSIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fbsim {
+
+/** A fixed set of worker threads draining one task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; runs on some worker, in no particular order. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    std::size_t numThreads() const { return workers_.size(); }
+
+    /** Hardware thread count (>= 1) - the natural --jobs default. */
+    static unsigned hardwareJobs();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allIdle_;
+    std::deque<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    std::size_t running_ = 0;   ///< tasks currently executing
+    bool shutdown_ = false;
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_COMMON_THREAD_POOL_H_

@@ -142,11 +142,21 @@ struct FaultStats
     }
 };
 
-/** One injector serves one bus/system; not thread-safe. */
+/**
+ * One injector serves one bus/system; not thread-safe.  Enforced, not
+ * just documented: the type is non-copyable, so an injector cannot be
+ * duplicated into (or aliased across) several systems or campaign
+ * workers.  Campaigns hand out per-job FaultConfig values instead
+ * (CampaignSpec::faultFactory / the fault axis) and each job's System
+ * constructs its own injector from them.
+ */
 class FaultInjector
 {
   public:
     explicit FaultInjector(const FaultConfig &config);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
 
     /** Advance the schedule clock (called by the bus once per
      *  top-level transaction, before the first attempt). */

@@ -41,6 +41,30 @@ struct CacheStats
                           : static_cast<double>(misses) /
                                 static_cast<double>(total);
     }
+
+    /** Accumulate (campaign aggregation across a system's caches). */
+    CacheStats &
+    operator+=(const CacheStats &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        readHits += o.readHits;
+        writeHits += o.writeHits;
+        readMisses += o.readMisses;
+        writeMisses += o.writeMisses;
+        writeSharedBus += o.writeSharedBus;
+        evictions += o.evictions;
+        writebacks += o.writebacks;
+        invalidationsRecv += o.invalidationsRecv;
+        updatesRecv += o.updatesRecv;
+        interventions += o.interventions;
+        writeCaptures += o.writeCaptures;
+        abortPushes += o.abortPushes;
+        dirtyFills += o.dirtyFills;
+        faultedAccesses += o.faultedAccesses;
+        illegalSnoops += o.illegalSnoops;
+        return *this;
+    }
 };
 
 } // namespace fbsim

@@ -129,4 +129,76 @@ renderFaultReport(const System &system)
     return out;
 }
 
+std::string
+renderCampaignTable(const CampaignReport &report)
+{
+    std::string out;
+    out += strprintf("campaign: %zu jobs (%zu mixes x %zu geometries "
+                     "x %zu costs x %zu workloads x %zu faults)\n",
+                     report.results.size(), report.mixNames.size(),
+                     report.geometryNames.size(),
+                     report.costNames.size(),
+                     report.workloadNames.size(),
+                     report.faultNames.size());
+
+    const bool geom = report.geometryNames.size() > 1;
+    const bool cost = report.costNames.size() > 1;
+    const bool work = report.workloadNames.size() > 1;
+    const bool fault = report.faultNames.size() > 1;
+
+    out += strprintf("%-5s %-24s", "job", "mix");
+    if (geom)
+        out += strprintf(" %-12s", "geometry");
+    if (cost)
+        out += strprintf(" %-12s", "cost");
+    if (work)
+        out += strprintf(" %-18s", "workload");
+    if (fault)
+        out += strprintf(" %-12s", "fault");
+    out += strprintf(" %7s %7s %7s %8s %6s %s\n", "util", "busutil",
+                     "miss%", "cyc/ref", "viol", "ok");
+
+    std::size_t inconsistent = 0;
+    std::uint64_t injected = 0;
+    for (const CampaignResult &r : report.results) {
+        out += strprintf("%-5zu %-24s", r.job.index,
+                         report.mixNames[r.job.mixIdx].c_str());
+        if (geom) {
+            out += strprintf(
+                " %-12s",
+                report.geometryNames[r.job.geometryIdx].c_str());
+        }
+        if (cost) {
+            out += strprintf(
+                " %-12s", report.costNames[r.job.costIdx].c_str());
+        }
+        if (work) {
+            out += strprintf(
+                " %-18s",
+                report.workloadNames[r.job.workloadIdx].c_str());
+        }
+        if (fault) {
+            out += strprintf(
+                " %-12s", report.faultNames[r.job.faultIdx].c_str());
+        }
+        out += strprintf(" %7.3f %7.3f %6.2f%% %8.3f %6zu %s\n",
+                         r.procUtilization(), r.busUtilization(),
+                         100.0 * r.missRatio(), r.busCyclesPerRef(),
+                         r.violations.size(),
+                         r.consistent ? "yes" : "NO");
+        if (!r.consistent)
+            ++inconsistent;
+        injected += r.faults.injected();
+    }
+
+    if (injected) {
+        out += strprintf("faults: %llu injected across the campaign\n",
+                         static_cast<unsigned long long>(injected));
+    }
+    out += strprintf("consistency: %zu/%zu jobs violation-free\n",
+                     report.results.size() - inconsistent,
+                     report.results.size());
+    return out;
+}
+
 } // namespace fbsim

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "campaign/campaign_spec.h"
 #include "sim/engine.h"
 #include "sim/system.h"
 
@@ -30,6 +31,14 @@ std::string renderEngineResult(const EngineResult &result);
  * fault-free system.
  */
 std::string renderFaultReport(const System &system);
+
+/**
+ * Campaign sweep table: one row per job in merge (job-index) order
+ * with its axis coordinates and headline metrics, plus a consistency
+ * summary.  Deterministic: byte-identical for any --jobs value.
+ * Degenerate axes (a single point) are omitted from the columns.
+ */
+std::string renderCampaignTable(const CampaignReport &report);
 
 } // namespace fbsim
 

@@ -9,6 +9,7 @@
 #define FBSIM_TRACE_REF_STREAM_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -51,6 +52,30 @@ class VectorStream : public RefStream
 
   private:
     std::vector<ProcRef> refs_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Replays a borrowed span, cycling when exhausted.  Non-owning
+ * VectorStream: campaign workers replay shared trace shards through
+ * this to keep per-job allocation off the hot path; the span must
+ * outlive the stream and must not be empty.
+ */
+class SpanStream : public RefStream
+{
+  public:
+    explicit SpanStream(std::span<const ProcRef> refs) : refs_(refs) {}
+
+    ProcRef
+    next() override
+    {
+        ProcRef r = refs_[pos_];
+        pos_ = (pos_ + 1) % refs_.size();
+        return r;
+    }
+
+  private:
+    std::span<const ProcRef> refs_;
     std::size_t pos_ = 0;
 };
 

@@ -1,11 +1,81 @@
 #include "trace/trace_io.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/logging.h"
 
 namespace fbsim {
+
+namespace {
+
+bool
+isBlank(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+           c == '\v';
+}
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Leading decimal digits of `tok` (stoul-style: trailing junk is
+ *  ignored); false when there is no digit or the value overflows. */
+bool
+parseDecimal(std::string_view tok, std::uint64_t *out)
+{
+    std::size_t i = 0;
+    if (i < tok.size() && tok[i] == '+')
+        ++i;
+    if (i >= tok.size() || tok[i] < '0' || tok[i] > '9')
+        return false;
+    std::uint64_t value = 0;
+    for (; i < tok.size() && tok[i] >= '0' && tok[i] <= '9'; ++i) {
+        if (value > (~std::uint64_t{0} - (tok[i] - '0')) / 10)
+            return false;
+        value = value * 10 + (tok[i] - '0');
+    }
+    *out = value;
+    return true;
+}
+
+/** Leading hex digits (optional 0x/0X prefix) of `tok`. */
+bool
+parseHex(std::string_view tok, std::uint64_t *out)
+{
+    std::size_t i = 0;
+    if (i < tok.size() && tok[i] == '+')
+        ++i;
+    if (i + 1 < tok.size() && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X') &&
+        hexValue(i + 2 < tok.size() ? tok[i + 2] : '\0') >= 0)
+        i += 2;
+    if (i >= tok.size() || hexValue(tok[i]) < 0)
+        return false;
+    std::uint64_t value = 0;
+    for (; i < tok.size(); ++i) {
+        int digit = hexValue(tok[i]);
+        if (digit < 0)
+            break;
+        if (value >> 60)
+            return false;   // would overflow the shift
+        value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    *out = value;
+    return true;
+}
+
+} // namespace
 
 std::vector<TraceRef>
 readTrace(std::istream &in, std::string *error_out)
@@ -58,13 +128,93 @@ readTrace(std::istream &in, std::string *error_out)
 }
 
 std::vector<TraceRef>
+parseTrace(std::string_view text, std::string *error_out)
+{
+    std::vector<TraceRef> refs;
+    refs.reserve(text.size() / 8);   // "p R hexaddr\n" lower bound
+    const char *p = text.data();
+    const char *const end = p + text.size();
+    std::size_t lineno = 0;
+
+    auto fail = [&](const char *what) {
+        if (error_out)
+            *error_out = strprintf("line %zu: %s", lineno, what);
+        return std::vector<TraceRef>{};
+    };
+
+    while (p < end) {
+        ++lineno;
+        const char *eol = static_cast<const char *>(
+            std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+        const char *line_end = eol ? eol : end;
+        // Comments run to end of line.
+        if (const char *hash = static_cast<const char *>(std::memchr(
+                p, '#', static_cast<std::size_t>(line_end - p))))
+            line_end = hash;
+
+        // Whitespace-delimited tokens, in place.
+        std::string_view tok[3];
+        int ntok = 0;
+        const char *q = p;
+        while (q < line_end && ntok < 3) {
+            while (q < line_end && isBlank(*q))
+                ++q;
+            if (q == line_end)
+                break;
+            const char *start = q;
+            while (q < line_end && !isBlank(*q))
+                ++q;
+            tok[ntok++] = std::string_view(
+                start, static_cast<std::size_t>(q - start));
+        }
+        p = eol ? eol + 1 : end;
+
+        if (ntok == 0)
+            continue;   // blank / comment-only line
+        if (ntok < 3)
+            return fail("expected '<proc> <R|W> <hexaddr>'");
+
+        std::uint64_t proc = 0, addr = 0;
+        if (!parseDecimal(tok[0], &proc) || !parseHex(tok[2], &addr))
+            return fail("bad number");
+        TraceRef ref;
+        ref.proc = static_cast<MasterId>(proc);
+        ref.addr = addr;
+        if (tok[1] == "R" || tok[1] == "r")
+            ref.write = false;
+        else if (tok[1] == "W" || tok[1] == "w")
+            ref.write = true;
+        else
+            return fail("op must be R or W");
+        refs.push_back(ref);
+    }
+    if (error_out)
+        error_out->clear();
+    return refs;
+}
+
+std::vector<TraceRef>
 readTraceFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         fbsim_fatal("cannot open trace file %s", path.c_str());
+    in.seekg(0, std::ios::end);
+    std::streamoff size = in.tellg();
     std::string err;
-    std::vector<TraceRef> refs = readTrace(in, &err);
+    std::vector<TraceRef> refs;
+    if (size < 0) {
+        // Not seekable - fall back to the stream parser.
+        in.seekg(0);
+        refs = readTrace(in, &err);
+    } else {
+        std::string text(static_cast<std::size_t>(size), '\0');
+        in.seekg(0);
+        in.read(text.data(), size);
+        if (!in)
+            fbsim_fatal("cannot read trace file %s", path.c_str());
+        refs = parseTrace(text, &err);
+    }
     if (!err.empty())
         fbsim_fatal("%s: %s", path.c_str(), err.c_str());
     return refs;

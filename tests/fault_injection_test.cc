@@ -15,6 +15,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "campaign/campaign_runner.h"
 #include "common/random.h"
 #include "sim/engine.h"
 #include "test_util.h"
@@ -400,7 +401,7 @@ TEST(QuarantineTest, IntegrityCheckQuarantinesCorruptCache)
 // failures, i.e. every divergence surfaces as an annotated checker
 // violation or recovery event, never as quiet corruption.
 
-struct CampaignResult
+struct MixedRunResult
 {
     std::vector<std::string> violations;
     std::vector<std::string> events;
@@ -410,7 +411,7 @@ struct CampaignResult
     std::uint64_t quarantines = 0;
 };
 
-CampaignResult
+MixedRunResult
 runMixedCampaign(std::uint64_t seed, int accesses)
 {
     SystemConfig cfg = test::testConfig();
@@ -444,7 +445,7 @@ runMixedCampaign(std::uint64_t seed, int accesses)
     sys.addCache(test::smallCache(ProtocolKind::Firefly));
     drive(sys, seed ^ 0x9e3779b9, accesses, 12, /*with_sync=*/false);
 
-    CampaignResult r;
+    MixedRunResult r;
     r.violations = sys.violations();
     // Terminal audit: anything still inconsistent must be *reported*
     // (detected), which the annotation assertions below verify.
@@ -463,7 +464,7 @@ TEST(MixedCampaignTest, EveryFaultRecoveredOrDetected)
     std::uint64_t seed = 1;
     if (const char *env = std::getenv("FBSIM_FAULT_SEED"))
         seed = std::strtoull(env, nullptr, 0);
-    CampaignResult r = runMixedCampaign(seed, 10000);
+    MixedRunResult r = runMixedCampaign(seed, 10000);
 
     // All six sites actually fired.
     EXPECT_GT(r.faults.spuriousAborts, 0u);
@@ -485,8 +486,8 @@ TEST(MixedCampaignTest, EveryFaultRecoveredOrDetected)
 
 TEST(MixedCampaignTest, ReplaysBitIdenticallyFromSeed)
 {
-    CampaignResult a = runMixedCampaign(0xdead, 3000);
-    CampaignResult b = runMixedCampaign(0xdead, 3000);
+    MixedRunResult a = runMixedCampaign(0xdead, 3000);
+    MixedRunResult b = runMixedCampaign(0xdead, 3000);
     EXPECT_EQ(a.violations, b.violations);
     EXPECT_EQ(a.events, b.events);
     EXPECT_TRUE(a.faults == b.faults);
@@ -495,8 +496,151 @@ TEST(MixedCampaignTest, ReplaysBitIdenticallyFromSeed)
     EXPECT_EQ(a.quarantines, b.quarantines);
 
     // A different seed is a genuinely different campaign.
-    CampaignResult c = runMixedCampaign(0xbeef, 3000);
+    MixedRunResult c = runMixedCampaign(0xbeef, 3000);
     EXPECT_NE(c.report, a.report);
+}
+
+// ---------------------------------------------------------------- //
+// The same acceptance bar through the CampaignRunner: the mixed
+// Berkeley/Illinois/Firefly system with every fault site live,
+// expressed as a CampaignSpec (EXPERIMENTS.md's fault-campaign
+// recipe) and executed engine-driven on the runner's worker pool.
+// Each replica job derives its own FaultConfig from the job seed via
+// the spec's faultFactory.
+
+/** Uniform random stream over `lines` line-sized blocks, 35% writes
+ *  (the engine-driven equivalent of drive() above). */
+class UniformStream : public RefStream
+{
+  public:
+    UniformStream(std::size_t lines, std::size_t words_per_line,
+                  std::uint64_t seed)
+        : lines_(lines), words_(words_per_line), rng_(seed)
+    {
+    }
+
+    ProcRef
+    next() override
+    {
+        ProcRef ref;
+        ref.addr = rng_.below(lines_ * words_) * kWordBytes;
+        ref.write = rng_.chance(0.35);
+        return ref;
+    }
+
+  private:
+    std::size_t lines_;
+    std::size_t words_;
+    Rng rng_;
+};
+
+CampaignSpec
+mixedFaultSpec(std::uint64_t campaign_seed, std::uint64_t refs_per_proc,
+               std::size_t replicas)
+{
+    CampaignSpec spec;
+    spec.campaignSeed = campaign_seed;
+    spec.refsPerProc = refs_per_proc;
+    spec.base = test::testConfig();
+
+    ProtocolMix mix;
+    mix.name = "Berkeley+Illinois+Firefly";
+    const ProtocolKind kinds[] = {ProtocolKind::Berkeley,
+                                  ProtocolKind::Illinois,
+                                  ProtocolKind::Firefly};
+    for (std::size_t i = 0; i < std::size(kinds); ++i) {
+        MixSlot slot;
+        slot.cache = test::smallCache(kinds[i]);
+        slot.cache.seed = i + 1;
+        mix.slots.push_back(slot);
+    }
+    spec.mixes.push_back(std::move(mix));
+
+    std::size_t words = spec.base.lineBytes / kWordBytes;
+    for (std::size_t rep = 0; rep < replicas; ++rep) {
+        WorkloadSpec w;
+        w.name = "uniform/rep" + std::to_string(rep);
+        w.make = [words](std::size_t proc, std::size_t,
+                         std::uint64_t job_seed) {
+            return std::unique_ptr<RefStream>(new UniformStream(
+                12, words, Rng::deriveSeed(job_seed, proc)));
+        };
+        spec.workloads.push_back(std::move(w));
+    }
+
+    // Every site live, per-job seed: the factory is the only way a
+    // campaign hands fault state to workers (FaultInjector itself is
+    // non-copyable).
+    spec.faultFactory = [](std::uint64_t job_seed, std::size_t) {
+        FaultConfig fc;
+        fc.seed = job_seed;
+        fc.spuriousAbort.probability = 0.01;
+        fc.abortStormProb = 0.2;
+        fc.abortStormLength = 4;
+        fc.memoryDelay.probability = 0.005;
+        fc.memoryDelayCycles = 16;
+        fc.memoryDrop.probability = 0.005;
+        fc.dataFlip.probability = 0.002;
+        fc.responseFlip.probability = 0.002;
+        fc.snooperMute.probability = 0.02;
+        return std::optional<FaultConfig>(fc);
+    };
+    return spec;
+}
+
+TEST(CampaignRunnerFaultTest, MixedCampaignEveryFaultRecoveredOrDetected)
+{
+    std::uint64_t seed = 1;
+    if (const char *env = std::getenv("FBSIM_FAULT_SEED"))
+        seed = std::strtoull(env, nullptr, 0);
+    CampaignSpec spec = mixedFaultSpec(seed, 1200, 4);
+    CampaignReport report = CampaignRunner(2).run(spec);
+    ASSERT_EQ(report.results.size(), 4u);
+
+    FaultStats total;
+    std::size_t annotated_sources = 0;
+    for (const CampaignResult &r : report.results) {
+        total.spuriousAborts += r.faults.spuriousAborts;
+        total.memoryDelays += r.faults.memoryDelays;
+        total.memoryDrops += r.faults.memoryDrops;
+        total.dataFlips += r.faults.dataFlips;
+        total.responseFlips += r.faults.responseFlips;
+        total.snooperMutes += r.faults.snooperMutes;
+        expectAllAnnotated(r.violations);
+        expectAllAnnotated(r.faultEvents);
+        annotated_sources += r.violations.size() + r.faultEvents.size();
+        EXPECT_NE(r.faultReport.find("fault campaign"),
+                  std::string::npos);
+    }
+    // Across the replicas every site fired, and nothing was silent.
+    EXPECT_GT(total.spuriousAborts, 0u);
+    EXPECT_GT(total.memoryDelays, 0u);
+    EXPECT_GT(total.memoryDrops, 0u);
+    EXPECT_GT(total.dataFlips, 0u);
+    EXPECT_GT(total.responseFlips, 0u);
+    EXPECT_GT(total.snooperMutes, 0u);
+    EXPECT_GT(annotated_sources, 0u);
+}
+
+TEST(CampaignRunnerFaultTest, WorkerCountDoesNotChangeTheVerdict)
+{
+    CampaignSpec spec = mixedFaultSpec(0x2a, 800, 3);
+    CampaignReport serial = CampaignRunner(1).run(spec);
+    CampaignReport threaded = CampaignRunner(4).run(spec);
+
+    ASSERT_EQ(serial.results.size(), threaded.results.size());
+    EXPECT_EQ(renderCampaignTable(serial),
+              renderCampaignTable(threaded));
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        const CampaignResult &a = serial.results[i];
+        const CampaignResult &b = threaded.results[i];
+        EXPECT_EQ(a.violations, b.violations) << "job " << i;
+        EXPECT_EQ(a.faultEvents, b.faultEvents) << "job " << i;
+        EXPECT_TRUE(a.faults == b.faults) << "job " << i;
+        EXPECT_TRUE(a.bus == b.bus) << "job " << i;
+        EXPECT_EQ(a.faultReport, b.faultReport) << "job " << i;
+        EXPECT_EQ(a.consistent, b.consistent) << "job " << i;
+    }
 }
 
 // ---------------------------------------------------------------- //

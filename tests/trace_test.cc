@@ -61,6 +61,73 @@ TEST(TraceIoTest, MalformedLinesReported)
     }
 }
 
+// ---------------------------------------------------------------- //
+// The buffered in-place scanner (parseTrace) must accept and reject
+// exactly what the istream parser accepts and rejects - readTraceFile
+// uses it for the single-read fast path with readTrace as fallback.
+
+TEST(TraceIoTest, BufferedParserMatchesStreamParser)
+{
+    const char *cases[] = {
+        "",
+        "# only a comment\n",
+        "0 R 100\n1 W 2a8\n",
+        "# header\n\n0 R 100\n  # indented comment\n"
+        "1 W 2a8  # trailing comment\n",
+        "3 r 0x40\n2 w 0XFF8\n",          // lowercase ops, 0x prefixes
+        "0 R deadbeef",                   // no trailing newline
+        "0\tR\t100\r\n",                  // tabs and CRLF
+        "12 W 0\n",
+        "1 W 0x\n",   // stoull-style: "0" parsed, 'x' is trailing junk
+    };
+    for (const char *text : cases) {
+        std::istringstream in(text);
+        std::string stream_err, buffer_err;
+        std::vector<TraceRef> streamed = readTrace(in, &stream_err);
+        std::vector<TraceRef> buffered = parseTrace(text, &buffer_err);
+        EXPECT_EQ(streamed, buffered) << "text: " << text;
+        EXPECT_EQ(stream_err.empty(), buffer_err.empty())
+            << "text: " << text;
+    }
+}
+
+TEST(TraceIoTest, BufferedParserRejectsLikeStreamParser)
+{
+    const char *bad[] = {
+        "0 R\n",            // missing address
+        "0 X 100\n",        // bad op
+        "zed R 100\n",      // bad processor id
+        "0 R zog\n",        // bad address
+    };
+    for (const char *text : bad) {
+        std::istringstream in(text);
+        std::string stream_err, buffer_err;
+        EXPECT_TRUE(readTrace(in, &stream_err).empty());
+        EXPECT_TRUE(parseTrace(text, &buffer_err).empty());
+        EXPECT_FALSE(stream_err.empty()) << "text: " << text;
+        EXPECT_FALSE(buffer_err.empty()) << "text: " << text;
+        EXPECT_EQ(stream_err, buffer_err) << "text: " << text;
+    }
+}
+
+TEST(TraceIoTest, BufferedParserRoundTripsGeneratedTraces)
+{
+    Arch85Params params;
+    std::vector<std::unique_ptr<RefStream>> streams =
+        makeArch85Streams(params, 3, 11);
+    std::vector<TraceRef> refs;
+    for (int i = 0; i < 500; ++i) {
+        MasterId proc = static_cast<MasterId>(i % 3);
+        ProcRef r = streams[proc]->next();
+        refs.push_back({proc, r.write, r.addr});
+    }
+    std::ostringstream out;
+    writeTrace(out, refs);
+    std::string err;
+    EXPECT_EQ(parseTrace(out.str(), &err), refs);
+    EXPECT_TRUE(err.empty());
+}
+
 TEST(TraceIoTest, SplitByProc)
 {
     std::vector<TraceRef> refs = {
