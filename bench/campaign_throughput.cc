@@ -18,6 +18,16 @@
  *
  * Flags: --out <path> (default BENCH_campaign.json in the CWD),
  * --quick (smaller workload for CI smoke).
+ *
+ * Supervised single-pass mode (the CI resilience smoke): when
+ * --journal or --resume is given, the bench instead runs the campaign
+ * exactly once under the given supervision options (--jobs N,
+ * --timeout-ms N, --retries N, --refs N) and prints *only* the merged
+ * campaign table on stdout - so two runs can be diffed byte for byte.
+ * Exit status 0 iff every job completed with status ok.  This is the
+ * harness for the kill -9 + --resume acceptance check: an interrupted
+ * journaled run, resumed, must print the same table as an
+ * uninterrupted one.
  */
 
 #include <chrono>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "campaign/campaign_runner.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "text/report.h"
@@ -179,13 +190,65 @@ main(int argc, char **argv)
 {
     const char *out_path = "BENCH_campaign.json";
     bool quick = false;
+    bool single_pass = false;
+    unsigned pass_jobs = 1;
+    std::uint64_t pass_refs = 0;   ///< 0 = the bench default
+    SupervisorOptions sup;
+    auto flagValue = [&](int &i, const char *name,
+                         const char **value) {
+        std::size_t len = std::strlen(name);
+        if (std::strncmp(argv[i], name, len) == 0 &&
+            argv[i][len] == '=') {
+            *value = argv[i] + len + 1;
+            return true;
+        }
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+            *value = argv[++i];
+            return true;
+        }
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-            out_path = argv[++i];
-        else if (std::strncmp(argv[i], "--out=", 6) == 0)
-            out_path = argv[i] + 6;
-        else if (std::strcmp(argv[i], "--quick") == 0)
+        const char *value = nullptr;
+        if (flagValue(i, "--out", &value)) {
+            out_path = value;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (flagValue(i, "--jobs", &value)) {
+            pass_jobs = static_cast<unsigned>(std::atoi(value));
+        } else if (flagValue(i, "--refs", &value)) {
+            pass_refs = static_cast<std::uint64_t>(std::atoll(value));
+        } else if (flagValue(i, "--timeout-ms", &value)) {
+            sup.timeoutMs =
+                static_cast<std::uint64_t>(std::atoll(value));
+        } else if (flagValue(i, "--retries", &value)) {
+            sup.retries = static_cast<unsigned>(std::atoi(value));
+        } else if (flagValue(i, "--journal", &value)) {
+            sup.journalPath = value;
+            single_pass = true;
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            sup.resume = true;
+            single_pass = true;
+        }
+    }
+
+    if (single_pass) {
+        if (sup.resume && sup.journalPath.empty()) {
+            std::fprintf(stderr, "--resume needs --journal <path>\n");
+            return 1;
+        }
+        const std::uint64_t refs =
+            pass_refs ? pass_refs : (quick ? 800u : 60000u);
+        CampaignSpec spec = mixedFaultCampaign(8, refs);
+        CampaignReport report =
+            CampaignRunner(pass_jobs, sup).run(spec);
+        // Table only: stdout is the diffable artifact.
+        std::fputs(renderCampaignTable(report).c_str(), stdout);
+        for (const CampaignResult &r : report.results) {
+            if (r.status != JobStatus::Ok)
+                return 1;
+        }
+        return 0;
     }
 
     std::printf("=== campaign runner throughput ===\n\n");

@@ -76,24 +76,53 @@ main(int argc, char **argv)
         return generate(argv[2], procs, refs);
     }
 
-    // Pull --jobs N / --jobs=N out of argv before positional parsing.
+    // Pull the option flags out of argv before positional parsing.
+    // The supervision flags default to off, so plain invocations run
+    // (and print) exactly as before.
     unsigned jobs = 1;
+    SupervisorOptions sup;
     std::vector<char *> args;
+    auto flagValue = [&](int &i, const char *name,
+                         const char **value) {
+        std::size_t len = std::strlen(name);
+        if (std::strncmp(argv[i], name, len) == 0 &&
+            argv[i][len] == '=') {
+            *value = argv[i] + len + 1;
+            return true;
+        }
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+            *value = argv[++i];
+            return true;
+        }
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-            jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
-        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
-                   i + 1 < argc) {
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        const char *value = nullptr;
+        if (flagValue(i, "--jobs", &value)) {
+            jobs = static_cast<unsigned>(std::atoi(value));
+        } else if (flagValue(i, "--timeout-ms", &value)) {
+            sup.timeoutMs =
+                static_cast<std::uint64_t>(std::atoll(value));
+        } else if (flagValue(i, "--retries", &value)) {
+            sup.retries = static_cast<unsigned>(std::atoi(value));
+        } else if (flagValue(i, "--journal", &value)) {
+            sup.journalPath = value;
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            sup.resume = true;
         } else {
             args.push_back(argv[i]);
         }
+    }
+    if (sup.resume && sup.journalPath.empty()) {
+        std::fprintf(stderr, "--resume needs --journal <path>\n");
+        return 1;
     }
 
     if (args.empty()) {
         std::fprintf(stderr,
                      "usage: %s <trace-file> [protocol|all] [procs] "
-                     "[--jobs N]\n"
+                     "[--jobs N] [--timeout-ms N] [--retries N] "
+                     "[--journal path [--resume]]\n"
                      "       %s --generate <trace-file> [procs] "
                      "[refs]\n",
                      argv[0], argv[0]);
@@ -155,7 +184,7 @@ main(int argc, char **argv)
     }
     spec.workloads.push_back(traceWorkload("trace", trace));
 
-    CampaignReport report = CampaignRunner(jobs).run(spec);
+    CampaignReport report = CampaignRunner(jobs, sup).run(spec);
 
     if (sweep_all) {
         // The sweep table: one row per protocol over the same trace.

@@ -38,6 +38,18 @@ Bus::attach(Snooper *snooper)
     }
     snooperBit_.push_back(bit);
     snooperId_.push_back(snooper->snooperId());
+    snooperSuspended_.push_back(0);
+}
+
+void
+Bus::setSnooperSuspended(MasterId id, bool suspended)
+{
+    for (std::size_t i = 0; i < snooperId_.size(); ++i) {
+        if (snooperId_[i] == id) {
+            snooperSuspended_[i] = suspended ? 1 : 0;
+            return;
+        }
+    }
 }
 
 void
@@ -199,6 +211,11 @@ Bus::attempt(const BusRequest &req, bool &aborted)
     for (std::size_t i = 0; i < snoopers_.size(); ++i) {
         Snooper *s = snoopers_[i];
         if (snooperId_[i] == req.master)
+            continue;
+        // A withdrawn (quarantined) board is absent from the
+        // backplane: no snoop, no response, not even a filter
+        // suppression - it simply is not there.
+        if (snooperSuspended_[i])
             continue;
         std::uint64_t bit = snooperBit_[i];
         if (bit != 0 && (mask & bit) == 0) {

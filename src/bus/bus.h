@@ -261,6 +261,17 @@ class Bus
     void setSnoopCrossCheck(bool on) { crossCheck_ = on; }
 
     /**
+     * Live withdrawal/insertion (P896's hot-swap story): a suspended
+     * snooper is skipped in every address cycle, exactly as if the
+     * board had been pulled from the backplane.  Only legal for a
+     * module holding no valid lines (the system layer quarantines -
+     * flush + invalidate - before suspending, and reintegrates into
+     * state I), so skipping it is unobservable to the protocol.
+     * Unknown ids are ignored.
+     */
+    void setSnooperSuspended(MasterId id, bool suspended);
+
+    /**
      * Attach a fault injector (not owned; null detaches).  With an
      * injector attached the bus draws spurious aborts, snooper mutes
      * and response flips from it, and - because injected faults make
@@ -316,6 +327,8 @@ class Bus
     /** Each snooper's id (parallel to snoopers_), cached at attach so
      *  the attempt loop's requester-skip needs no virtual call. */
     std::vector<MasterId> snooperId_;
+    /** Withdrawn boards (parallel to snoopers_); skipped entirely. */
+    std::vector<std::uint8_t> snooperSuspended_;
     std::unordered_map<MasterId, std::uint64_t> bitOfId_;
     std::uint64_t nextBit_ = 1;
     /** line -> OR of presence bits of snoopers holding a valid copy. */

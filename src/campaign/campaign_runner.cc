@@ -1,7 +1,9 @@
 #include "campaign/campaign_runner.h"
 
 #include <atomic>
+#include <chrono>
 
+#include "campaign/campaign_journal.h"
 #include "common/bounded_queue.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -67,7 +69,7 @@ expandCampaign(const CampaignSpec &spec)
 
 CampaignResult
 runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
-               CampaignScratch &scratch)
+               CampaignScratch &scratch, const RunControl *control)
 {
     const ProtocolMix &mix = spec.mixes[job.mixIdx];
     const std::size_t procs = mix.slots.size();
@@ -131,7 +133,7 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
     CampaignResult result;
     result.job = job;
     Engine engine(system, spec.engine);
-    result.engine = engine.run(scratch.raw, refs);
+    result.engine = engine.run(scratch.raw, refs, control);
 
     result.bus = system.bus().stats();
     for (MasterId id = 0; id < system.numClients(); ++id) {
@@ -147,6 +149,7 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
     result.faultEvents = system.faultEvents();
     result.watchdogTrips = system.watchdogTrips();
     result.quarantines = system.quarantineCount();
+    result.reintegrations = system.reintegrationCount();
     if (const FaultInjector *injector = system.faultInjector()) {
         result.faults = injector->stats();
         result.faultReport = renderFaultReport(system);
@@ -154,8 +157,71 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
     return result;
 }
 
+CampaignResult
+runSupervisedJob(const CampaignSpec &spec, const CampaignJob &job,
+                 CampaignScratch &scratch, const SupervisorOptions &sup)
+{
+    const unsigned attempts = sup.retries + 1;
+    CampaignResult last;
+    for (unsigned a = 0; a < attempts; ++a) {
+        // Attempt 0 reproduces the canonical job seed exactly, so a
+        // job that succeeds first try is bit-identical to the
+        // unsupervised run; retries draw fresh-but-deterministic
+        // sub-streams.
+        CampaignJob attempt = job;
+        attempt.seed =
+            Rng::deriveSeed(spec.campaignSeed, job.index, a);
+        RunControl control;
+        if (sup.timeoutMs > 0) {
+            control.hasDeadline = true;
+            control.deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(sup.timeoutMs);
+        }
+        try {
+            CampaignResult r =
+                runCampaignJob(spec, attempt, scratch,
+                               sup.timeoutMs > 0 ? &control : nullptr);
+            r.attempts = a + 1;
+            if (!r.engine.cancelled) {
+                r.status = JobStatus::Ok;
+                return r;
+            }
+            // Timed out: keep the partial statistics - they are real
+            // measurements up to the cancellation point - but the row
+            // is not a completed, verified job.
+            r.status = JobStatus::TimedOut;
+            r.consistent = false;
+            r.failureReason = strprintf(
+                "attempt %u exceeded the %llu ms deadline", a + 1,
+                static_cast<unsigned long long>(sup.timeoutMs));
+            last = std::move(r);
+        } catch (const std::exception &e) {
+            last = CampaignResult{};
+            last.job = attempt;
+            last.attempts = a + 1;
+            last.status = JobStatus::Failed;
+            last.consistent = false;
+            last.failureReason = e.what();
+        } catch (...) {
+            last = CampaignResult{};
+            last.job = attempt;
+            last.attempts = a + 1;
+            last.status = JobStatus::Failed;
+            last.consistent = false;
+            last.failureReason = "non-standard exception";
+        }
+    }
+    return last;
+}
+
 CampaignRunner::CampaignRunner(unsigned jobs)
     : jobs_(jobs == 0 ? 1 : jobs)
+{
+}
+
+CampaignRunner::CampaignRunner(unsigned jobs, SupervisorOptions sup)
+    : jobs_(jobs == 0 ? 1 : jobs), sup_(std::move(sup))
 {
 }
 
@@ -194,38 +260,78 @@ CampaignRunner::run(const CampaignSpec &spec) const
     if (jobs.empty())
         return report;
 
+    // Checkpointing: on resume, jobs already journaled merge verbatim
+    // (bit-exact round trip) and only the remainder runs; either way
+    // every freshly-completed job is appended fsync'd, so a kill -9
+    // at any instant loses at most the jobs in flight.
+    const std::uint64_t fingerprint = campaignFingerprint(spec);
+    std::vector<char> have(jobs.size(), 0);
+    if (sup_.resume && !sup_.journalPath.empty()) {
+        for (CampaignResult &r :
+             loadCampaignJournal(sup_.journalPath, fingerprint)) {
+            if (r.job.index >= jobs.size())
+                continue;
+            have[r.job.index] = 1;
+            report.results[r.job.index] = std::move(r);
+        }
+    }
+    std::unique_ptr<CampaignJournal> journal;
+    if (!sup_.journalPath.empty())
+        journal = std::make_unique<CampaignJournal>(
+            sup_.journalPath, fingerprint, jobs.size());
+
+    std::vector<CampaignJob> pending;
+    pending.reserve(jobs.size());
+    for (const CampaignJob &job : jobs) {
+        if (!have[job.index])
+            pending.push_back(job);
+    }
+    if (pending.empty())
+        return report;
+
     const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, jobs.size()));
+        std::min<std::size_t>(jobs_, pending.size()));
     if (workers <= 1) {
         // Serial path: identical results by construction, no threads
         // (also the baseline `--jobs 1` must reproduce).
         CampaignScratch scratch;
-        for (const CampaignJob &job : jobs)
-            report.results[job.index] =
-                runCampaignJob(spec, job, scratch);
+        for (const CampaignJob &job : pending) {
+            CampaignResult r =
+                runSupervisedJob(spec, job, scratch, sup_);
+            if (journal)
+                journal->append(r);
+            report.results[job.index] = std::move(r);
+        }
         return report;
     }
 
     // Workers claim the next unclaimed job and push results through a
-    // bounded queue; this (merging) thread slots them by job index.
+    // bounded queue; this (merging) thread slots them by job index and
+    // owns the journal (single writer, no locking).  runSupervisedJob
+    // never throws - a failing job becomes a Failed row - so every
+    // pending job produces exactly one queue entry and the merge loop
+    // cannot starve.
     std::atomic<std::size_t> next{0};
     BoundedQueue<CampaignResult> done(2 * workers);
     {
         ThreadPool pool(workers);
         for (unsigned w = 0; w < workers; ++w) {
-            pool.submit([&spec, &jobs, &next, &done] {
+            pool.submit([this, &spec, &pending, &next, &done] {
                 CampaignScratch scratch;
                 for (;;) {
                     std::size_t i =
                         next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= jobs.size())
+                    if (i >= pending.size())
                         return;
-                    done.push(runCampaignJob(spec, jobs[i], scratch));
+                    done.push(runSupervisedJob(spec, pending[i],
+                                               scratch, sup_));
                 }
             });
         }
-        for (std::size_t n = 0; n < jobs.size(); ++n) {
+        for (std::size_t n = 0; n < pending.size(); ++n) {
             CampaignResult result = done.pop();
+            if (journal)
+                journal->append(result);
             std::size_t index = result.job.index;
             report.results[index] = std::move(result);
         }

@@ -61,25 +61,62 @@ std::vector<CampaignJob> expandCampaign(const CampaignSpec &spec);
  * Execute one job: build the job's System from the spec axes, drive
  * the workload through a timed Engine, and collect every statistic
  * the report needs.  Pure apart from `scratch` reuse - calling it
- * from any thread, in any order, yields the same result.
+ * from any thread, in any order, yields the same result.  A non-null
+ * `control` cancels the engine run cooperatively (the result comes
+ * back with engine.cancelled set and partial statistics).
  */
 CampaignResult runCampaignJob(const CampaignSpec &spec,
                               const CampaignJob &job,
-                              CampaignScratch &scratch);
+                              CampaignScratch &scratch,
+                              const RunControl *control = nullptr);
+
+/**
+ * Per-job supervision policy.  The defaults are all no-ops: no
+ * deadline, no retries, no journal - a default-constructed runner
+ * behaves (and merges) exactly as the unsupervised one always did.
+ */
+struct SupervisorOptions
+{
+    /** Wall-clock budget per job attempt; 0 = unlimited.  The engine
+     *  polls cooperatively, so overshoot is a few hundred refs. */
+    std::uint64_t timeoutMs = 0;
+    /** Extra attempts after a throwing or timed-out one.  Attempt k
+     *  reseeds with Rng::deriveSeed(campaignSeed, jobIndex, k);
+     *  attempt 0 is the canonical job seed. */
+    unsigned retries = 0;
+    /** Append-only checkpoint file; "" = no journaling. */
+    std::string journalPath;
+    /** Load journalPath first and skip the jobs it already holds. */
+    bool resume = false;
+};
+
+/**
+ * Run one job under supervision: attempts until one neither throws
+ * nor times out (or the retry budget is gone), with per-attempt
+ * sub-seeds.  A job that never succeeds becomes a structured
+ * Failed/TimedOut row - supervision never propagates the exception.
+ */
+CampaignResult runSupervisedJob(const CampaignSpec &spec,
+                                const CampaignJob &job,
+                                CampaignScratch &scratch,
+                                const SupervisorOptions &sup);
 
 /** Runs campaigns over `jobs` worker threads (1 = serial, in-order). */
 class CampaignRunner
 {
   public:
     explicit CampaignRunner(unsigned jobs = 1);
+    CampaignRunner(unsigned jobs, SupervisorOptions supervisor);
 
     /** Execute every job and merge results in job-index order. */
     CampaignReport run(const CampaignSpec &spec) const;
 
     unsigned jobs() const { return jobs_; }
+    const SupervisorOptions &supervisor() const { return sup_; }
 
   private:
     unsigned jobs_;
+    SupervisorOptions sup_;
 };
 
 } // namespace fbsim

@@ -236,6 +236,29 @@ struct CampaignJob
     std::uint64_t seed = 0;   ///< Rng::deriveSeed(campaignSeed, index)
 };
 
+/**
+ * Supervision outcome of one job.  `Ok` is the only status in which
+ * the simulation statistics are complete; a timed-out job carries the
+ * partial statistics of its last attempt, a failed job carries none.
+ */
+enum class JobStatus : std::uint8_t
+{
+    Ok = 0,       ///< ran to completion
+    TimedOut = 1, ///< every attempt hit the per-job deadline
+    Failed = 2,   ///< every attempt threw
+};
+
+inline const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::TimedOut: return "timeout";
+    case JobStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
 /** Everything one job produces. */
 struct CampaignResult
 {
@@ -252,7 +275,15 @@ struct CampaignResult
     std::string faultReport;  ///< renderFaultReport snapshot ("" clean)
     std::uint64_t watchdogTrips = 0;
     std::uint64_t quarantines = 0;
-    bool consistent = true;   ///< no violations at all
+    std::uint64_t reintegrations = 0;
+    bool consistent = true;   ///< no violations at all; false when
+                              ///  the job failed or timed out
+
+    // Supervision outcome (campaign_runner.h).  Unsupervised runs
+    // always produce {Ok, 1, ""} so the default path is unchanged.
+    JobStatus status = JobStatus::Ok;
+    unsigned attempts = 1;    ///< attempts consumed (retries + 1)
+    std::string failureReason; ///< exception text / deadline note
 
     /** Total references executed across the job's processors. */
     std::uint64_t

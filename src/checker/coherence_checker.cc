@@ -21,6 +21,17 @@ CoherenceChecker::addCache(const SnoopingCache *cache)
     caches_.push_back(cache);
 }
 
+void
+CoherenceChecker::removeCache(const SnoopingCache *cache)
+{
+    for (auto it = caches_.begin(); it != caches_.end(); ++it) {
+        if (*it == cache) {
+            caches_.erase(it);
+            return;
+        }
+    }
+}
+
 std::string
 CoherenceChecker::noteRead(Addr addr, Word value) const
 {

@@ -60,6 +60,15 @@ class CoherenceChecker : public BusObserver
     /** Register a cache to be inspected (any number). */
     void addCache(const SnoopingCache *cache);
 
+    /**
+     * Deregister a cache (hot-swap withdrawal): a quarantined board is
+     * no longer part of the shared memory image, so the invariants
+     * must stop quantifying over it - its (empty, bypassed) store
+     * would otherwise still be scanned every check.  Idempotent; the
+     * system layer re-adds the cache on reintegration.
+     */
+    void removeCache(const SnoopingCache *cache);
+
     /** Record a processor write (updates the oracle, dirties the
      *  line). */
     void noteWrite(Addr addr, Word value)

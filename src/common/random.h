@@ -146,6 +146,22 @@ class Rng
         return x ^ (x >> 31);
     }
 
+    /**
+     * Two-level derivation for retried campaign jobs:
+     * deriveSeed(campaignSeed, jobIndex, attempt).  Attempt 0 is the
+     * canonical job seed (identical to the two-argument form), so a
+     * never-retried campaign is bit-for-bit the unsupervised run;
+     * attempt k > 0 re-finalizes, giving each retry a fresh stream
+     * that is still a pure function of (seed, job, attempt).
+     */
+    static std::uint64_t
+    deriveSeed(std::uint64_t seed, std::uint64_t stream,
+               std::uint64_t substream)
+    {
+        std::uint64_t x = deriveSeed(seed, stream);
+        return substream == 0 ? x : deriveSeed(x, substream);
+    }
+
   private:
     static std::uint64_t rotl(std::uint64_t x, int k)
     {

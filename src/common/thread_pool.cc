@@ -32,6 +32,15 @@ ThreadPool::submit(std::function<void()> task)
     taskReady_.notify_one();
 }
 
+std::vector<std::exception_ptr>
+ThreadPool::drainExceptions()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::exception_ptr> out;
+    out.swap(exceptions_);
+    return out;
+}
+
 void
 ThreadPool::wait()
 {
@@ -56,8 +65,15 @@ ThreadPool::workerLoop()
         tasks_.pop_front();
         ++running_;
         lock.unlock();
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
         lock.lock();
+        if (error)
+            exceptions_.push_back(std::move(error));
         --running_;
         if (tasks_.empty() && running_ == 0)
             allIdle_.notify_all();

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -43,6 +44,16 @@ class ThreadPool
     /** Block until every submitted task has finished. */
     void wait();
 
+    /**
+     * Exceptions that escaped tasks, in completion order; draining
+     * clears the store.  A throwing task poisons nothing: its worker
+     * captures the exception and keeps draining the queue, so the
+     * pool stays usable and no std::terminate fires.  The submitter
+     * decides what an escaped exception means - the campaign
+     * supervisor, for instance, turns one into a failed-job row.
+     */
+    std::vector<std::exception_ptr> drainExceptions();
+
     std::size_t numThreads() const { return workers_.size(); }
 
     /** Hardware thread count (>= 1) - the natural --jobs default. */
@@ -55,6 +66,7 @@ class ThreadPool
     std::condition_variable taskReady_;
     std::condition_variable allIdle_;
     std::deque<std::function<void()>> tasks_;
+    std::vector<std::exception_ptr> exceptions_;
     std::vector<std::thread> workers_;
     std::size_t running_ = 0;   ///< tasks currently executing
     bool shutdown_ = false;

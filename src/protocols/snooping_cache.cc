@@ -737,6 +737,27 @@ SnoopingCache::quarantine()
     return outcome;
 }
 
+bool
+SnoopingCache::reintegrate()
+{
+    if (!quarantined_)
+        return false;
+    // The quarantine flush already emptied the store and bypass mode
+    // never refills it, but a rejoin must not *assume* that: force
+    // every residual copy to I through setLineState so the presence
+    // bitmask ends exact no matter what happened in between.
+    std::vector<CacheLine *> held;
+    store_->forEachValidLine([&](const CacheLine &line) {
+        held.push_back(const_cast<CacheLine *>(&line));
+    });
+    for (CacheLine *line : held)
+        setLineState(*line, State::I);
+    pending_ = Pending{};
+    lastLine_ = nullptr;
+    quarantined_ = false;
+    return true;
+}
+
 std::optional<LineAddr>
 SnoopingCache::corruptRandomBit(Rng &rng)
 {

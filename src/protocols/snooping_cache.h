@@ -132,6 +132,20 @@ class SnoopingCache : public BusClient, public Snooper
     bool quarantined() const { return quarantined_; }
 
     /**
+     * Hot-swap rejoin, the inverse of quarantine(): the paper's
+     * compatibility argument (section 3.4) makes a cache whose every
+     * line is in state I trivially compatible with any running bus, so
+     * a quarantined cache may resume service at any time by ensuring
+     * exactly that.  Invalidates any residual copies to I (keeping the
+     * bus's snoop-filter presence bitmask exact), drops latched snoop
+     * state, and clears the bypass flag; the next accesses behave as
+     * cold I-state misses.  Returns false when not quarantined.  The
+     * system layer (System::reintegrate) re-registers the cache with
+     * the checker oracle and un-suspends its bus snooping around this.
+     */
+    bool reintegrate();
+
+    /**
      * Fault-degraded mode (set by the system layer when an injector is
      * attached): a snooped bus event with no table cell for the line's
      * state - reachable only after a fault has already driven the

@@ -28,7 +28,7 @@ Engine::Engine(System &system, const EngineConfig &config)
 
 EngineResult
 Engine::run(const std::vector<RefStream *> &streams,
-            std::uint64_t refs_per_proc)
+            std::uint64_t refs_per_proc, const RunControl *control)
 {
     std::size_t n = streams.size();
     fbsim_assert(n == system_.numClients());
@@ -97,7 +97,22 @@ Engine::run(const std::vector<RefStream *> &streams,
         fetch(i);
     };
 
+    // Cooperative cancellation: poll the supervisor between
+    // references, amortized so the steady-clock read stays off the
+    // per-reference path.
+    std::uint64_t untilCheck =
+        control ? std::max<std::uint64_t>(1, control->checkEveryRefs)
+                : 0;
+    std::uint64_t executed = 0;
+
     for (;;) {
+        if (control && ++executed >= untilCheck) {
+            executed = 0;
+            if (control->shouldStop()) {
+                result.cancelled = true;
+                break;
+            }
+        }
         // Earliest pending reference.
         std::size_t imin = 0;
         for (std::size_t i = 1; i < n; ++i) {
@@ -139,6 +154,7 @@ Engine::run(const std::vector<RefStream *> &streams,
         result.elapsed = std::max(result.elapsed, p.finishTime);
     result.watchdogTrips = system_.watchdogTrips();
     result.quarantines = system_.quarantineCount();
+    result.reintegrations = system_.reintegrationCount();
     return result;
 }
 

@@ -14,6 +14,8 @@
 #ifndef FBSIM_SIM_ENGINE_H_
 #define FBSIM_SIM_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <vector>
 
 #include "bus/arbiter.h"
@@ -21,6 +23,33 @@
 #include "trace/ref_stream.h"
 
 namespace fbsim {
+
+/**
+ * Cooperative cancellation for supervised runs.  Worker threads cannot
+ * be preempted, so the engine polls between references: every
+ * `checkEveryRefs` executed references it tests the cancel flag and
+ * the wall-clock deadline, and stops the run (marking the result
+ * cancelled) when either fires.  Granularity is a few hundred
+ * references - microseconds of overshoot, never an unbounded hang.
+ */
+struct RunControl
+{
+    /** External stop request (owned by the supervisor); may be null. */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Wall-clock budget; ignored unless hasDeadline. */
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
+    std::uint64_t checkEveryRefs = 512;
+
+    bool
+    shouldStop() const
+    {
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            return true;
+        return hasDeadline &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
+};
 
 /** Timed-engine configuration. */
 struct EngineConfig
@@ -60,6 +89,10 @@ struct EngineResult
     std::uint64_t faultedRefs = 0;   ///< refs that gave up on retry
     std::uint64_t watchdogTrips = 0; ///< no-progress detections
     std::uint64_t quarantines = 0;   ///< caches isolated
+    std::uint64_t reintegrations = 0; ///< caches hot-swapped back in
+    /** True when a RunControl stopped the run early; the timing
+     *  fields then cover only the references actually executed. */
+    bool cancelled = false;
 
     /** Bus utilization in [0,1]. */
     double
@@ -86,10 +119,12 @@ class Engine
     /**
      * Run every stream for `refs_per_proc` references.
      * streams[i] feeds System client i; streams.size() must equal the
-     * system's client count.
+     * system's client count.  A non-null `control` is polled
+     * periodically for cooperative cancellation (supervised jobs).
      */
     EngineResult run(const std::vector<RefStream *> &streams,
-                     std::uint64_t refs_per_proc);
+                     std::uint64_t refs_per_proc,
+                     const RunControl *control = nullptr);
 
   private:
     System &system_;

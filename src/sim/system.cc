@@ -10,6 +10,9 @@ namespace {
  *  inconsistency and must not grow this vector without bound. */
 constexpr std::size_t kMaxRecordedViolations = 1000;
 
+/** reintegrateDue_ sentinel: no reintegration scheduled. */
+constexpr Cycles kNeverDue = ~static_cast<Cycles>(0);
+
 } // namespace
 
 System::System(const SystemConfig &config) : config_(config)
@@ -68,6 +71,8 @@ System::addCache(const CacheSpec &spec)
     caches_.push_back(cache.get());
     clients_.push_back(std::move(cache));
     noProgress_.push_back(0);
+    tripsSinceJoin_.push_back(0);
+    reintegrateDue_.push_back(kNeverDue);
     return id;
 }
 
@@ -97,6 +102,8 @@ System::addSectorCache(const CacheSpec &spec,
     caches_.push_back(cache.get());
     clients_.push_back(std::move(cache));
     noProgress_.push_back(0);
+    tripsSinceJoin_.push_back(0);
+    reintegrateDue_.push_back(kNeverDue);
     return id;
 }
 
@@ -108,6 +115,8 @@ System::addNonCachingMaster(bool broadcast_writes)
         id, *bus_, config_.lineBytes, broadcast_writes));
     caches_.push_back(nullptr);
     noProgress_.push_back(0);
+    tripsSinceJoin_.push_back(0);
+    reintegrateDue_.push_back(kNeverDue);
     return id;
 }
 
@@ -267,6 +276,8 @@ System::afterAccess()
 void
 System::postAccess(MasterId id, const AccessOutcome &outcome)
 {
+    if (scheduledReintegrations_ > 0)
+        serviceReintegrations();
     if (faults_) {
         if (outcome.faulted) {
             unsigned &rounds = noProgress_[id];
@@ -279,7 +290,11 @@ System::postAccess(MasterId id, const AccessOutcome &outcome)
                 warnImpl("%s", msg.c_str());
                 recordFaultEvent(std::move(msg));
                 rounds = 0;
-                if (config_.quarantineOnWatchdog)
+                // Escalation ladder: the bus already retried, the
+                // watchdog has now tripped; only a master that keeps
+                // tripping gets its board pulled.
+                if (config_.quarantineOnWatchdog &&
+                    ++tripsSinceJoin_[id] >= config_.quarantineAfterTrips)
                     quarantine(id);
             }
         } else {
@@ -289,6 +304,17 @@ System::postAccess(MasterId id, const AccessOutcome &outcome)
     }
     if (config_.checkEveryAccess)
         afterAccess();
+}
+
+void
+System::serviceReintegrations()
+{
+    const Cycles now = bus_->stats().busyCycles;
+    for (std::size_t id = 0; id < reintegrateDue_.size(); ++id) {
+        if (reintegrateDue_[id] != kNeverDue &&
+            now >= reintegrateDue_[id])
+            reintegrate(static_cast<MasterId>(id));
+    }
 }
 
 void
@@ -334,7 +360,45 @@ System::quarantine(MasterId id)
         faults_ ? faults_->describe().c_str() : "");
     warnImpl("%s", msg.c_str());
     recordFaultEvent(std::move(msg));
+    // The flush still needs the bus and the other snoopers, so pull
+    // the board only after quarantine() has drained it; from then on
+    // the empty cache neither snoops nor is scanned by the checker.
     cache->quarantine();
+    bus_->setSnooperSuspended(id, true);
+    checker_->removeCache(cache);
+    noProgress_[id] = 0;
+    if (config_.reintegrateAfterCycles > 0 &&
+        reintegrateDue_[id] == kNeverDue) {
+        reintegrateDue_[id] =
+            bus_->stats().busyCycles + config_.reintegrateAfterCycles;
+        ++scheduledReintegrations_;
+    }
+    return true;
+}
+
+bool
+System::reintegrate(MasterId id)
+{
+    fbsim_assert(id < caches_.size());
+    SnoopingCache *cache = caches_[id];
+    if (!cache || !cache->quarantined())
+        return false;
+    if (reintegrateDue_[id] != kNeverDue) {
+        reintegrateDue_[id] = kNeverDue;
+        --scheduledReintegrations_;
+    }
+    cache->reintegrate();
+    checker_->addCache(cache);
+    bus_->setSnooperSuspended(id, false);
+    noProgress_[id] = 0;
+    tripsSinceJoin_[id] = 0;   // the rejoined board starts a fresh ladder
+    ++reintegrations_;
+    std::string msg = strprintf(
+        "reintegrate: cache %u rejoined with all lines invalid%s%s", id,
+        faults_ ? " " : "",
+        faults_ ? faults_->describe().c_str() : "");
+    warnImpl("%s", msg.c_str());
+    recordFaultEvent(std::move(msg));
     return true;
 }
 

@@ -68,6 +68,22 @@ struct SystemConfig
     unsigned watchdogRounds = 8;
     bool quarantineOnWatchdog = true;
     /**
+     * Escalation ladder, middle rung: with quarantineOnWatchdog the
+     * cache is only quarantined on its Nth watchdog trip since the
+     * last (re)integration.  1 = quarantine on the first trip, the
+     * pre-ladder behaviour; higher values give a persistent fault more
+     * retry rounds before the board is pulled.
+     */
+    unsigned quarantineAfterTrips = 1;
+    /**
+     * Escalation ladder, top rung (P896 hot swap): schedule every
+     * quarantined cache for reintegration this many bus-busy cycles
+     * after it was pulled.  0 = never - quarantine stays permanent.
+     * The functional layer has no clock of its own, so bus occupancy
+     * (BusStats::busyCycles) serves as the monotonic cycle source.
+     */
+    Cycles reintegrateAfterCycles = 0;
+    /**
      * Quarantine a cache whose read returns a value that differs from
      * the oracle while it holds the line valid (a failed data
      * integrity check, e.g. after an injected bit flip).
@@ -179,6 +195,18 @@ class System
      */
     bool quarantine(MasterId id);
 
+    /**
+     * Reintegrate a quarantined cache: every line is forced to state I
+     * (a cache with nothing valid is trivially compatible with any
+     * running bus), the cache re-registers with the snoop filter and
+     * the checker oracle, and its processor's accesses go back through
+     * the cache - the first ones as cold I-state misses.  Returns
+     * false for non-caching masters and caches not quarantined.
+     * Invoked automatically when reintegrateAfterCycles elapses;
+     * callable directly for tests and manual hot swap.
+     */
+    bool reintegrate(MasterId id);
+
     /** The fault injector, or null in a fault-free system. */
     FaultInjector *faultInjector() { return faults_.get(); }
     const FaultInjector *faultInjector() const { return faults_.get(); }
@@ -190,6 +218,7 @@ class System
 
     std::uint64_t watchdogTrips() const { return watchdogTrips_; }
     std::uint64_t quarantineCount() const { return quarantines_; }
+    std::uint64_t reintegrationCount() const { return reintegrations_; }
 
     const SystemConfig &config() const { return config_; }
     Bus &bus() { return *bus_; }
@@ -209,6 +238,9 @@ class System
 
     void recordFaultEvent(std::string event);
 
+    /** Fire any scheduled reintegrations whose due cycle has passed. */
+    void serviceReintegrations();
+
     SystemConfig config_;
     std::unique_ptr<MainMemory> memory_;
     std::unique_ptr<MainMemorySlave> slave_;
@@ -220,9 +252,16 @@ class System
     std::vector<std::string> violations_;
     /** Consecutive faulted accesses per master (watchdog state). */
     std::vector<unsigned> noProgress_;
+    /** Watchdog trips per master since its last (re)integration. */
+    std::vector<unsigned> tripsSinceJoin_;
+    /** Bus-busy cycle at which to reintegrate; kNeverDue = none. */
+    std::vector<Cycles> reintegrateDue_;
+    /** Entries of reintegrateDue_ not equal to kNeverDue. */
+    std::size_t scheduledReintegrations_ = 0;
     std::vector<std::string> faultEvents_;
     std::uint64_t watchdogTrips_ = 0;
     std::uint64_t quarantines_ = 0;
+    std::uint64_t reintegrations_ = 0;
 };
 
 } // namespace fbsim

@@ -115,14 +115,15 @@ renderFaultReport(const System &system)
                      static_cast<unsigned long long>(s.snooperMutes));
     out += strprintf(
         "  recovery: %llu retry exhaustions, %llu response conflicts, "
-        "%llu watchdog trips, %llu quarantines, %llu violations "
-        "recorded\n",
+        "%llu watchdog trips, %llu quarantines, %llu reintegrations, "
+        "%llu violations recorded\n",
         static_cast<unsigned long long>(
             system.bus().stats().retryExhausted),
         static_cast<unsigned long long>(
             system.bus().stats().responseConflicts),
         static_cast<unsigned long long>(system.watchdogTrips()),
         static_cast<unsigned long long>(system.quarantineCount()),
+        static_cast<unsigned long long>(system.reintegrationCount()),
         static_cast<unsigned long long>(system.violations().size()));
     for (const std::string &ev : system.faultEvents())
         out += "  event: " + ev + "\n";
@@ -145,6 +146,15 @@ renderCampaignTable(const CampaignReport &report)
     const bool cost = report.costNames.size() > 1;
     const bool work = report.workloadNames.size() > 1;
     const bool fault = report.faultNames.size() > 1;
+    // Supervision columns appear only when supervision left a mark,
+    // so an unsupervised campaign renders exactly as before.
+    bool supervised = false;
+    for (const CampaignResult &r : report.results) {
+        if (r.status != JobStatus::Ok || r.attempts != 1) {
+            supervised = true;
+            break;
+        }
+    }
 
     out += strprintf("%-5s %-24s", "job", "mix");
     if (geom)
@@ -155,11 +165,15 @@ renderCampaignTable(const CampaignReport &report)
         out += strprintf(" %-18s", "workload");
     if (fault)
         out += strprintf(" %-12s", "fault");
-    out += strprintf(" %7s %7s %7s %8s %6s %s\n", "util", "busutil",
-                     "miss%", "cyc/ref", "viol", "ok");
+    out += strprintf(" %7s %7s %7s %8s %6s", "util", "busutil",
+                     "miss%", "cyc/ref", "viol");
+    if (supervised)
+        out += strprintf(" %-7s %3s", "status", "att");
+    out += strprintf(" %s\n", "ok");
 
     std::size_t inconsistent = 0;
     std::uint64_t injected = 0;
+    std::string failures;
     for (const CampaignResult &r : report.results) {
         out += strprintf("%-5zu %-24s", r.job.index,
                          report.mixNames[r.job.mixIdx].c_str());
@@ -181,16 +195,27 @@ renderCampaignTable(const CampaignReport &report)
             out += strprintf(
                 " %-12s", report.faultNames[r.job.faultIdx].c_str());
         }
-        out += strprintf(" %7.3f %7.3f %6.2f%% %8.3f %6zu %s\n",
+        out += strprintf(" %7.3f %7.3f %6.2f%% %8.3f %6zu",
                          r.procUtilization(), r.busUtilization(),
                          100.0 * r.missRatio(), r.busCyclesPerRef(),
-                         r.violations.size(),
-                         r.consistent ? "yes" : "NO");
+                         r.violations.size());
+        if (supervised) {
+            out += strprintf(" %-7s %3u", jobStatusName(r.status),
+                             r.attempts);
+        }
+        out += strprintf(" %s\n", r.consistent ? "yes" : "NO");
         if (!r.consistent)
             ++inconsistent;
+        if (!r.failureReason.empty()) {
+            failures += strprintf("failure: job %zu (%s after %u "
+                                  "attempts): %s\n",
+                                  r.job.index, jobStatusName(r.status),
+                                  r.attempts, r.failureReason.c_str());
+        }
         injected += r.faults.injected();
     }
 
+    out += failures;
     if (injected) {
         out += strprintf("faults: %llu injected across the campaign\n",
                          static_cast<unsigned long long>(injected));
