@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail if a benchmark regressed against the committed record.
+
+Usage:
+    check_bench_regression.py MEASURED_JSON [--record BENCH_micro.json]
+        [--bench BM_EngineThroughput/8] [--tolerance 0.10]
+
+MEASURED_JSON is google-benchmark --benchmark_format=json output run
+with --benchmark_repetitions; the median across repetitions is
+compared against the record's optimized_ns entry for the chosen
+benchmark.  Exits non-zero when the measured median exceeds the
+committed number by more than the tolerance.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def measured_median(report, bench):
+    # With --benchmark_repetitions google-benchmark emits one entry
+    # per repetition plus _mean/_median/_stddev aggregates; prefer its
+    # own median aggregate, fall back to computing one.
+    times = []
+    for b in report["benchmarks"]:
+        if b["name"] == f"{bench}_median":
+            return float(b["real_time"])
+        if b["name"] == bench and b.get("run_type", "iteration") != "aggregate":
+            times.append(float(b["real_time"]))
+    if not times:
+        sys.exit(f"error: benchmark {bench!r} not found in measured report")
+    return statistics.median(times)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("measured", help="google-benchmark JSON output")
+    ap.add_argument("--record", default="BENCH_micro.json")
+    ap.add_argument("--bench", default="BM_EngineThroughput/8")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+
+    with open(args.measured) as f:
+        report = json.load(f)
+    with open(args.record) as f:
+        record = json.load(f)
+
+    committed = record["optimized_ns"].get(args.bench)
+    if committed is None:
+        sys.exit(f"error: {args.bench!r} has no optimized_ns entry "
+                 f"in {args.record}")
+
+    measured = measured_median(report, args.bench)
+    ratio = measured / committed
+    limit = 1.0 + args.tolerance
+    print(f"{args.bench}: measured median {measured:.0f} ns, "
+          f"committed {committed:.0f} ns ({ratio:.2f}x, "
+          f"limit {limit:.2f}x)")
+    if ratio > limit:
+        sys.exit(f"FAIL: {args.bench} regressed "
+                 f"{(ratio - 1.0) * 100:.1f}% > "
+                 f"{args.tolerance * 100:.0f}% tolerance")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

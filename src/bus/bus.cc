@@ -67,6 +67,27 @@ Bus::notePresence(MasterId id, LineAddr la, bool holds)
     }
 }
 
+void
+Bus::clearPresence(MasterId id)
+{
+    auto it = bitOfId_.find(id);
+    if (it == bitOfId_.end())
+        return;
+    std::uint64_t bit = it->second;
+    // Collect first: erase must not run under the map's own iteration.
+    std::vector<LineAddr> touched;
+    presence_.forEach([&](LineAddr la, std::uint64_t mask) {
+        if (mask & bit)
+            touched.push_back(la);
+    });
+    for (LineAddr la : touched) {
+        std::uint64_t *mask = presence_.find(la);
+        *mask &= ~bit;
+        if (*mask == 0)
+            presence_.erase(la);
+    }
+}
+
 std::vector<Word>
 Bus::acquireLineBuffer()
 {
@@ -203,7 +224,9 @@ Bus::attempt(const BusRequest &req, bool &aborted)
         const std::uint64_t *m = presence_.find(req.line);
         mask = m ? *m : 0;
     }
-    ResponseSignals wired;
+    // The wired-OR reduction runs on packed response bytes - one OR
+    // per snooper - and unpacks once when the address cycle ends.
+    std::uint8_t wired_bits = 0;
     Snooper *di_owner = nullptr;
     Snooper *bs_owner = nullptr;
     unsigned ch_count = 0;
@@ -235,7 +258,7 @@ Bus::attempt(const BusRequest &req, bool &aborted)
         if (faults_ && bit != 0 && faults_->fireMute(snooperId_[i]))
             continue;
         SnoopReply reply = s->snoop(req);
-        wired = wired | reply.resp;
+        wired_bits |= reply.resp.bits();
         if (reply.resp.di) {
             // Ownership is unique, so at most one module intervenes.
             // Under fault injection a muted invalidate can leave two
@@ -276,6 +299,7 @@ Bus::attempt(const BusRequest &req, bool &aborted)
     }
     filterStats_.snoopsSuppressed += suppressed;
     filterStats_.snoopsInvoked += scratch.participants.size();
+    ResponseSignals wired = ResponseSignals::fromBits(wired_bits);
 
     // Phase 2: abort if anyone is busy; the owner pushes and we retry.
     if (bs_owner) {

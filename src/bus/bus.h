@@ -245,6 +245,15 @@ class Bus
     void notePresence(MasterId id, LineAddr la, bool holds);
 
     /**
+     * Bulk presence wipe for one snooper: clear its bit from every
+     * line's presence word (erasing entries that empty out).  The
+     * reintegration path uses this so an epoch-based bulk invalidate
+     * in the store needs no per-line notePresence walk.  Unknown /
+     * unfilterable ids are ignored.
+     */
+    void clearPresence(MasterId id);
+
+    /**
      * Enable/disable the snoop-filter fast path.  When disabled every
      * attached snooper sees every address cycle (the paper's literal
      * broadcast).  Presence is maintained either way, so the filter

@@ -52,6 +52,48 @@ class LineStore
     /** Replacement bookkeeping for a hit. */
     virtual void touch(const CacheLine &line) = 0;
 
+    /** Consistency state of the line holding `la` (I when absent).
+     *  Stores with packed metadata answer without touching a
+     *  CacheLine; the default probes peek(). */
+    virtual State
+    stateOf(LineAddr la) const
+    {
+        const CacheLine *line = peek(la);
+        return line ? line->state : State::I;
+    }
+
+    /**
+     * Change a resident line's consistency state.  Stores with derived
+     * metadata (packed tag/state mirrors) keep it in sync here; the
+     * controller owns the bus-side bookkeeping (snoop-filter
+     * presence).  All state changes outside install() must funnel
+     * through this.
+     */
+    virtual void
+    setState(CacheLine &line, State next)
+    {
+        line.state = next;
+    }
+
+    /**
+     * Invalidate every line at once - O(1) where the store supports
+     * epochs, a plain walk otherwise.  No presence notifications are
+     * issued (the caller bulk-clears the bus side), and any raw
+     * CacheLine pointers held across the call are invalidated.
+     */
+    virtual void
+    bulkInvalidate()
+    {
+        // Collect first: setState must not run under the store's own
+        // iteration.
+        std::vector<CacheLine *> held;
+        forEachValidLine([&](const CacheLine &line) {
+            held.push_back(const_cast<CacheLine *>(&line));
+        });
+        for (CacheLine *line : held)
+            setState(*line, State::I);
+    }
+
     /** Section 5.2 near-replacement probe. */
     virtual bool nearReplacement(const CacheLine &line) const = 0;
 
@@ -90,6 +132,8 @@ class PlainLineStore : public LineStore
     std::vector<CacheLine *>
     evictionSet(LineAddr la) override
     {
+        // victimFor repairs bulk-invalidated frames to state I before
+        // returning them, so valid() here is trustworthy.
         CacheLine &victim = tags_.victimFor(la);
         if (victim.valid())
             return {&victim};
@@ -105,6 +149,20 @@ class PlainLineStore : public LineStore
     }
 
     void touch(const CacheLine &line) override { tags_.touch(line); }
+
+    State
+    stateOf(LineAddr la) const override
+    {
+        return tags_.stateOf(la);
+    }
+
+    void
+    setState(CacheLine &line, State next) override
+    {
+        tags_.setState(line, next);
+    }
+
+    void bulkInvalidate() override { tags_.bulkInvalidate(); }
 
     bool
     nearReplacement(const CacheLine &line) const override
@@ -126,6 +184,9 @@ class PlainLineStore : public LineStore
     }
 
     const TagStore &tags() const { return tags_; }
+    /** Direct store access for the controller's devirtualized hit
+     *  path (state changes still funnel through setState). */
+    TagStore &tags() { return tags_; }
 
   private:
     TagStore tags_;

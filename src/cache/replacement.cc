@@ -38,6 +38,15 @@ class StampPolicy : public ReplacementPolicy
 
     std::string_view name() const override { return name_; }
 
+    TouchKind
+    touchKind() const override
+    {
+        return stampOnAccess_ ? TouchKind::Stamp : TouchKind::Noop;
+    }
+
+    std::uint64_t *stampTable() override { return stamps_.data(); }
+    std::uint64_t *stampClock() override { return &clock_; }
+
     void
     onAccess(std::size_t set, std::size_t way) override
     {
@@ -97,6 +106,7 @@ class RandomPolicy : public ReplacementPolicy
     }
 
     std::string_view name() const override { return "Random"; }
+    TouchKind touchKind() const override { return TouchKind::Noop; }
     void onAccess(std::size_t, std::size_t) override {}
     void onFill(std::size_t, std::size_t) override {}
 

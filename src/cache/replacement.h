@@ -39,6 +39,22 @@ class ReplacementPolicy
     /** Algorithm name. */
     virtual std::string_view name() const = 0;
 
+    /**
+     * Hot-path contract of onAccess(), so a tag store can skip the
+     * per-hit virtual dispatch: Noop = onAccess does nothing (FIFO,
+     * Random), Stamp = onAccess writes a fresh clock tick into slot
+     * set*ways+way of stampTable() (LRU), Custom = anything else
+     * (PLRU) - the caller must dispatch onAccess() virtually.
+     */
+    enum class TouchKind { Noop, Stamp, Custom };
+    virtual TouchKind touchKind() const { return TouchKind::Custom; }
+
+    /** Flat per-frame stamp slots (TouchKind::Stamp only; else null). */
+    virtual std::uint64_t *stampTable() { return nullptr; }
+
+    /** The stamp clock (TouchKind::Stamp only; else null). */
+    virtual std::uint64_t *stampClock() { return nullptr; }
+
     /** A hit touched (set, way). */
     virtual void onAccess(std::size_t set, std::size_t way) = 0;
 

@@ -1,5 +1,7 @@
 #include "cache/tag_store.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fbsim {
@@ -11,70 +13,68 @@ TagStore::TagStore(const CacheGeometry &geometry, ReplacementKind repl,
     geom_.validate();
     repl_ = makeReplacementPolicy(repl, geom_.numSets, geom_.assoc, seed);
     lines_.resize(geom_.numSets * geom_.assoc);
-}
-
-CacheLine *
-TagStore::find(LineAddr la)
-{
-    // Last-hit shortcut: lookups cluster heavily on the line just
-    // touched (snoop + commit of one transaction, read-then-write
-    // sequences).  lines_ never reallocates, and the full tag + state
-    // check below keeps the cached pointer from ever lying.
-    if (lastHit_ && lastHit_->valid() && lastHit_->addr == la)
-        return lastHit_;
-    std::size_t set = geom_.setOf(la);
-    for (std::size_t w = 0; w < geom_.assoc; ++w) {
-        CacheLine &line = lines_[set * geom_.assoc + w];
-        if (line.valid() && line.addr == la) {
-            lastHit_ = &line;
-            return &line;
-        }
-    }
-    return nullptr;
-}
-
-const CacheLine *
-TagStore::peek(LineAddr la) const
-{
-    if (lastHit_ && lastHit_->valid() && lastHit_->addr == la)
-        return lastHit_;
-    std::size_t set = geom_.setOf(la);
-    for (std::size_t w = 0; w < geom_.assoc; ++w) {
-        const CacheLine &line = lines_[set * geom_.assoc + w];
-        if (line.valid() && line.addr == la) {
-            lastHit_ = const_cast<CacheLine *>(&line);
-            return &line;
-        }
-    }
-    return nullptr;
+    tags_.assign(lines_.size(), kNoTag);
+    states_.assign(lines_.size(),
+                   static_cast<std::uint8_t>(State::I));
+    epochOf_.assign(lines_.size(), 0);
+    touchKind_ = repl_->touchKind();
+    touchStamps_ = repl_->stampTable();
+    touchClock_ = repl_->stampClock();
 }
 
 CacheLine &
 TagStore::victimFor(LineAddr la)
 {
-    std::size_t set = geom_.setOf(la);
+    std::size_t base = geom_.setOf(la) * geom_.assoc;
     for (std::size_t w = 0; w < geom_.assoc; ++w) {
-        CacheLine &line = lines_[set * geom_.assoc + w];
-        if (!line.valid())
-            return line;
+        std::size_t idx = base + w;
+        if (frameValid(idx))
+            continue;
+        if (epochOf_[idx] != epoch_) {
+            // Lazy repair of a bulk-invalidated frame: force the
+            // object state to I so the caller's valid() test (and
+            // install()'s assert) see the truth.
+            lines_[idx].state = State::I;
+            states_[idx] = static_cast<std::uint8_t>(State::I);
+            tags_[idx] = kNoTag;
+            epochOf_[idx] = epoch_;
+        }
+        return lines_[idx];
     }
-    return lines_[set * geom_.assoc + repl_->victim(set)];
+    return lines_[base + repl_->victim(geom_.setOf(la))];
 }
 
 void
 TagStore::install(CacheLine &line, LineAddr la, State s)
 {
+    std::size_t idx = static_cast<std::size_t>(&line - lines_.data());
+    fbsim_assert(!frameValid(idx));
     fbsim_assert(!line.valid());
     line.addr = la;
     line.state = s;
     line.data.assign(geom_.wordsPerLine(), 0);
+    states_[idx] = static_cast<std::uint8_t>(s);
+    epochOf_[idx] = epoch_;
+    tags_[idx] = isValid(s) ? la : kNoTag;
+    if (isValid(s))
+        ++validCount_;
     repl_->onFill(geom_.setOf(la), wayOf(line));
 }
 
 void
-TagStore::touch(const CacheLine &line)
+TagStore::bulkInvalidate()
 {
-    repl_->onAccess(geom_.setOf(line.addr), wayOf(line));
+    ++epoch_;
+    if (epoch_ == 0) {
+        // 2^32 bulk invalidations wrapped the epoch; hard-reset every
+        // frame so a surviving stale entry cannot alias the new epoch.
+        std::fill(tags_.begin(), tags_.end(), kNoTag);
+        std::fill(epochOf_.begin(), epochOf_.end(), 0u);
+        for (CacheLine &line : lines_)
+            line.state = State::I;
+    }
+    validCount_ = 0;
+    lastHit_ = nullptr;
 }
 
 bool
@@ -87,21 +87,10 @@ void
 TagStore::forEachValidLine(
     const std::function<void(const CacheLine &)> &fn) const
 {
-    for (const CacheLine &line : lines_) {
-        if (line.valid())
-            fn(line);
+    for (std::size_t idx = 0; idx < lines_.size(); ++idx) {
+        if (frameValid(idx))
+            fn(lines_[idx]);
     }
-}
-
-std::size_t
-TagStore::validLineCount() const
-{
-    std::size_t n = 0;
-    for (const CacheLine &line : lines_) {
-        if (line.valid())
-            ++n;
-    }
-    return n;
 }
 
 std::size_t

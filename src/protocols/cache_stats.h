@@ -42,6 +42,9 @@ struct CacheStats
                                 static_cast<double>(total);
     }
 
+    /** Sharded and serial runs of one workload must agree exactly. */
+    bool operator==(const CacheStats &) const = default;
+
     /** Accumulate (campaign aggregation across a system's caches). */
     CacheStats &
     operator+=(const CacheStats &o)

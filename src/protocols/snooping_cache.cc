@@ -37,6 +37,8 @@ SnoopingCache::SnoopingCache(MasterId id, Bus &bus,
     fbsim_assert((lineBytes_ & (lineBytes_ - 1)) == 0);
     lineShift_ = static_cast<unsigned>(std::countr_zero(lineBytes_));
     memoize_ = chooser_->deterministic();
+    plain_ = dynamic_cast<PlainLineStore *>(store_.get());
+    updateFastPath();
     name_ = table_.name();
     if (kind_ == ClientKind::WriteThrough)
         name_ += " (write-through)";
@@ -103,14 +105,50 @@ SnoopingCache::setLineState(CacheLine &line, State next)
 {
     bool was = isValid(line.state);
     bool now = isValid(next);
-    line.state = next;
+    store_->setState(line, next);
     if (was != now)
         bus_.notePresence(id_, line.addr, now);
+}
+
+void
+SnoopingCache::updateFastPath()
+{
+    fastLocal_ =
+        memoize_ && plain_ != nullptr && coverage_ == nullptr &&
+        !quarantined_;
+}
+
+void
+SnoopingCache::fillHitPlan(HitPlan &p, bool is_write, State s)
+{
+    const LocalMemo &m = localMemoFor(
+        s, is_write ? LocalEvent::Write : LocalEvent::Read);
+    p.pure = false;
+    if (!m.empty && !m.action.usesBus && !m.action.readThenWrite &&
+        !m.action.next.conditional()) {
+        State ns = m.action.next.resolve(false);
+        // A hit that silently drops the line (ns == I) must take the
+        // generic path (eviction counting, presence update); a read
+        // that changes state at all is equally out of scope.
+        if (isValid(ns) && (is_write || ns == s)) {
+            p.pure = true;
+            p.next = ns;
+        }
+    }
+    p.filled = true;
 }
 
 AccessOutcome
 SnoopingCache::read(Addr addr)
 {
+    if (fastLocal_) {
+        // Devirtualized hit path: packed-tag lookup, pre-resolved
+        // plan.  Pure read hits never change state, so only the data
+        // word and the replacement touch happen.
+        AccessOutcome o;
+        if (tryLocalRead(addr, o.value))
+            return o;
+    }
     ++stats_.reads;
     if (quarantined_) {
         ++stats_.readMisses;
@@ -131,6 +169,14 @@ SnoopingCache::read(Addr addr)
 AccessOutcome
 SnoopingCache::write(Addr addr, Word value)
 {
+    if (fastLocal_) {
+        // Devirtualized hit path via the fused probe.
+        if (tryLocalWrite(addr, value)) {
+            AccessOutcome o;
+            o.value = value;
+            return o;
+        }
+    }
     ++stats_.writes;
     if (quarantined_) {
         ++stats_.writeMisses;
@@ -734,6 +780,7 @@ SnoopingCache::quarantine()
         }
     }
     quarantined_ = true;
+    updateFastPath();
     return outcome;
 }
 
@@ -743,18 +790,17 @@ SnoopingCache::reintegrate()
     if (!quarantined_)
         return false;
     // The quarantine flush already emptied the store and bypass mode
-    // never refills it, but a rejoin must not *assume* that: force
-    // every residual copy to I through setLineState so the presence
-    // bitmask ends exact no matter what happened in between.
-    std::vector<CacheLine *> held;
-    store_->forEachValidLine([&](const CacheLine &line) {
-        held.push_back(const_cast<CacheLine *>(&line));
-    });
-    for (CacheLine *line : held)
-        setLineState(*line, State::I);
+    // never refills it, but a rejoin must not *assume* that: bulk-
+    // invalidate any residual copies (an epoch bump, O(1) in the
+    // conventional store) and wipe this cache's snoop-filter presence
+    // bits wholesale, so the bitmask ends exact no matter what
+    // happened in between - without walking a single line.
+    store_->bulkInvalidate();
+    bus_.clearPresence(id_);
     pending_ = Pending{};
     lastLine_ = nullptr;
     quarantined_ = false;
+    updateFastPath();
     return true;
 }
 

@@ -115,7 +115,10 @@ class SnoopingCache : public BusClient, public Snooper
 
     /** Attach a coverage recorder (not owned; null detaches). */
     void setCoverage(TransitionCoverage *coverage)
-    { coverage_ = coverage; }
+    {
+        coverage_ = coverage;
+        updateFastPath();
+    }
 
     /**
      * Graceful degradation: flush every owned line to memory (via the
@@ -164,11 +167,73 @@ class SnoopingCache : public BusClient, public Snooper
      */
     std::optional<LineAddr> corruptRandomBit(Rng &rng);
 
-    /** Current state of the line containing `addr` (I if absent). */
+    /** Current state of the line containing `addr` (I if absent).
+     *  Answered from the store's packed tag/state arrays: the timed
+     *  engine classifies every reference through here, so the probe
+     *  must not touch CacheLine objects. */
     State lineState(Addr addr) const
     {
-        const CacheLine *line = cachedPeek(lineOf(addr));
-        return line ? line->state : State::I;
+        LineAddr la = lineOf(addr);
+        return plain_ ? plain_->tags().stateOf(la)
+                      : store_->stateOf(la);
+    }
+
+    /** True when tryLocalRead/tryLocalWrite may be used: the
+     *  devirtualized hit path is armed (deterministic chooser, plain
+     *  store, no coverage recorder, not quarantined). */
+    bool fastPathEnabled() const { return fastLocal_; }
+
+    /**
+     * Drain-path accesses for the timed engine: classification and
+     * execution fused into one tag probe.  A pure local hit executes
+     * with exactly read()/write() semantics and stats and returns
+     * true; anything else (miss, bus-bound cell, conditional
+     * transition) returns false having changed nothing, and the
+     * caller routes the reference through the generic path.  A false
+     * return coincides with wouldUseBus() for every table in the
+     * suite, because the pure hit plans cover exactly the bus-free
+     * cells.  Callers must check fastPathEnabled() first.
+     */
+    bool
+    tryLocalRead(Addr addr, Word &out)
+    {
+        TagStore &tags = plain_->tags();
+        CacheLine *l = tags.find(lineOf(addr));
+        if (l == nullptr)
+            return false;
+        HitPlan &p = readHit_[static_cast<int>(l->state)];
+        if (!p.filled)
+            fillHitPlan(p, false, l->state);
+        if (!p.pure)
+            return false;
+        ++stats_.reads;
+        ++stats_.readHits;
+        out = l->data[wordIndexOf(addr)];
+        tags.touch(*l);
+        return true;
+    }
+
+    /** Write counterpart of tryLocalRead() (pure hits: M stays M,
+     *  E->M - valid-to-valid, so no presence update is due). */
+    bool
+    tryLocalWrite(Addr addr, Word value)
+    {
+        TagStore &tags = plain_->tags();
+        CacheLine *l = tags.find(lineOf(addr));
+        if (l == nullptr)
+            return false;
+        HitPlan &p = writeHit_[static_cast<int>(l->state)];
+        if (!p.filled)
+            fillHitPlan(p, true, l->state);
+        if (!p.pure)
+            return false;
+        ++stats_.writes;
+        ++stats_.writeHits;
+        l->data[wordIndexOf(addr)] = value;
+        if (p.next != l->state)
+            tags.setState(*l, p.next);
+        tags.touch(*l);
+        return true;
     }
 
   private:
@@ -241,6 +306,25 @@ class SnoopingCache : public BusClient, public Snooper
     void fillLocalMemo(LocalMemo &m, State s, LocalEvent ev);
     void fillSnoopMemo(SnoopMemo &m, State s, BusEvent ev);
 
+    /**
+     * Pre-resolved hit plan for the devirtualized fast path: for a
+     * (state, Read/Write) pair whose memoized action completes purely
+     * locally with an unconditional valid next state, read()/write()
+     * skip dispatch entirely - one packed-tag lookup, the data word,
+     * a state-mirror update when the state moves (E->M) and the
+     * replacement touch.  Anything else falls through to the generic
+     * table-driven path.
+     */
+    struct HitPlan
+    {
+        bool filled = false;
+        bool pure = false;
+        State next = State::I;
+    };
+    void fillHitPlan(HitPlan &p, bool is_write, State s);
+    /** Recompute fastLocal_ from chooser/store/coverage/quarantine. */
+    void updateFastPath();
+
     LocalMemo &localMemoFor(State s, LocalEvent ev)
     {
         LocalMemo &m =
@@ -304,6 +388,13 @@ class SnoopingCache : public BusClient, public Snooper
     std::size_t lineBytes_;
     unsigned lineShift_ = 0;
     std::unique_ptr<LineStore> store_;
+    /** store_ downcast when it is the conventional store; the hot hit
+     *  path then bypasses the LineStore virtual interface. */
+    PlainLineStore *plain_ = nullptr;
+    /** True when the devirtualized hit path may run: deterministic
+     *  chooser (plans are pure), plain store, no coverage recorder,
+     *  not quarantined. */
+    bool fastLocal_ = false;
     CacheStats stats_;
     bool quarantined_ = false;
     bool faultTolerant_ = false;
@@ -314,6 +405,8 @@ class SnoopingCache : public BusClient, public Snooper
     bool memoize_ = false;   ///< chooser_->deterministic()
     LocalMemo localMemo_[kNumStates][kNumLocalEvents];
     SnoopMemo snoopMemo_[kNumStates][kNumBusEvents];
+    HitPlan readHit_[kNumStates];
+    HitPlan writeHit_[kNumStates];
     mutable CacheLine *lastLine_ = nullptr;   ///< cachedFind/cachedPeek
 
     /** Latched snoop decision between snoop() and commit(). */

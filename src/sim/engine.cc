@@ -1,8 +1,11 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace fbsim {
 
@@ -30,9 +33,19 @@ EngineResult
 Engine::run(const std::vector<RefStream *> &streams,
             std::uint64_t refs_per_proc, const RunControl *control)
 {
+    fbsim_assert(streams.size() == system_.numClients());
+    fbsim_assert(!streams.empty());
+    if (system_.plainAccessPath())
+        return runWindowed(streams, refs_per_proc, control);
+    return runInterleaved(streams, refs_per_proc, control);
+}
+
+EngineResult
+Engine::runInterleaved(const std::vector<RefStream *> &streams,
+                       std::uint64_t refs_per_proc,
+                       const RunControl *control)
+{
     std::size_t n = streams.size();
-    fbsim_assert(n == system_.numClients());
-    fbsim_assert(n > 0);
 
     struct ProcState
     {
@@ -149,6 +162,358 @@ Engine::run(const std::vector<RefStream *> &streams,
         std::size_t w = *winner;
         execute(w, std::max(bus_free, procs[w].readyAt));
     }
+
+    for (const ProcTiming &p : result.procs)
+        result.elapsed = std::max(result.elapsed, p.finishTime);
+    result.watchdogTrips = system_.watchdogTrips();
+    result.quarantines = system_.quarantineCount();
+    result.reintegrations = system_.reintegrationCount();
+    return result;
+}
+
+EngineResult
+Engine::runWindowed(const std::vector<RefStream *> &streams,
+                    std::uint64_t refs_per_proc,
+                    const RunControl *control)
+{
+    std::size_t n = streams.size();
+
+    struct ProcState
+    {
+        Cycles readyAt = 0;
+        std::uint64_t done = 0;
+        bool hasRef = false;
+        ProcRef ref;
+    };
+    /**
+     * Deferred oracle bookkeeping for one processor's drain work.
+     * The drain executes cache-local accesses straight on the client
+     * (no System wrapper), logging writes for a later in-order merge
+     * into the shared oracle; the overlay answers read-own-write
+     * verification until the merge happens.  All of it is touched by
+     * exactly one worker at a time, so shards never contend.
+     */
+    struct DrainScratch
+    {
+        std::vector<std::pair<Addr, Word>> writeLog;
+        FlatMap64<Word> overlay;   ///< word index -> last deferred write
+        std::vector<std::pair<Addr, Word>> mismatches;
+    };
+
+    std::vector<ProcState> procs(n);
+    std::vector<DrainScratch> scratch(n);
+    std::vector<BusClient *> clients(n);
+    // Caches with the devirtualized hit path drain through the fused
+    // classify-and-execute probe (tryLocalRead/Write) instead of the
+    // wouldUseBus + client-call pair; null falls back to the generic
+    // pair.  Stable for the whole run: on the plain access path
+    // nothing can quarantine a cache or attach coverage mid-run.
+    std::vector<SnoopingCache *> fastCache(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        clients[i] = &system_.client(static_cast<MasterId>(i));
+        SnoopingCache *c = system_.cacheOf(static_cast<MasterId>(i));
+        fastCache[i] = (c && c->fastPathEnabled()) ? c : nullptr;
+    }
+    EngineResult result;
+    result.procs.resize(n);
+    Arbiter arbiter(config_.arbitration, n);
+    Cycles bus_free = 0;
+    std::vector<std::uint64_t> seq(n, 0);
+
+    auto fetch = [&](std::size_t i) {
+        if (procs[i].done < refs_per_proc) {
+            procs[i].ref = streams[i]->next();
+            procs[i].hasRef = true;
+        }
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        fetch(i);
+
+    std::atomic<bool> stop{false};
+    const std::uint64_t pollEvery =
+        control ? std::max<std::uint64_t>(1, control->checkEveryRefs)
+                : 0;
+
+    const CoherenceChecker &checker = system_.checker();
+    const Cycles hit = config_.hitCycles;
+
+    /**
+     * Run one processor's cache-local references to exhaustion (end of
+     * stream or a bus-bound reference).  Touches only proc-i state:
+     * its stream, its cache, its scratch, its timing row.  The only
+     * shared reads are the oracle (const) and the stop flag.
+     */
+    auto drainOne = [&](std::size_t i) {
+        ProcState &p = procs[i];
+        ProcTiming &t = result.procs[i];
+        DrainScratch &s = scratch[i];
+        BusClient &client = *clients[i];
+        SnoopingCache *fc = fastCache[i];
+        RefStream &stream = *streams[i];
+        MasterId id = static_cast<MasterId>(i);
+        std::uint64_t sincePoll = 0;
+        // Per-reference accounting (refs, cycles, seq) accumulates in
+        // locals and flushes once at the end of the run - the drained
+        // count fully determines it, so the flushed totals are
+        // identical to per-reference updates.
+        std::uint64_t drained = 0;
+        std::uint64_t sq = seq[i];
+        while (p.hasRef) {
+            if (pollEvery && ++sincePoll >= pollEvery) {
+                sincePoll = 0;
+                if (stop.load(std::memory_order_relaxed) ||
+                    control->shouldStop()) {
+                    stop.store(true, std::memory_order_relaxed);
+                    break;
+                }
+            }
+            if (p.ref.write) {
+                // Computed from sq+1 and committed only when the
+                // write executes, so a parked reference re-derives the
+                // identical value in the service phase.
+                Word value = (static_cast<Word>(i + 1) << 48) ^ (sq + 1);
+                if (fc) {
+                    if (!fc->tryLocalWrite(p.ref.addr, value))
+                        break;   // parked: the service loop takes over
+                } else {
+                    if (system_.wouldUseBus(id, true, p.ref.addr))
+                        break;
+                    AccessOutcome o = client.write(p.ref.addr, value);
+                    fbsim_assert(!o.usedBus);
+                }
+                ++sq;
+                s.writeLog.emplace_back(p.ref.addr, value);
+                s.overlay[p.ref.addr / kWordBytes] = value;
+            } else {
+                Word got = 0;
+                if (fc) {
+                    if (!fc->tryLocalRead(p.ref.addr, got))
+                        break;
+                } else {
+                    if (system_.wouldUseBus(id, false, p.ref.addr))
+                        break;
+                    AccessOutcome o = client.read(p.ref.addr);
+                    fbsim_assert(!o.usedBus);
+                    got = o.value;
+                }
+                // Always-on value verification, deferred flavour: a
+                // word this proc wrote since the last merge is judged
+                // against the overlay, anything else against the
+                // shared oracle (stable during a drain window - every
+                // cross-proc write is bus-bound and thus parked).
+                const Word *own =
+                    s.overlay.empty()
+                        ? nullptr
+                        : s.overlay.find(p.ref.addr / kWordBytes);
+                Word exp = own ? *own : checker.expected(p.ref.addr);
+                if (got != exp)
+                    s.mismatches.emplace_back(p.ref.addr, got);
+            }
+            ++drained;
+            if (p.done + drained < refs_per_proc)
+                p.ref = stream.next();
+            else
+                p.hasRef = false;
+        }
+        seq[i] = sq;
+        if (drained) {
+            p.done += drained;
+            t.refs += drained;
+            t.execCycles += drained * hit;
+            p.readyAt += drained * hit;
+            t.finishTime = p.readyAt;
+        }
+    };
+
+    // Merge the windows' deferred bookkeeping into the shared oracle,
+    // in processor order: the one deterministic serialization point
+    // that makes every shard count produce identical results.  Within
+    // a window at most one processor can have written any given word
+    // (a second writer would have needed the bus), so processor-major
+    // order is a correct linearization.
+    auto mergeDrains = [&]() {
+        CoherenceChecker &ck = system_.checker();
+        for (std::size_t i = 0; i < n; ++i) {
+            DrainScratch &s = scratch[i];
+            if (s.writeLog.empty() && s.mismatches.empty())
+                continue;
+            for (const auto &[addr, value] : s.writeLog)
+                ck.noteWrite(addr, value);
+            for (const auto &[addr, value] : s.mismatches)
+                system_.recordReadMismatch(addr, value);
+            s.writeLog.clear();
+            s.mismatches.clear();
+            s.overlay.clear();
+        }
+    };
+
+    const unsigned shard_count =
+        (config_.pool != nullptr && config_.shards > 1)
+            ? static_cast<unsigned>(
+                  std::min<std::size_t>(config_.shards, n))
+            : 1;
+
+    // --- Cold-start drain window: every processor's initial run of
+    // cache-local references, shardable because the runs are mutually
+    // independent (a cross-processor conflict needs the bus, which
+    // parks the reference).  The deferred bookkeeping is merged in
+    // processor order whatever the shard count - and shard count 1
+    // runs the very same deferred code - so the window's outcome is
+    // byte-identical at any sharding.
+    if (shard_count > 1) {
+        for (unsigned sh = 0; sh < shard_count; ++sh) {
+            config_.pool->submit([&, sh]() {
+                for (std::size_t i = sh; i < n; i += shard_count)
+                    drainOne(i);
+            });
+        }
+        config_.pool->wait();
+        std::vector<std::exception_ptr> errs =
+            config_.pool->drainExceptions();
+        if (!errs.empty()) {
+            // Leave the oracle consistent before unwinding.
+            mergeDrains();
+            std::rethrow_exception(errs.front());
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            drainOne(i);
+    }
+    mergeDrains();
+
+    // --- Service loop: bus transactions in readyAt order, each
+    // followed by the winner's next cache-local run drained inline.
+    // Invariant at the top of each iteration: every processor with a
+    // pending reference is parked bus-bound (a completed transaction
+    // can invalidate or demote other caches' lines - making their
+    // parked references *more* bus-bound - but never refill one, so
+    // parked processors stay parked until they win the bus).
+    std::uint64_t sincePoll = 0;
+    CoherenceChecker &ck = system_.checker();
+    while (!stop.load(std::memory_order_relaxed)) {
+        constexpr Cycles kIdle = ~Cycles{0};
+        Cycles tstar = kIdle;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (procs[i].hasRef)
+                tstar = std::min(tstar, procs[i].readyAt);
+        }
+        if (tstar == kIdle)
+            break;   // every stream exhausted
+
+        if (pollEvery && ++sincePoll >= pollEvery) {
+            sincePoll = 0;
+            if (control->shouldStop()) {
+                stop.store(true, std::memory_order_relaxed);
+                break;
+            }
+        }
+
+        // Grant at max(bus free, earliest bus-bound ready); every
+        // parked processor ready by then competes.  The winner's
+        // start time always equals the grant time: a candidate ready
+        // after bus_free became ready exactly at the grant.
+        Cycles grant = std::max(bus_free, tstar);
+        std::optional<MasterId> winner =
+            arbiter.grantWhere([&](std::size_t i) {
+                return procs[i].hasRef && procs[i].readyAt <= grant;
+            });
+        fbsim_assert(winner.has_value());
+        std::size_t w = *winner;
+        MasterId wid = static_cast<MasterId>(w);
+        ProcState &p = procs[w];
+        ProcTiming &t = result.procs[w];
+
+        AccessOutcome outcome;
+        if (p.ref.write) {
+            Word value = (static_cast<Word>(w + 1) << 48) ^ (++seq[w]);
+            outcome = system_.write(wid, p.ref.addr, value);
+        } else {
+            outcome = system_.read(wid, p.ref.addr);
+        }
+        if (outcome.faulted)
+            ++result.faultedRefs;
+        t.refs += 1;
+        t.execCycles += hit;
+        if (outcome.usedBus) {
+            t.busWaitCycles += grant - p.readyAt;
+            t.busServiceCycles += outcome.busCycles;
+            result.busBusy += outcome.busCycles;
+            bus_free = grant + outcome.busCycles;
+            p.readyAt = bus_free + hit;
+        } else {
+            // Classification is exact and nothing ran in between, so
+            // a granted reference always uses the bus; stay robust.
+            p.readyAt += hit;
+        }
+        t.finishTime = p.readyAt;
+        p.hasRef = false;
+        p.done += 1;
+        fetch(w);
+
+        // Drain the winner's cache-local run inline (serial): its next
+        // bus-bound reference must re-enter arbitration at its true
+        // ready time, not after other processors' later transactions
+        // have pushed bus_free past it.  Serial context, so the oracle
+        // bookkeeping is immediate - no deferral, no overlay - and the
+        // per-reference accounting batches in locals exactly as in
+        // drainOne.
+        SnoopingCache *fc = fastCache[w];
+        RefStream &stream = *streams[w];
+        std::uint64_t drained = 0;
+        std::uint64_t sq = seq[w];
+        while (p.hasRef) {
+            if (pollEvery && ++sincePoll >= pollEvery) {
+                sincePoll = 0;
+                if (control->shouldStop()) {
+                    stop.store(true, std::memory_order_relaxed);
+                    break;
+                }
+            }
+            if (p.ref.write) {
+                Word value = (static_cast<Word>(w + 1) << 48) ^ (sq + 1);
+                if (fc) {
+                    if (!fc->tryLocalWrite(p.ref.addr, value))
+                        break;
+                    ck.noteWrite(p.ref.addr, value);
+                } else {
+                    if (system_.wouldUseBus(wid, true, p.ref.addr))
+                        break;
+                    AccessOutcome o = system_.write(wid, p.ref.addr,
+                                                    value);
+                    fbsim_assert(!o.usedBus);
+                }
+                ++sq;
+            } else {
+                if (fc) {
+                    Word got = 0;
+                    if (!fc->tryLocalRead(p.ref.addr, got))
+                        break;
+                    if (got != checker.expected(p.ref.addr))
+                        system_.recordReadMismatch(p.ref.addr, got);
+                } else {
+                    if (system_.wouldUseBus(wid, false, p.ref.addr))
+                        break;
+                    AccessOutcome o = system_.read(wid, p.ref.addr);
+                    fbsim_assert(!o.usedBus);
+                }
+            }
+            ++drained;
+            if (p.done + drained < refs_per_proc)
+                p.ref = stream.next();
+            else
+                p.hasRef = false;
+        }
+        seq[w] = sq;
+        if (drained) {
+            p.done += drained;
+            t.refs += drained;
+            t.execCycles += drained * hit;
+            p.readyAt += drained * hit;
+            t.finishTime = p.readyAt;
+        }
+    }
+    if (stop.load(std::memory_order_relaxed))
+        result.cancelled = true;
 
     for (const ProcTiming &p : result.procs)
         result.elapsed = std::max(result.elapsed, p.finishTime);

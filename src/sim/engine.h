@@ -24,6 +24,8 @@
 
 namespace fbsim {
 
+class ThreadPool;
+
 /**
  * Cooperative cancellation for supervised runs.  Worker threads cannot
  * be preempted, so the engine polls between references: every
@@ -57,6 +59,20 @@ struct EngineConfig
     ArbitrationKind arbitration = ArbitrationKind::RoundRobin;
     /** Processor cycles per reference when it completes locally. */
     Cycles hitCycles = 1;
+    /**
+     * Intra-run sharding: partition the processors across this many
+     * workers of `pool` during the engine's drain phases (cache-local
+     * work only; bus transactions stay serialized).  Results are
+     * byte-identical at every shard count - the drain work is
+     * per-processor independent and its oracle bookkeeping is merged
+     * in processor order at each serialization point.  Takes effect
+     * only on the deferred fast path (fault-free, no per-access
+     * checking); elsewhere the engine ignores it and runs the classic
+     * interleaved loop.  1 = serial (the default).
+     */
+    unsigned shards = 1;
+    /** Worker pool for shards > 1 (not owned; null = serial). */
+    ThreadPool *pool = nullptr;
 };
 
 /** Per-processor timing results. */
@@ -77,6 +93,9 @@ struct ProcTiming
                    : static_cast<double>(execCycles) /
                          static_cast<double>(finishTime);
     }
+
+    /** Sharded and serial runs of one workload must agree exactly. */
+    bool operator==(const ProcTiming &) const = default;
 };
 
 /** Whole-run timing results. */
@@ -93,6 +112,9 @@ struct EngineResult
     /** True when a RunControl stopped the run early; the timing
      *  fields then cover only the references actually executed. */
     bool cancelled = false;
+
+    /** Sharded and serial runs of one workload must agree exactly. */
+    bool operator==(const EngineResult &) const = default;
 
     /** Bus utilization in [0,1]. */
     double
@@ -127,6 +149,31 @@ class Engine
                      const RunControl *control = nullptr);
 
   private:
+    /**
+     * Classic loop: one global readyAt scan per reference, every
+     * access through the full System wrapper.  Used whenever the
+     * system needs per-access machinery (fault injection, per-access
+     * checking, scheduled reintegrations), whose observable behaviour
+     * depends on the exact global access order.
+     */
+    EngineResult runInterleaved(const std::vector<RefStream *> &streams,
+                                std::uint64_t refs_per_proc,
+                                const RunControl *control);
+
+    /**
+     * Window-discipline loop for the plain access path: alternating
+     * drain phases (each processor burns through its run of
+     * cache-local references - independent, shardable work) and
+     * service phases (bus transactions, serialized through the
+     * arbiter exactly as in the classic loop).  Oracle bookkeeping
+     * for drained accesses is deferred per processor and merged in
+     * processor order before each service phase, which is what makes
+     * the result independent of the shard count.
+     */
+    EngineResult runWindowed(const std::vector<RefStream *> &streams,
+                             std::uint64_t refs_per_proc,
+                             const RunControl *control);
+
     System &system_;
     EngineConfig config_;
 };

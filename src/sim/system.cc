@@ -179,6 +179,13 @@ System::write(MasterId id, Addr addr, Word value)
     return outcome;
 }
 
+void
+System::recordReadMismatch(Addr addr, Word value)
+{
+    if (violations_.size() < kMaxRecordedViolations)
+        violations_.push_back(checker_->noteRead(addr, value));
+}
+
 AccessOutcome
 System::flush(MasterId id, Addr addr, bool keep_copy)
 {

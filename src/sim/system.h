@@ -178,6 +178,29 @@ class System
      */
     bool wouldUseBus(MasterId id, bool is_write, Addr addr) const;
 
+    /**
+     * True when read()/write() reduce to the bare client access plus
+     * oracle bookkeeping: no fault injector (so no watchdog, no
+     * integrity quarantine, no RNG draws), no per-access invariant
+     * check, no scheduled reintegrations.  The timed engine's drain
+     * phases then call the clients directly and replay the oracle
+     * bookkeeping at the next serialization point; this predicate
+     * gates that.
+     */
+    bool plainAccessPath() const
+    {
+        return faults_ == nullptr && !config_.checkEveryAccess &&
+               scheduledReintegrations_ == 0;
+    }
+
+    /**
+     * Record an oracle mismatch observed by the engine's deferred
+     * drain path: same bookkeeping as an inline read() verification
+     * failure (quarantineOnIntegrity cannot be armed here - it
+     * requires a fault injector, which plainAccessPath() excludes).
+     */
+    void recordReadMismatch(Addr addr, Word value);
+
     /** Run the invariant check now; returns violations. */
     std::vector<std::string> checkNow() const;
 

@@ -165,7 +165,7 @@ TEST(TagStoreTest, InvalidatedLinesDropOutOfLookup)
     TagStore tags({32, 4, 2}, ReplacementKind::LRU, 1);
     CacheLine &line = tags.victimFor(9);
     tags.install(line, 9, State::M);
-    tags.find(9)->state = State::I;
+    tags.setState(*tags.find(9), State::I);
     EXPECT_EQ(tags.find(9), nullptr);
     EXPECT_EQ(tags.validLineCount(), 0u);
 }
