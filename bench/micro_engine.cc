@@ -11,6 +11,8 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/latency.h"
+#include "obs/perfetto_sink.h"
 
 using namespace fbsim;
 using namespace fbsim::bench;
@@ -154,6 +156,47 @@ BM_EngineThroughput(benchmark::State &state)
     state.SetItemsProcessed(total);
 }
 BENCHMARK(BM_EngineThroughput)->Arg(2)->Arg(8)->Arg(32);
+
+/**
+ * Engine throughput with the observability layer attached: a
+ * per-master LatencyRecorder plus a buffering Perfetto sink on the bus
+ * and engine.  Compare against BM_EngineThroughput/8 to see the
+ * observers-on cost; the detached run above is the one the CI
+ * regression guard holds to the <=2% hot-path budget (the hot path
+ * only pays a branch-on-null when detached).
+ */
+void
+BM_EngineThroughputInstrumented(benchmark::State &state)
+{
+    std::size_t procs = state.range(0);
+    Arch85Params params;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        ProtocolSetup setup;
+        auto sys = makeSystem(setup, procs);
+        auto streams = makeArch85Streams(params, procs, 3);
+        std::vector<RefStream *> raw;
+        for (auto &s : streams)
+            raw.push_back(s.get());
+        LatencyRecorder latency(procs);
+        PerfettoTraceSink sink;
+        sys->bus().setLatencyRecorder(&latency);
+        sys->attachTrace(&sink);
+        state.ResumeTiming();
+        EngineConfig cfg;
+        cfg.latency = &latency;
+        cfg.trace = &sink;
+        Engine engine(*sys, cfg);
+        engine.run(raw, 2000);
+        total += 2000 * procs;
+        state.PauseTiming();
+        benchmark::DoNotOptimize(sink.eventCount());
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(total);
+}
+BENCHMARK(BM_EngineThroughputInstrumented)->Arg(8);
 
 /**
  * Sharded engine throughput: 8 processors with the drain phases

@@ -159,7 +159,7 @@ main(int argc, char **argv)
     System system(config);
     TransactionLog log(16);
     if (verbose) {
-        system.bus().addObserver(&log);
+        system.bus().addTraceSink(&log);
         g_log = &log;
     }
     for (int i = 0; i < caches; ++i) {

@@ -6,7 +6,19 @@
  *
  * Usage:
  *   trace_driven <trace-file> [protocol|all] [procs] [--jobs N]
+ *                [--trace-out out.json [--trace-job N]]
+ *                [--metrics-out out.json] [--warn-limit N] [--faults]
  *   trace_driven --generate <trace-file> [procs] [refs]
+ *
+ * --trace-out writes a Chrome/Perfetto trace_event JSON of the
+ * designated job (bus transactions, per-reference spans, fault-ladder
+ * instants) plus the campaign job lifecycle; load it at
+ * https://ui.perfetto.dev.  --metrics-out writes the campaign metric
+ * snapshots (merged + per-job) as JSON.  --faults arms a
+ * deterministic timing-fault campaign (spurious aborts, memory
+ * delays/drops - consistency-preserving by construction) with the
+ * quarantine/reintegration ladder enabled, so the exported trace
+ * demonstrates the full event vocabulary.
  *
  * The replay runs as a campaign job, so `all` sweeps every protocol
  * over the same trace in one CampaignRunner invocation and `--jobs N`
@@ -23,6 +35,7 @@
 #include <memory>
 
 #include "campaign/campaign_runner.h"
+#include "obs/perfetto_sink.h"
 #include "sim/engine.h"
 #include "sim/system.h"
 #include "text/report.h"
@@ -81,6 +94,10 @@ main(int argc, char **argv)
     // (and print) exactly as before.
     unsigned jobs = 1;
     SupervisorOptions sup;
+    const char *trace_out = nullptr;
+    const char *metrics_out = nullptr;
+    std::size_t trace_job = 0;
+    bool with_faults = false;
     std::vector<char *> args;
     auto flagValue = [&](int &i, const char *name,
                          const char **value) {
@@ -109,6 +126,16 @@ main(int argc, char **argv)
             sup.journalPath = value;
         } else if (std::strcmp(argv[i], "--resume") == 0) {
             sup.resume = true;
+        } else if (flagValue(i, "--trace-out", &value)) {
+            trace_out = value;
+        } else if (flagValue(i, "--metrics-out", &value)) {
+            metrics_out = value;
+        } else if (flagValue(i, "--trace-job", &value)) {
+            trace_job = static_cast<std::size_t>(std::atoll(value));
+        } else if (flagValue(i, "--warn-limit", &value)) {
+            setWarnSiteLimit(static_cast<unsigned>(std::atoi(value)));
+        } else if (std::strcmp(argv[i], "--faults") == 0) {
+            with_faults = true;
         } else {
             args.push_back(argv[i]);
         }
@@ -122,7 +149,10 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s <trace-file> [protocol|all] [procs] "
                      "[--jobs N] [--timeout-ms N] [--retries N] "
-                     "[--journal path [--resume]]\n"
+                     "[--journal path [--resume]] "
+                     "[--trace-out path [--trace-job N]] "
+                     "[--metrics-out path] [--warn-limit N] "
+                     "[--faults]\n"
                      "       %s --generate <trace-file> [procs] "
                      "[refs]\n",
                      argv[0], argv[0]);
@@ -173,6 +203,31 @@ main(int argc, char **argv)
 
     CampaignSpec spec;
     spec.refsPerProc = shortest;
+    if (with_faults) {
+        // Timing faults only (no data corruption), so every job stays
+        // consistent while the retry/watchdog/quarantine/reintegration
+        // ladder gets exercised and traced.  The drop schedule is a
+        // guaranteed outage over a transaction window: every
+        // memory-sourced read in it exhausts its retries, which walks
+        // masters up the full ladder (trip -> quarantine) while dirty
+        // drain pushes stay unaffected (drops only lose read
+        // responses), so the shared image never diverges; the
+        // post-window recovery cycles then trigger reintegration.
+        FaultConfig faults;
+        faults.seed = 0xfb51;
+        faults.spuriousAbort.probability = 0.05;
+        faults.abortStormProb = 0.25;
+        faults.abortStormLength = 24;
+        faults.memoryDelay.probability = 0.02;
+        faults.memoryDrop.probability = 1.0;
+        faults.memoryDrop.windowStart = 300;
+        faults.memoryDrop.windowEnd = 500;
+        spec.faults.push_back({"timing", faults});
+        spec.base.maxBusRetries = 4;
+        spec.base.watchdogRounds = 2;
+        spec.base.quarantineAfterTrips = 1;
+        spec.base.reintegrateAfterCycles = 2000;
+    }
     if (sweep_all) {
         for (ProtocolKind k :
              {ProtocolKind::Moesi, ProtocolKind::Berkeley,
@@ -184,7 +239,22 @@ main(int argc, char **argv)
     }
     spec.workloads.push_back(traceWorkload("trace", trace));
 
-    CampaignReport report = CampaignRunner(jobs, sup).run(spec);
+    CampaignRunner runner(jobs, sup);
+    PerfettoTraceSink sink;
+    if (trace_out)
+        runner.attachTrace(&sink, trace_job);
+    CampaignReport report = runner.run(spec);
+
+    if (trace_out) {
+        sink.writeFile(trace_out);
+        std::printf("trace: %zu events written to %s\n",
+                    sink.eventCount(), trace_out);
+    }
+    if (metrics_out) {
+        writeCampaignMetricsJson(report, metrics_out);
+        std::printf("metrics: written to %s\n", metrics_out);
+    }
+    std::fputs(warnSuppressionSummary().c_str(), stderr);
 
     if (sweep_all) {
         // The sweep table: one row per protocol over the same trace.

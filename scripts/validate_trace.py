@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace_event JSON file emitted by fbsim.
+
+Usage:
+    validate_trace.py TRACE_JSON [--require-fault-tags]
+
+Checks that the file is the JSON-object flavor of the trace_event
+format (https://ui.perfetto.dev loads it directly):
+
+  * top level is an object with a "traceEvents" array;
+  * every event carries "ph", "pid", "tid" and "name", and every
+    non-metadata event carries an integer "ts" >= 0;
+  * "ph" is one of the phases fbsim emits: "X" (complete span),
+    "i" (instant) or "M" (metadata);
+  * within each (pid, tid) track, timestamps are non-decreasing in
+    emission order - fbsim timestamps are simulated bus cycles, so a
+    decreasing ts means the exporter reordered or mis-stamped events;
+  * "X" events carry a non-negative integer "dur".
+
+With --require-fault-tags the trace must also contain at least one
+fault-ladder event whose args.detail carries the injector's "[fault
+seed=..." reproduction tag (trace_driven --faults produces these);
+this is how CI proves the exported trace ties fault events back to a
+replayable seed.
+
+Exits 0 when valid, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i", "M"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace_event JSON file")
+    parser.add_argument(
+        "--require-fault-tags",
+        action="store_true",
+        help="require at least one '[fault seed=' replay tag",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    last_ts = {}  # (pid, tid) -> last seen ts
+    fault_tags = 0
+    spans = 0
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                fail(f"{where}: missing {key!r}: {ev}")
+        ph = ev["ph"]
+        if ph not in ALLOWED_PHASES:
+            fail(f"{where}: unexpected ph {ph!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"{where}: name must be a non-empty string")
+        if ph == "M":
+            continue
+
+        if not isinstance(ev.get("ts"), int) or ev["ts"] < 0:
+            fail(f"{where}: ts must be a non-negative integer: {ev}")
+        track = (ev["pid"], ev["tid"])
+        if track in last_ts and ev["ts"] < last_ts[track]:
+            fail(
+                f"{where}: ts {ev['ts']} decreases on track "
+                f"pid={track[0]} tid={track[1]} "
+                f"(previous {last_ts[track]})"
+            )
+        last_ts[track] = ev["ts"]
+
+        if ph == "X":
+            spans += 1
+            if not isinstance(ev.get("dur"), int) or ev["dur"] < 0:
+                fail(f"{where}: X event needs integer dur >= 0: {ev}")
+
+        detail = ev.get("args", {}).get("detail", "")
+        if "[fault seed=" in detail:
+            fault_tags += 1
+
+    if args.require_fault_tags and fault_tags == 0:
+        fail("no '[fault seed=' replay tags found "
+             "(expected from a --faults run)")
+
+    print(
+        f"validate_trace: OK: {len(events)} events, {spans} spans, "
+        f"{len(last_ts)} tracks, {fault_tags} fault replay tags"
+    )
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

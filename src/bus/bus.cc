@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "obs/latency.h"
 
 namespace fbsim {
 
@@ -14,10 +15,10 @@ Bus::Bus(MemorySlave &slave, const BusCostModel &cost,
 }
 
 void
-Bus::addObserver(BusObserver *observer)
+Bus::addTraceSink(TraceSink *sink)
 {
-    fbsim_assert(observer != nullptr);
-    observers_.push_back(observer);
+    fbsim_assert(sink != nullptr);
+    sinks_.push_back(sink);
 }
 
 void
@@ -134,6 +135,7 @@ Bus::execute(const BusRequest &req_in)
         faults_->beginTransaction();
 
     BusResult result;
+    Cycles backoff_total = 0;
     for (unsigned round = 0; round <= maxRetries_; ++round) {
         bool aborted = false;
         BusResult attempt_result = attempt(req, aborted);
@@ -144,6 +146,7 @@ Bus::execute(const BusRequest &req_in)
             // the default retryBackoffBase of 0).
             Cycles backoff = cost_.backoffCost(result.aborts);
             result.cost += backoff;
+            backoff_total += backoff;
             stats_.backoffCycles += backoff;
         }
         if (!aborted) {
@@ -181,8 +184,18 @@ Bus::execute(const BusRequest &req_in)
                 ++stats_.syncs;
                 break;
             }
-            for (BusObserver *obs : observers_)
-                obs->onTransaction(req, result);
+            // Latency is a top-level, per-master story; a nested
+            // abort push bills the transaction that triggered it.
+            if (latency_ && depth_ == 0)
+                latency_->recordService(req.master, result.cost,
+                                        result.aborts, backoff_total);
+            if (!sinks_.empty()) {
+                // busyCycles was just advanced by this transaction's
+                // cost, so its service began cost cycles ago.
+                const Cycles start = stats_.busyCycles - result.cost;
+                for (TraceSink *sink : sinks_)
+                    sink->onBusTransaction(req, result, start);
+            }
             return result;
         }
         ++stats_.aborts;
@@ -192,10 +205,15 @@ Bus::execute(const BusRequest &req_in)
         // Injected faults make exhaustion a legal outcome: give up
         // coherently (no attempt changed any state) and let the master
         // surface a faulted access to the watchdog.
-        warnImpl("bus transaction for line %llu gave up after %u "
-                 "retries %s",
-                 static_cast<unsigned long long>(req.line), maxRetries_,
-                 faults_->describe().c_str());
+        fbsim_warn("bus transaction for line %llu gave up after %u "
+                   "retries %s",
+                   static_cast<unsigned long long>(req.line),
+                   maxRetries_, faults_->describe().c_str());
+        for (TraceSink *sink : sinks_) {
+            sink->onInstant("retry-exhausted", kTraceFaultPid,
+                            req.master, stats_.busyCycles,
+                            faults_->describe());
+        }
         result.converged = false;
         return result;
     }

@@ -40,10 +40,12 @@
 #include "common/types.h"
 #include "core/events.h"
 #include "bus/memory_slave.h"
+#include "obs/trace_sink.h"
 
 namespace fbsim {
 
 class FaultInjector;
+class LatencyRecorder;
 
 /** A master's transaction request. */
 struct BusRequest
@@ -198,21 +200,6 @@ struct SnoopFilterStats
     std::uint64_t snoopsSuppressed = 0;  ///< calls skipped by the filter
 };
 
-/**
- * Observer of completed bus transactions (tracing, debugging, higher
- * level instrumentation).  Notified once per transaction after commit,
- * never for aborted attempts.
- */
-class BusObserver
-{
-  public:
-    virtual ~BusObserver() = default;
-
-    /** One transaction completed with the given final result. */
-    virtual void onTransaction(const BusRequest &req,
-                               const BusResult &result) = 0;
-};
-
 /** The shared backplane bus. */
 class Bus
 {
@@ -229,8 +216,21 @@ class Bus
     /** Register a snooping module.  Registration order is bus order. */
     void attach(Snooper *snooper);
 
-    /** Register a transaction observer (any number). */
-    void addObserver(BusObserver *observer);
+    /**
+     * Register a trace sink (any number).  Sinks see every committed
+     * transaction via onBusTransaction - including nested abort
+     * pushes, never aborted attempts - plus retry-exhaustion instants
+     * on the fault track.
+     */
+    void addTraceSink(TraceSink *sink);
+
+    /**
+     * Attach a per-master latency recorder (not owned; null
+     * detaches).  An attached recorder gets one recordService per
+     * top-level committed transaction; detached costs one null test.
+     */
+    void setLatencyRecorder(LatencyRecorder *latency)
+    { latency_ = latency; }
 
     /** Execute one transaction to completion (including retries). */
     BusResult execute(const BusRequest &req);
@@ -344,7 +344,8 @@ class Bus
     FlatMap64<std::uint64_t> presence_;
     bool filterEnabled_ = true;
     bool crossCheck_ = false;
-    std::vector<BusObserver *> observers_;
+    std::vector<TraceSink *> sinks_;
+    LatencyRecorder *latency_ = nullptr;  ///< not owned; null = off
     BusStats stats_;
     SnoopFilterStats filterStats_;
     std::vector<std::unique_ptr<AttemptScratch>> scratch_;

@@ -59,8 +59,8 @@ TransactionLog::TransactionLog(std::size_t capacity)
 }
 
 void
-TransactionLog::onTransaction(const BusRequest &req,
-                              const BusResult &result)
+TransactionLog::onBusTransaction(const BusRequest &req,
+                                 const BusResult &result, Cycles)
 {
     ++observed_;
     entries_.push_back(formatTransaction(req, result));

@@ -1,6 +1,6 @@
 /**
  * @file
- * A BusObserver that keeps a human-readable ring buffer of the most
+ * A TraceSink that keeps a human-readable ring buffer of the most
  * recent bus transactions - the debugging view a logic analyzer would
  * give on a real backplane.
  */
@@ -16,14 +16,15 @@
 namespace fbsim {
 
 /** Ring buffer of formatted transaction records. */
-class TransactionLog : public BusObserver
+class TransactionLog : public TraceSink
 {
   public:
     /** @param capacity maximum retained entries (oldest dropped). */
     explicit TransactionLog(std::size_t capacity = 64);
 
-    void onTransaction(const BusRequest &req,
-                       const BusResult &result) override;
+    void onBusTransaction(const BusRequest &req,
+                          const BusResult &result,
+                          Cycles start) override;
 
     /** Retained entries, oldest first. */
     const std::deque<std::string> &entries() const { return entries_; }

@@ -14,7 +14,10 @@ namespace fbsim {
 namespace {
 
 constexpr char kMagic[] = "fbsim-campaign-journal";
-constexpr char kVersion[] = "v1";
+// v2: records carry the job's metric snapshot (resumed rows must
+// reproduce the metric blocks byte-identically).  v1 journals fail
+// the header match and are treated as a different campaign's file.
+constexpr char kVersion[] = "v2";
 
 /** FNV-1a over a byte string. */
 std::uint64_t
@@ -324,6 +327,32 @@ encodeJournalRecord(const CampaignResult &r)
     putStringVec(out, r.faultEvents);
     putString(out, r.faultReport);
     putString(out, r.failureReason);
+
+    // Metric snapshot: name + kind + value per entry; histograms add
+    // count/sum/min/max plus sparse (bucket index, count) pairs.
+    putU64(out, r.metrics.entries.size());
+    for (const MetricEntry &m : r.metrics.entries) {
+        putString(out, m.name);
+        putU64(out, static_cast<std::uint64_t>(m.kind));
+        if (m.kind == MetricKind::Histogram) {
+            putU64(out, m.hist.count);
+            putU64(out, m.hist.sum);
+            putU64(out, m.hist.min);
+            putU64(out, m.hist.max);
+            std::uint64_t nonzero = 0;
+            for (std::uint64_t b : m.hist.buckets)
+                nonzero += (b != 0);
+            putU64(out, nonzero);
+            for (std::size_t i = 0; i < HistogramData::kBuckets; ++i) {
+                if (m.hist.buckets[i] != 0) {
+                    putU64(out, i);
+                    putU64(out, m.hist.buckets[i]);
+                }
+            }
+        } else {
+            putU64(out, m.value);
+        }
+    }
     out += " end";
     return out;
 }
@@ -412,6 +441,34 @@ decodeJournalRecord(const std::string &line)
         !getStringVec(t, r.faultEvents) || !t.str(r.faultReport) ||
         !t.str(r.failureReason))
         return std::nullopt;
+
+    std::uint64_t nmetrics = 0;
+    if (!t.u64(nmetrics) || nmetrics > 4096)
+        return std::nullopt;
+    r.metrics.entries.resize(nmetrics);
+    for (MetricEntry &m : r.metrics.entries) {
+        std::uint64_t kind = 0;
+        if (!t.str(m.name) || !t.u64(kind) || kind > 2)
+            return std::nullopt;
+        m.kind = static_cast<MetricKind>(kind);
+        if (m.kind == MetricKind::Histogram) {
+            std::uint64_t nonzero = 0;
+            if (!u64(m.hist.count) || !u64(m.hist.sum) ||
+                !u64(m.hist.min) || !u64(m.hist.max) ||
+                !t.u64(nonzero) || nonzero > HistogramData::kBuckets)
+                return std::nullopt;
+            for (std::uint64_t i = 0; i < nonzero; ++i) {
+                std::uint64_t idx = 0, count = 0;
+                if (!t.u64(idx) || idx >= HistogramData::kBuckets ||
+                    !t.u64(count))
+                    return std::nullopt;
+                m.hist.buckets[idx] = count;
+            }
+        } else {
+            if (!u64(m.value))
+                return std::nullopt;
+        }
+    }
     if (!t.expect("end") || !t.atEnd())
         return std::nullopt;
     return r;

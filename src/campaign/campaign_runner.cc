@@ -8,6 +8,9 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/latency.h"
+#include "obs/trace_sink.h"
 #include "text/report.h"
 
 namespace fbsim {
@@ -69,11 +72,16 @@ expandCampaign(const CampaignSpec &spec)
 
 CampaignResult
 runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
-               CampaignScratch &scratch, const RunControl *control)
+               CampaignScratch &scratch, const RunControl *control,
+               TraceSink *trace)
 {
     const ProtocolMix &mix = spec.mixes[job.mixIdx];
     const std::size_t procs = mix.slots.size();
     fbsim_assert(procs > 0);
+
+    // Declared before the System so the bus's raw pointer to it can
+    // never dangle, even during System teardown.
+    LatencyRecorder latency(procs);
 
     // Per-job configuration: base overridden by the job's axis points.
     SystemConfig config = spec.base;
@@ -92,6 +100,9 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
     // The job's own shared-nothing System (and, via config.faults,
     // its own FaultInjector - injectors are per-System by contract).
     System system(config);
+    system.bus().setLatencyRecorder(&latency);
+    if (trace)
+        system.attachTrace(trace);
     for (const MixSlot &slot : mix.slots) {
         if (slot.nonCaching) {
             system.addNonCachingMaster(slot.broadcastWrites);
@@ -132,7 +143,11 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
 
     CampaignResult result;
     result.job = job;
-    Engine engine(system, spec.engine);
+    EngineConfig ecfg = spec.engine;
+    ecfg.latency = &latency;
+    if (trace)
+        ecfg.trace = trace;
+    Engine engine(system, ecfg);
     result.engine = engine.run(scratch.raw, refs, control);
 
     result.bus = system.bus().stats();
@@ -154,12 +169,21 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
         result.faults = injector->stats();
         result.faultReport = renderFaultReport(system);
     }
+
+    // Metric snapshot: a pure function of this job's System/Engine
+    // state, so it merges byte-identically at any worker count.
+    MetricRegistry reg;
+    exportEngineMetrics(reg, result.engine);
+    exportSystemMetrics(reg, system);
+    latency.exportTo(reg);
+    result.metrics = reg.snapshot();
     return result;
 }
 
 CampaignResult
 runSupervisedJob(const CampaignSpec &spec, const CampaignJob &job,
-                 CampaignScratch &scratch, const SupervisorOptions &sup)
+                 CampaignScratch &scratch, const SupervisorOptions &sup,
+                 TraceSink *trace)
 {
     const unsigned attempts = sup.retries + 1;
     CampaignResult last;
@@ -181,7 +205,8 @@ runSupervisedJob(const CampaignSpec &spec, const CampaignJob &job,
         try {
             CampaignResult r =
                 runCampaignJob(spec, attempt, scratch,
-                               sup.timeoutMs > 0 ? &control : nullptr);
+                               sup.timeoutMs > 0 ? &control : nullptr,
+                               trace);
             r.attempts = a + 1;
             if (!r.engine.cancelled) {
                 r.status = JobStatus::Ok;
@@ -224,6 +249,40 @@ CampaignRunner::CampaignRunner(unsigned jobs, SupervisorOptions sup)
     : jobs_(jobs == 0 ? 1 : jobs), sup_(std::move(sup))
 {
 }
+
+namespace {
+
+/**
+ * Campaign job lifecycle events, emitted after the merge in job-index
+ * order from merged per-job state only (status, attempts, elapsed) -
+ * the same inputs at any --jobs value, hence the same trace.  Each
+ * job is one track (tid = job index) under the campaign pid.
+ */
+void
+emitJobLifecycle(TraceSink *trace, const CampaignReport &report,
+                 const std::vector<char> &resumed)
+{
+    if (!trace)
+        return;
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const CampaignResult &r = report.results[i];
+        const char *claim = (i < resumed.size() && resumed[i])
+                                ? "job-resume"
+                                : "job-claim";
+        trace->onJobEvent(claim, i, 0, 0, std::string());
+        trace->onJobEvent("job-run", i, 0, r.engine.elapsed,
+                          strprintf("status %s",
+                                    jobStatusName(r.status)));
+        if (r.attempts > 1)
+            trace->onJobEvent("job-retry", i, 0, 0,
+                              strprintf("attempts %u", r.attempts));
+        if (r.status == JobStatus::TimedOut)
+            trace->onJobEvent("job-timeout", i, r.engine.elapsed, 0,
+                              r.failureReason);
+    }
+}
+
+} // namespace
 
 CampaignReport
 CampaignRunner::run(const CampaignSpec &spec) const
@@ -286,8 +345,10 @@ CampaignRunner::run(const CampaignSpec &spec) const
         if (!have[job.index])
             pending.push_back(job);
     }
-    if (pending.empty())
+    if (pending.empty()) {
+        emitJobLifecycle(trace_, report, have);
         return report;
+    }
 
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, pending.size()));
@@ -296,12 +357,14 @@ CampaignRunner::run(const CampaignSpec &spec) const
         // (also the baseline `--jobs 1` must reproduce).
         CampaignScratch scratch;
         for (const CampaignJob &job : pending) {
-            CampaignResult r =
-                runSupervisedJob(spec, job, scratch, sup_);
+            CampaignResult r = runSupervisedJob(
+                spec, job, scratch, sup_,
+                (trace_ && job.index == traceJob_) ? trace_ : nullptr);
             if (journal)
                 journal->append(r);
             report.results[job.index] = std::move(r);
         }
+        emitJobLifecycle(trace_, report, have);
         return report;
     }
 
@@ -323,8 +386,14 @@ CampaignRunner::run(const CampaignSpec &spec) const
                         next.fetch_add(1, std::memory_order_relaxed);
                     if (i >= pending.size())
                         return;
+                    // The designated trace job is claimed by exactly
+                    // one worker, so the sink sees a single writer.
+                    TraceSink *trace =
+                        (trace_ && pending[i].index == traceJob_)
+                            ? trace_
+                            : nullptr;
                     done.push(runSupervisedJob(spec, pending[i],
-                                               scratch, sup_));
+                                               scratch, sup_, trace));
                 }
             });
         }
@@ -337,6 +406,7 @@ CampaignRunner::run(const CampaignSpec &spec) const
         }
         pool.wait();
     }
+    emitJobLifecycle(trace_, report, have);
     return report;
 }
 

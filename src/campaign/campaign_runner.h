@@ -11,6 +11,15 @@
  * report is therefore bit-identical for any worker count - `--jobs 1`
  * equals the serial run, and `--jobs N` is just faster.
  *
+ * Observability: each job snapshots its own MetricRegistry (counters,
+ * gauges, per-master latency histograms) into CampaignResult.metrics;
+ * snapshot merges are associative and commutative, so campaign-level
+ * metrics inherit the bit-identical-at-any-worker-count guarantee.
+ * An attached TraceSink receives one designated job's full event
+ * stream plus, after the merge, the campaign's job lifecycle events
+ * in job-index order (derived only from merged per-job state, hence
+ * equally deterministic).
+ *
  * Per-worker scratch keeps the trace-sharding buffers and stream
  * arena alive across the jobs a worker executes, so a campaign of a
  * thousand trace replays shards the trace once per worker, not once
@@ -68,7 +77,8 @@ std::vector<CampaignJob> expandCampaign(const CampaignSpec &spec);
 CampaignResult runCampaignJob(const CampaignSpec &spec,
                               const CampaignJob &job,
                               CampaignScratch &scratch,
-                              const RunControl *control = nullptr);
+                              const RunControl *control = nullptr,
+                              TraceSink *trace = nullptr);
 
 /**
  * Per-job supervision policy.  The defaults are all no-ops: no
@@ -99,7 +109,8 @@ struct SupervisorOptions
 CampaignResult runSupervisedJob(const CampaignSpec &spec,
                                 const CampaignJob &job,
                                 CampaignScratch &scratch,
-                                const SupervisorOptions &sup);
+                                const SupervisorOptions &sup,
+                                TraceSink *trace = nullptr);
 
 /** Runs campaigns over `jobs` worker threads (1 = serial, in-order). */
 class CampaignRunner
@@ -114,9 +125,27 @@ class CampaignRunner
     unsigned jobs() const { return jobs_; }
     const SupervisorOptions &supervisor() const { return sup_; }
 
+    /**
+     * Attach a trace sink: job `jobIndex` runs with the sink wired
+     * into its System/Engine (bus transactions, per-reference spans,
+     * fault-ladder instants), and after the merge the sink receives
+     * every job's lifecycle events (claim/run/retry/timeout/resume)
+     * in job-index order.  One designated job keeps the trace small
+     * and - since exactly one worker ever writes to the sink - needs
+     * no locking.  Must outlive run().
+     */
+    void
+    attachTrace(TraceSink *sink, std::size_t jobIndex = 0)
+    {
+        trace_ = sink;
+        traceJob_ = jobIndex;
+    }
+
   private:
     unsigned jobs_;
     SupervisorOptions sup_;
+    TraceSink *trace_ = nullptr;
+    std::size_t traceJob_ = 0;
 };
 
 } // namespace fbsim

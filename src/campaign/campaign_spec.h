@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/system.h"
 #include "trace/trace_io.h"
@@ -284,6 +285,14 @@ struct CampaignResult
     JobStatus status = JobStatus::Ok;
     unsigned attempts = 1;    ///< attempts consumed (retries + 1)
     std::string failureReason; ///< exception text / deadline note
+
+    /**
+     * The job's metric snapshot (engine + system + per-master latency
+     * histograms).  Derived deterministically from the job alone, so
+     * merged campaign metrics are byte-identical at any worker/shard
+     * count.  Empty for failed jobs.
+     */
+    MetricsSnapshot metrics;
 
     /** Total references executed across the job's processors. */
     std::uint64_t

@@ -46,7 +46,8 @@ CoherenceChecker::noteRead(Addr addr, Word value) const
 }
 
 void
-CoherenceChecker::onTransaction(const BusRequest &req, const BusResult &)
+CoherenceChecker::onBusTransaction(const BusRequest &req,
+                                   const BusResult &, Cycles)
 {
     if (trackDirty_)
         dirty_.insert(req.line);

@@ -23,12 +23,12 @@
  * Two scan modes exist.  checkInvariants() audits the full line
  * universe (every line any cache, the memory or the oracle knows).
  * checkDirtyLines() audits only lines touched since the last scan:
- * the checker registers as a BusObserver on every bus of the system
+ * the checker registers as a TraceSink on every bus of the system
  * and marks the line of each completed transaction, and noteWrite()
  * marks locally-written lines.  Lines not marked cannot have gained a
  * violation - every state or data change is either a local write (V1
  * territory, marked by noteWrite) or part of a bus transaction
- * (marked by onTransaction); silently dropping a clean copy only
+ * (marked by onBusTransaction); silently dropping a clean copy only
  * removes holders, which cannot newly violate U1/U2/V2/V3.
  */
 
@@ -50,7 +50,7 @@
 namespace fbsim {
 
 /** The checker's view of the system under test. */
-class CoherenceChecker : public BusObserver
+class CoherenceChecker : public TraceSink
 {
   public:
     /** @param memory backing store.
@@ -91,9 +91,10 @@ class CoherenceChecker : public BusObserver
         return v ? *v : 0;
     }
 
-    /** BusObserver: every completed transaction dirties its line. */
-    void onTransaction(const BusRequest &req,
-                       const BusResult &result) override;
+    /** TraceSink: every completed transaction dirties its line. */
+    void onBusTransaction(const BusRequest &req,
+                          const BusResult &result,
+                          Cycles start) override;
 
     /**
      * Run the structural invariants (U1, U2, V1, V2, V3) over every

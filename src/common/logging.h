@@ -17,6 +17,7 @@
 #define FBSIM_COMMON_LOGGING_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace fbsim {
@@ -29,7 +30,43 @@ namespace fbsim {
 
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Rate-limited warning keyed by emitting site (file:line).  Once a
+ * site has emitted warnSiteLimit() messages, further ones from the
+ * same site are counted but not printed; warnSuppressionSummary()
+ * reports "suppressed N similar messages" per muted site.  A limit of
+ * 0 (the default) disables suppression, preserving the historical
+ * behavior tests depend on.
+ */
+void warnAtImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Process-wide warning counters (all sites, emitted vs suppressed). */
+struct WarnStats
+{
+    std::uint64_t emitted = 0;
+    std::uint64_t suppressed = 0;
+};
+
+/** Set the per-site emission cap for fbsim_warn (0 = unlimited). */
+void setWarnSiteLimit(unsigned limit);
+
+/** Current per-site emission cap (0 = unlimited). */
+unsigned warnSiteLimit();
+
+/** Snapshot of the process-wide warning counters. */
+WarnStats warnStats();
+
+/** Reset counters and per-site histories (tests, campaign starts). */
+void resetWarnStats();
+
+/**
+ * One line per muted site: "warn: suppressed N similar messages from
+ * <file>:<line>\n", concatenated; empty when nothing was suppressed.
+ */
+std::string warnSuppressionSummary();
 
 /** Format a printf-style message into a std::string. */
 std::string vstrprintf(const char *fmt, va_list ap);
@@ -40,6 +77,7 @@ std::string strprintf(const char *fmt, ...)
 
 #define fbsim_panic(...) ::fbsim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define fbsim_fatal(...) ::fbsim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fbsim_warn(...) ::fbsim::warnAtImpl(__FILE__, __LINE__, __VA_ARGS__)
 
 /** Assert a simulator invariant; on failure panic with the condition. */
 #define fbsim_assert(cond, ...)                                              \

@@ -30,7 +30,7 @@ HierSystem::HierSystem(const HierConfig &config, std::size_t clusters)
     // The checker observes every bus so incremental per-access scans
     // see lines dirtied by any cluster's transactions; the tracking is
     // skipped entirely when nothing will consume the dirty set.
-    rootBus_->addObserver(checker_.get());
+    rootBus_->addTraceSink(checker_.get());
     checker_->setTrackDirty(config_.checkEveryAccess &&
                             config_.incrementalCheck);
 
@@ -43,7 +43,7 @@ HierSystem::HierSystem(const HierConfig &config, std::size_t clusters)
             *cluster.bridge, config_.leafCost, config_.maxBusRetries);
         cluster.bus->setSnoopFilterEnabled(config_.snoopFilter);
         cluster.bus->setSnoopCrossCheck(config_.snoopFilterCrossCheck);
-        cluster.bus->addObserver(checker_.get());
+        cluster.bus->addTraceSink(checker_.get());
         cluster.bridge->setLeafBus(cluster.bus.get());
         rootBus_->attach(cluster.bridge.get());
         // With three or more clusters a third cluster's CH cannot be

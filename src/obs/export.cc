@@ -1,0 +1,91 @@
+#include "obs/export.h"
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "sim/system.h"
+
+namespace fbsim {
+
+void
+exportSystemMetrics(MetricRegistry &reg, const System &system)
+{
+    const BusStats &b = system.bus().stats();
+    reg.counter("bus.transactions").add(b.transactions);
+    reg.counter("bus.reads").add(b.reads);
+    reg.counter("bus.readsForModify").add(b.readsForModify);
+    reg.counter("bus.wordWrites").add(b.wordWrites);
+    reg.counter("bus.broadcastWrites").add(b.broadcastWrites);
+    reg.counter("bus.linePushes").add(b.linePushes);
+    reg.counter("bus.invalidates").add(b.invalidates);
+    reg.counter("bus.syncs").add(b.syncs);
+    reg.counter("bus.interventions").add(b.interventions);
+    reg.counter("bus.writeCaptures").add(b.writeCaptures);
+    reg.counter("bus.aborts").add(b.aborts);
+    reg.counter("bus.spuriousAborts").add(b.spuriousAborts);
+    reg.counter("bus.droppedResponses").add(b.droppedResponses);
+    reg.counter("bus.retryExhausted").add(b.retryExhausted);
+    reg.counter("bus.responseConflicts").add(b.responseConflicts);
+    reg.counter("bus.addressCycles").add(b.addressCycles);
+    reg.counter("bus.dataWords").add(b.dataWords);
+    reg.counter("bus.busyCycles").add(b.busyCycles);
+    reg.counter("bus.backoffCycles").add(b.backoffCycles);
+
+    const SnoopFilterStats &sf = system.bus().filterStats();
+    reg.counter("snoop.invoked").add(sf.snoopsInvoked);
+    reg.counter("snoop.suppressed").add(sf.snoopsSuppressed);
+
+    CacheStats totals;
+    for (MasterId id = 0; id < system.numClients(); ++id) {
+        if (const SnoopingCache *cache = system.cacheOf(id))
+            totals += cache->stats();
+    }
+    reg.counter("cache.reads").add(totals.reads);
+    reg.counter("cache.writes").add(totals.writes);
+    reg.counter("cache.readMisses").add(totals.readMisses);
+    reg.counter("cache.writeMisses").add(totals.writeMisses);
+    reg.counter("cache.writebacks").add(totals.writebacks);
+    reg.counter("cache.invalidationsRecv").add(totals.invalidationsRecv);
+    reg.counter("cache.updatesRecv").add(totals.updatesRecv);
+    reg.counter("cache.abortPushes").add(totals.abortPushes);
+    reg.counter("cache.faultedAccesses").add(totals.faultedAccesses);
+
+    if (const FaultInjector *fi = system.faultInjector()) {
+        const FaultStats &f = fi->stats();
+        reg.counter("fault.spuriousAborts").add(f.spuriousAborts);
+        reg.counter("fault.stormAborts").add(f.stormAborts);
+        reg.counter("fault.memoryDelays").add(f.memoryDelays);
+        reg.counter("fault.memoryDrops").add(f.memoryDrops);
+        reg.counter("fault.dataFlips").add(f.dataFlips);
+        reg.counter("fault.responseFlips").add(f.responseFlips);
+        reg.counter("fault.snooperMutes").add(f.snooperMutes);
+    }
+
+    reg.counter("sys.watchdogTrips").add(system.watchdogTrips());
+    reg.counter("sys.quarantines").add(system.quarantineCount());
+    reg.counter("sys.reintegrations").add(system.reintegrationCount());
+    reg.counter("sys.violations").add(system.violations().size());
+}
+
+void
+exportEngineMetrics(MetricRegistry &reg, const EngineResult &result)
+{
+    reg.gauge("engine.elapsed").set(result.elapsed);
+    reg.counter("engine.busBusy").add(result.busBusy);
+    std::uint64_t refs = 0;
+    for (const ProcTiming &p : result.procs)
+        refs += p.refs;
+    reg.counter("engine.refs").add(refs);
+    reg.counter("engine.faultedRefs").add(result.faultedRefs);
+    reg.gauge("engine.procs").set(result.procs.size());
+    reg.gauge("engine.cancelled").set(result.cancelled ? 1 : 0);
+}
+
+void
+exportProcessMetrics(MetricRegistry &reg)
+{
+    WarnStats w = warnStats();
+    reg.counter("log.warn.emitted").add(w.emitted);
+    reg.counter("log.warn.suppressed").add(w.suppressed);
+}
+
+} // namespace fbsim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Standard metric exports: fold the simulator's existing aggregate
+ * statistics (BusStats, CacheStats, FaultStats, EngineResult) into a
+ * MetricRegistry under stable dotted names, so campaign jobs produce
+ * uniform, mergeable snapshots without every call site hand-rolling
+ * the mapping.
+ */
+
+#ifndef FBSIM_OBS_EXPORT_H_
+#define FBSIM_OBS_EXPORT_H_
+
+#include "obs/metrics.h"
+
+namespace fbsim {
+
+class System;
+struct EngineResult;
+
+/** bus.* / snoop.* / cache.* / fault.* / sys.* counters. */
+void exportSystemMetrics(MetricRegistry &reg, const System &system);
+
+/** engine.* counters and gauges (elapsed, busBusy, refs, ...). */
+void exportEngineMetrics(MetricRegistry &reg,
+                         const EngineResult &result);
+
+/**
+ * Process-wide log counters (log.warn.emitted / log.warn.suppressed).
+ * These are *process* scope, not job scope: worker threads interleave
+ * warnings nondeterministically, so they belong in a process metrics
+ * section, never in per-job campaign snapshots.
+ */
+void exportProcessMetrics(MetricRegistry &reg);
+
+} // namespace fbsim
+
+#endif // FBSIM_OBS_EXPORT_H_

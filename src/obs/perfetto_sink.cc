@@ -1,0 +1,162 @@
+#include "obs/perfetto_sink.h"
+
+#include <cstdio>
+
+#include "bus/bus.h"
+#include "common/logging.h"
+
+namespace fbsim {
+
+namespace {
+
+const char *
+busEventName(BusCmd cmd)
+{
+    switch (cmd) {
+      case BusCmd::Read:      return "Read";
+      case BusCmd::WriteWord: return "WriteWord";
+      case BusCmd::WriteLine: return "Push";
+      case BusCmd::AddrOnly:  return "Invalidate";
+      case BusCmd::Sync:      return "Sync";
+    }
+    return "?";
+}
+
+/** JSON string escape (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+PerfettoTraceSink::push(const char *ph, const char *name,
+                        std::uint64_t pid, std::uint64_t tid, Cycles ts,
+                        Cycles dur, bool has_dur,
+                        const std::string &detail)
+{
+    std::string ev = strprintf(
+        "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":%llu,\"tid\":%llu,"
+        "\"ts\":%llu",
+        jsonEscape(name).c_str(), ph,
+        static_cast<unsigned long long>(pid),
+        static_cast<unsigned long long>(tid),
+        static_cast<unsigned long long>(ts));
+    if (has_dur)
+        ev += strprintf(",\"dur\":%llu",
+                        static_cast<unsigned long long>(dur));
+    if (!detail.empty())
+        ev += strprintf(",\"args\":{\"detail\":\"%s\"}",
+                        jsonEscape(detail).c_str());
+    ev += "}";
+    events_.push_back(std::move(ev));
+}
+
+void
+PerfettoTraceSink::onBusTransaction(const BusRequest &req,
+                                    const BusResult &result,
+                                    Cycles start)
+{
+    std::string detail = strprintf(
+        "line 0x%llx resp %s%s%s",
+        static_cast<unsigned long long>(req.line),
+        result.resp.ch ? "CH " : "", result.resp.di ? "DI " : "",
+        result.resp.sl ? "SL " : "");
+    if (result.suppliedByCache)
+        detail += "<- cache";
+    if (result.aborts > 0)
+        detail += strprintf(
+            " aborts %llu",
+            static_cast<unsigned long long>(result.aborts));
+    push("X", busEventName(req.cmd), kTraceBusPid, req.master, start,
+         result.cost, true, detail);
+}
+
+void
+PerfettoTraceSink::onInstant(const char *name, std::uint32_t pid,
+                             std::uint32_t tid, Cycles ts,
+                             const std::string &detail)
+{
+    push("i", name, pid, tid, ts, 0, false, detail);
+}
+
+void
+PerfettoTraceSink::onSpan(const char *name, std::uint32_t pid,
+                          std::uint32_t tid, Cycles ts, Cycles dur,
+                          const std::string &detail)
+{
+    push("X", name, pid, tid, ts, dur, true, detail);
+}
+
+void
+PerfettoTraceSink::onJobEvent(const char *name, std::uint64_t job_index,
+                              Cycles ts, Cycles dur,
+                              const std::string &detail)
+{
+    if (dur > 0)
+        push("X", name, kTraceCampaignPid, job_index, ts, dur, true,
+             detail);
+    else
+        push("i", name, kTraceCampaignPid, job_index, ts, 0, false,
+             detail);
+}
+
+std::string
+PerfettoTraceSink::render() const
+{
+    // Process-name metadata first so Perfetto labels the track groups.
+    static const struct { std::uint32_t pid; const char *name; } kPids[] =
+        {{kTraceBusPid, "bus"},
+         {kTraceEnginePid, "engine"},
+         {kTraceFaultPid, "fault-ladder"},
+         {kTraceCampaignPid, "campaign"}};
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &p : kPids) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += strprintf("{\"name\":\"process_name\",\"ph\":\"M\","
+                         "\"pid\":%u,\"tid\":0,"
+                         "\"args\":{\"name\":\"%s\"}}",
+                         p.pid, p.name);
+    }
+    for (const std::string &ev : events_) {
+        out += ",";
+        out += ev;
+    }
+    out += "]}";
+    return out;
+}
+
+void
+PerfettoTraceSink::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fbsim_fatal("trace: cannot open %s for writing", path.c_str());
+    std::string doc = render();
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    if (n != doc.size() || std::fclose(f) != 0)
+        fbsim_fatal("trace: short write to %s", path.c_str());
+}
+
+} // namespace fbsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TraceSink rendering Chrome/Perfetto `trace_event` JSON.
+ *
+ * Every event's `ts` (and `dur`) is a simulated cycle count - the
+ * Trace Event Format treats ts as microseconds, so one cycle renders
+ * as one "microsecond" tick in the Perfetto UI.  Wall-clock time never
+ * enters the file; the same seed always serializes the same bytes.
+ *
+ * Tracks: pid 1 = bus (one tid per master), pid 2 = engine (one tid
+ * per processor), pid 3 = fault ladder (tid = master), pid 4 =
+ * campaign (tid = job index).  Timestamps are nondecreasing per
+ * (pid, tid) track by construction and validate_trace.py asserts it.
+ */
+
+#ifndef FBSIM_OBS_PERFETTO_SINK_H_
+#define FBSIM_OBS_PERFETTO_SINK_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+
+namespace fbsim {
+
+class PerfettoTraceSink : public TraceSink
+{
+  public:
+    void onBusTransaction(const BusRequest &req, const BusResult &result,
+                          Cycles start) override;
+    void onInstant(const char *name, std::uint32_t pid,
+                   std::uint32_t tid, Cycles ts,
+                   const std::string &detail) override;
+    void onSpan(const char *name, std::uint32_t pid, std::uint32_t tid,
+                Cycles ts, Cycles dur,
+                const std::string &detail) override;
+    void onJobEvent(const char *name, std::uint64_t job_index,
+                    Cycles ts, Cycles dur,
+                    const std::string &detail) override;
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** The complete JSON document ({"traceEvents": [...]}). */
+    std::string render() const;
+
+    /** Write render() to `path`; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    void push(const char *ph, const char *name, std::uint64_t pid,
+              std::uint64_t tid, Cycles ts, Cycles dur, bool has_dur,
+              const std::string &detail);
+
+    std::vector<std::string> events_;  ///< serialized, in emit order
+};
+
+} // namespace fbsim
+
+#endif // FBSIM_OBS_PERFETTO_SINK_H_

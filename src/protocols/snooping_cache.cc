@@ -547,7 +547,7 @@ SnoopingCache::ignoredIllegalSnoop(State s, BusEvent ev, LineAddr la)
     ++stats_.illegalSnoops;
     if (!warnedIllegalSnoop_) {
         warnedIllegalSnoop_ = true;
-        warnImpl("%s cache %u: ignoring illegal bus event col %d on "
+        fbsim_warn("%s cache %u: ignoring illegal bus event col %d on "
                  "line %llu in state %s (fault-degraded; counted in "
                  "illegalSnoops)",
                  name_.c_str(), id_, busEventColumn(ev),
@@ -773,7 +773,7 @@ SnoopingCache::quarantine()
         if (!evict(*line, outcome)) {
             // Even the quarantine flush could not converge.  Loud data
             // loss beats silent corruption: drop the copy and say so.
-            warnImpl("cache %u quarantine: flush of line %llu did "
+            fbsim_warn("cache %u quarantine: flush of line %llu did "
                      "not converge; owned data lost",
                      id_, static_cast<unsigned long long>(la));
             setLineState(*line, State::I);

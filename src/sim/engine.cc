@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/latency.h"
+#include "obs/trace_sink.h"
 
 namespace fbsim {
 
@@ -22,6 +24,26 @@ double
 EngineResult::meanUtilization() const
 {
     return procs.empty() ? 0.0 : systemPower() / procs.size();
+}
+
+double
+EngineResult::busServiceFairness() const
+{
+    std::vector<double> xs;
+    xs.reserve(procs.size());
+    for (const ProcTiming &p : procs)
+        xs.push_back(static_cast<double>(p.busServiceCycles));
+    return jainFairnessIndex(xs);
+}
+
+double
+EngineResult::busWaitFairness() const
+{
+    std::vector<double> xs;
+    xs.reserve(procs.size());
+    for (const ProcTiming &p : procs)
+        xs.push_back(static_cast<double>(p.busWaitCycles));
+    return jainFairnessIndex(xs);
 }
 
 Engine::Engine(System &system, const EngineConfig &config)
@@ -96,9 +118,28 @@ Engine::runInterleaved(const std::vector<RefStream *> &streams,
         timing.refs += 1;
         timing.execCycles += config_.hitCycles;
         if (outcome.usedBus) {
-            timing.busWaitCycles += (start - p.readyAt);
+            const Cycles wait = start - p.readyAt;
+            timing.busWaitCycles += wait;
             timing.busServiceCycles += outcome.busCycles;
             result.busBusy += outcome.busCycles;
+            if (config_.latency)
+                config_.latency->recordWait(static_cast<MasterId>(i),
+                                            wait);
+            if (config_.trace) {
+                if (wait > 0) {
+                    config_.trace->onSpan(
+                        "arb-wait", kTraceEnginePid,
+                        static_cast<std::uint32_t>(i), p.readyAt, wait,
+                        std::string());
+                }
+                config_.trace->onSpan(
+                    p.ref.write ? "write" : "read", kTraceEnginePid,
+                    static_cast<std::uint32_t>(i), start,
+                    outcome.busCycles,
+                    strprintf("addr 0x%llx",
+                              static_cast<unsigned long long>(
+                                  p.ref.addr)));
+            }
             bus_free = start + outcome.busCycles;
             p.readyAt = bus_free + config_.hitCycles;
         } else {
@@ -435,9 +476,27 @@ Engine::runWindowed(const std::vector<RefStream *> &streams,
         t.refs += 1;
         t.execCycles += hit;
         if (outcome.usedBus) {
-            t.busWaitCycles += grant - p.readyAt;
+            const Cycles wait = grant - p.readyAt;
+            t.busWaitCycles += wait;
             t.busServiceCycles += outcome.busCycles;
             result.busBusy += outcome.busCycles;
+            if (config_.latency)
+                config_.latency->recordWait(wid, wait);
+            if (config_.trace) {
+                if (wait > 0) {
+                    config_.trace->onSpan(
+                        "arb-wait", kTraceEnginePid,
+                        static_cast<std::uint32_t>(w), p.readyAt, wait,
+                        std::string());
+                }
+                config_.trace->onSpan(
+                    p.ref.write ? "write" : "read", kTraceEnginePid,
+                    static_cast<std::uint32_t>(w), grant,
+                    outcome.busCycles,
+                    strprintf("addr 0x%llx",
+                              static_cast<unsigned long long>(
+                                  p.ref.addr)));
+            }
             bus_free = grant + outcome.busCycles;
             p.readyAt = bus_free + hit;
         } else {

@@ -24,7 +24,9 @@
 
 namespace fbsim {
 
+class LatencyRecorder;
 class ThreadPool;
+class TraceSink;
 
 /**
  * Cooperative cancellation for supervised runs.  Worker threads cannot
@@ -73,6 +75,16 @@ struct EngineConfig
     unsigned shards = 1;
     /** Worker pool for shards > 1 (not owned; null = serial). */
     ThreadPool *pool = nullptr;
+    /**
+     * Optional per-master latency instrumentation (arbitration wait;
+     * service time is recorded by the Bus itself when the recorder is
+     * also attached there).  Null = detached, zero overhead beyond a
+     * branch per bus access.  Not owned.
+     */
+    LatencyRecorder *latency = nullptr;
+    /** Optional trace sink for per-reference bus spans.  Null =
+     *  detached.  Not owned. */
+    TraceSink *trace = nullptr;
 };
 
 /** Per-processor timing results. */
@@ -130,6 +142,17 @@ struct EngineResult
 
     /** Mean processor utilization. */
     double meanUtilization() const;
+
+    /**
+     * Jain fairness index over per-processor bus service cycles
+     * ((sum x)^2 / (n * sum x^2), 1.0 = perfectly fair).  Derived from
+     * the ProcTiming vector, so determinism comparisons via
+     * operator== are unaffected.
+     */
+    double busServiceFairness() const;
+
+    /** Jain fairness index over per-processor bus wait cycles. */
+    double busWaitFairness() const;
 };
 
 /** Drives reference streams through a System with timing. */

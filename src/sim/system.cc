@@ -30,9 +30,14 @@ System::System(const SystemConfig &config) : config_(config)
     // The checker observes completed transactions to maintain its
     // dirty-line set for incremental per-access scans; when nothing
     // will consume that set, skip the per-access bookkeeping.
-    bus_->addObserver(checker_.get());
+    bus_->addTraceSink(checker_.get());
     checker_->setTrackDirty(config_.checkEveryAccess &&
                             config_.incrementalCheck);
+    if (config_.transactionLogCapacity > 0) {
+        txnLog_ = std::make_unique<TransactionLog>(
+            config_.transactionLogCapacity);
+        bus_->addTraceSink(txnLog_.get());
+    }
     if (config_.faults && config_.faults->anyEnabled()) {
         faults_ = std::make_unique<FaultInjector>(*config_.faults);
         bus_->setFaultInjector(faults_.get());
@@ -45,6 +50,14 @@ System::System(const SystemConfig &config) : config_(config)
 }
 
 System::~System() = default;
+
+void
+System::attachTrace(TraceSink *sink)
+{
+    fbsim_assert(sink != nullptr);
+    trace_ = sink;
+    bus_->addTraceSink(sink);
+}
 
 MasterId
 System::addCache(const CacheSpec &spec)
@@ -294,7 +307,11 @@ System::postAccess(MasterId id, const AccessOutcome &outcome)
                     "watchdog: master %u made no forward progress over "
                     "%u consecutive faulted accesses %s",
                     id, rounds, faults_->describe().c_str());
-                warnImpl("%s", msg.c_str());
+                fbsim_warn("%s", msg.c_str());
+                if (trace_)
+                    trace_->onInstant("watchdog-trip", kTraceFaultPid,
+                                      id, bus_->stats().busyCycles,
+                                      msg);
                 recordFaultEvent(std::move(msg));
                 rounds = 0;
                 // Escalation ladder: the bus already retried, the
@@ -347,10 +364,15 @@ System::maybeCorruptCache()
     // No bus transaction touched the line, so dirty it by hand for
     // the incremental scan.
     checker_->markLineDirty(*la);
-    recordFaultEvent(strprintf(
+    std::string msg = strprintf(
         "data flip: cache %u line 0x%llx %s", victim->clientId(),
         static_cast<unsigned long long>(*la),
-        faults_->describe().c_str()));
+        faults_->describe().c_str());
+    if (trace_)
+        trace_->onInstant("data-flip", kTraceFaultPid,
+                          victim->clientId(), bus_->stats().busyCycles,
+                          msg);
+    recordFaultEvent(std::move(msg));
 }
 
 bool
@@ -365,7 +387,10 @@ System::quarantine(MasterId id)
         "quarantine: cache %u flushed and isolated%s%s", id,
         faults_ ? " " : "",
         faults_ ? faults_->describe().c_str() : "");
-    warnImpl("%s", msg.c_str());
+    fbsim_warn("%s", msg.c_str());
+    if (trace_)
+        trace_->onInstant("quarantine", kTraceFaultPid, id,
+                          bus_->stats().busyCycles, msg);
     recordFaultEvent(std::move(msg));
     // The flush still needs the bus and the other snoopers, so pull
     // the board only after quarantine() has drained it; from then on
@@ -404,7 +429,10 @@ System::reintegrate(MasterId id)
         "reintegrate: cache %u rejoined with all lines invalid%s%s", id,
         faults_ ? " " : "",
         faults_ ? faults_->describe().c_str() : "");
-    warnImpl("%s", msg.c_str());
+    fbsim_warn("%s", msg.c_str());
+    if (trace_)
+        trace_->onInstant("reintegrate", kTraceFaultPid, id,
+                          bus_->stats().busyCycles, msg);
     recordFaultEvent(std::move(msg));
     return true;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bus/bus.h"
+#include "bus/transaction_log.h"
 #include "checker/coherence_checker.h"
 #include "fault/fault_injector.h"
 #include "memory/main_memory.h"
@@ -89,6 +90,12 @@ struct SystemConfig
      * integrity check, e.g. after an injected bit flip).
      */
     bool quarantineOnIntegrity = false;
+    /**
+     * Capacity of the built-in TransactionLog ring buffer (most
+     * recent bus transactions, formatted).  0 = no log (the default;
+     * the formatting work stays off the hot path entirely).
+     */
+    std::size_t transactionLogCapacity = 0;
 };
 
 /** Everything needed to add one cache to the system. */
@@ -249,6 +256,17 @@ class System
     MainMemory &memory() { return *memory_; }
     CoherenceChecker &checker() { return *checker_; }
 
+    /**
+     * Attach a trace sink: it sees every committed bus transaction and
+     * the fault-ladder instants (watchdog trip, quarantine,
+     * reintegration, injected corruption), each carrying the
+     * injector's reproduction tag.  Must outlive the system.
+     */
+    void attachTrace(TraceSink *sink);
+
+    /** The built-in transaction log, or null when capacity is 0. */
+    const TransactionLog *transactionLog() const { return txnLog_.get(); }
+
   private:
     void afterAccess();
 
@@ -270,6 +288,8 @@ class System
     std::unique_ptr<Bus> bus_;
     std::unique_ptr<CoherenceChecker> checker_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<TransactionLog> txnLog_;
+    TraceSink *trace_ = nullptr;
     std::vector<std::unique_ptr<BusClient>> clients_;
     std::vector<SnoopingCache *> caches_;   ///< indexed by id; may be null
     std::vector<std::string> violations_;

@@ -1,6 +1,10 @@
 #include "text/report.h"
 
+#include <cstdio>
+
 #include "common/logging.h"
+#include "obs/export.h"
+#include "obs/latency.h"
 
 namespace fbsim {
 
@@ -91,6 +95,8 @@ renderEngineResult(const EngineResult &r)
                          static_cast<unsigned long long>(
                              p.busServiceCycles));
     }
+    out += strprintf("fairness: bus service %.3f, bus wait %.3f\n",
+                     r.busServiceFairness(), r.busWaitFairness());
     return out;
 }
 
@@ -165,8 +171,8 @@ renderCampaignTable(const CampaignReport &report)
         out += strprintf(" %-18s", "workload");
     if (fault)
         out += strprintf(" %-12s", "fault");
-    out += strprintf(" %7s %7s %7s %8s %6s", "util", "busutil",
-                     "miss%", "cyc/ref", "viol");
+    out += strprintf(" %7s %7s %7s %8s %6s %6s", "util", "busutil",
+                     "miss%", "cyc/ref", "fair", "viol");
     if (supervised)
         out += strprintf(" %-7s %3s", "status", "att");
     out += strprintf(" %s\n", "ok");
@@ -195,9 +201,10 @@ renderCampaignTable(const CampaignReport &report)
             out += strprintf(
                 " %-12s", report.faultNames[r.job.faultIdx].c_str());
         }
-        out += strprintf(" %7.3f %7.3f %6.2f%% %8.3f %6zu",
+        out += strprintf(" %7.3f %7.3f %6.2f%% %8.3f %6.3f %6zu",
                          r.procUtilization(), r.busUtilization(),
                          100.0 * r.missRatio(), r.busCyclesPerRef(),
+                         r.engine.busServiceFairness(),
                          r.violations.size());
         if (supervised) {
             out += strprintf(" %-7s %3u", jobStatusName(r.status),
@@ -223,7 +230,95 @@ renderCampaignTable(const CampaignReport &report)
     out += strprintf("consistency: %zu/%zu jobs violation-free\n",
                      report.results.size() - inconsistent,
                      report.results.size());
+
+    // Per-master latency over the merged snapshots: snapshot merges
+    // are associative/commutative, so this block inherits the table's
+    // any---jobs determinism.
+    MetricsSnapshot merged;
+    for (const CampaignResult &r : report.results)
+        merged = mergeSnapshots(merged, r.metrics);
+    out += renderLatencyBlock(merged);
     return out;
+}
+
+std::string
+renderLatencyBlock(const MetricsSnapshot &metrics)
+{
+    std::string out;
+    std::vector<double> service;
+    for (std::uint32_t m = 0;; ++m) {
+        const MetricEntry *wait =
+            metrics.find(strprintf("bus.m%u.wait", m));
+        const MetricEntry *serv =
+            metrics.find(strprintf("bus.m%u.service", m));
+        if (!wait || !serv)
+            break;
+        if (out.empty())
+            out += "per-master bus latency:\n";
+        const MetricEntry *txns =
+            metrics.find(strprintf("bus.m%u.txns", m));
+        const MetricEntry *retries =
+            metrics.find(strprintf("bus.m%u.retries", m));
+        out += strprintf(
+            "  m%-3u wait p50/p90/p99 %llu/%llu/%llu  service "
+            "p50/p90/p99 %llu/%llu/%llu  txns %llu retries %llu\n",
+            m,
+            static_cast<unsigned long long>(wait->hist.percentile(50)),
+            static_cast<unsigned long long>(wait->hist.percentile(90)),
+            static_cast<unsigned long long>(wait->hist.percentile(99)),
+            static_cast<unsigned long long>(serv->hist.percentile(50)),
+            static_cast<unsigned long long>(serv->hist.percentile(90)),
+            static_cast<unsigned long long>(serv->hist.percentile(99)),
+            static_cast<unsigned long long>(txns ? txns->value : 0),
+            static_cast<unsigned long long>(retries ? retries->value
+                                                    : 0));
+        service.push_back(static_cast<double>(serv->hist.sum));
+    }
+    if (!out.empty()) {
+        out += strprintf("  fairness (Jain, service cycles): %.3f\n",
+                         jainFairnessIndex(service));
+    }
+    return out;
+}
+
+std::string
+renderCampaignMetricsJson(const CampaignReport &report)
+{
+    MetricsSnapshot merged;
+    for (const CampaignResult &r : report.results)
+        merged = mergeSnapshots(merged, r.metrics);
+
+    MetricRegistry process;
+    exportProcessMetrics(process);
+
+    std::string out = "{\n\"campaign\": ";
+    out += renderMetricsJson(merged);
+    out += ",\n\"jobs\": [";
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        out += (i == 0) ? "\n" : ",\n";
+        out += renderMetricsJson(report.results[i].metrics);
+    }
+    out += "\n],\n\"process\": ";
+    out += renderMetricsJson(process.snapshot());
+    out += "\n}\n";
+    return out;
+}
+
+void
+writeCampaignMetricsJson(const CampaignReport &report,
+                         const std::string &path)
+{
+    std::string json = renderCampaignMetricsJson(report);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fbsim_fatal("metrics: cannot open %s for writing",
+                    path.c_str());
+    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+        std::fclose(f);
+        fbsim_fatal("metrics: short write to %s", path.c_str());
+    }
+    if (std::fclose(f) != 0)
+        fbsim_fatal("metrics: close of %s failed", path.c_str());
 }
 
 } // namespace fbsim

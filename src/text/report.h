@@ -34,11 +34,35 @@ std::string renderFaultReport(const System &system);
 
 /**
  * Campaign sweep table: one row per job in merge (job-index) order
- * with its axis coordinates and headline metrics, plus a consistency
+ * with its axis coordinates and headline metrics (including the Jain
+ * fairness index over per-processor bus service), plus a per-master
+ * latency block from the merged metric snapshots and a consistency
  * summary.  Deterministic: byte-identical for any --jobs value.
  * Degenerate axes (a single point) are omitted from the columns.
  */
 std::string renderCampaignTable(const CampaignReport &report);
+
+/**
+ * Per-master bus latency block of a (merged) metric snapshot: one row
+ * per master with wait/service histogram percentiles, transaction and
+ * retry counts, closed by a Jain fairness line over per-master
+ * service totals.  Empty string when the snapshot carries no
+ * bus.m<i>.* metrics.
+ */
+std::string renderLatencyBlock(const MetricsSnapshot &metrics);
+
+/**
+ * Campaign metrics as JSON: the merge of every job's snapshot under
+ * "campaign", each job's own snapshot under "jobs" (job-index order),
+ * and process-scope counters (warn emission) under "process".
+ * Deterministic apart from "process", which is process-wide state.
+ */
+std::string renderCampaignMetricsJson(const CampaignReport &report);
+
+/** Write renderCampaignMetricsJson(report) to `path` (fatal on I/O
+ *  error). */
+void writeCampaignMetricsJson(const CampaignReport &report,
+                              const std::string &path);
 
 } // namespace fbsim
 

@@ -143,7 +143,7 @@ TEST(TransactionLogTest, RecordsCompletedTransactions)
 {
     auto sys = test::homogeneousSystem(2);
     TransactionLog log(8);
-    sys->bus().addObserver(&log);
+    sys->bus().addTraceSink(&log);
     sys->write(0, 0x100, 1);
     sys->read(1, 0x100);
     ASSERT_EQ(log.observed(), 2u);
@@ -157,7 +157,7 @@ TEST(TransactionLogTest, RingBufferDropsOldest)
 {
     auto sys = test::homogeneousSystem(1);
     TransactionLog log(3);
-    sys->bus().addObserver(&log);
+    sys->bus().addTraceSink(&log);
     for (int i = 0; i < 6; ++i)
         sys->read(0, 0x1000 + i * 4096);   // distinct sets: all misses
     EXPECT_EQ(log.observed(), 6u);
@@ -171,7 +171,7 @@ TEST(TransactionLogTest, AbortsAreAnnotated)
 {
     auto sys = test::homogeneousSystem(2, ProtocolKind::Illinois);
     TransactionLog log;
-    sys->bus().addObserver(&log);
+    sys->bus().addTraceSink(&log);
     sys->write(0, 0x100, 1);
     sys->read(1, 0x100);   // BS abort, push, retry
     EXPECT_NE(log.render().find("aborts"), std::string::npos);
