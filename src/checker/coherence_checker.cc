@@ -42,7 +42,43 @@ CoherenceChecker::noteRead(Addr addr, Word value) const
                      static_cast<unsigned long long>(addr),
                      static_cast<unsigned long long>(value),
                      static_cast<unsigned long long>(want)) +
-           annotation();
+           describeLine(addr / lineBytes_) + annotation();
+}
+
+std::string
+CoherenceChecker::describeLine(LineAddr la) const
+{
+    std::string out =
+        strprintf(" | line 0x%llx:", static_cast<unsigned long long>(la));
+    for (const SnoopingCache *cache : caches_) {
+        const CacheLine *line = cache->peekLine(la);
+        if (!line) {
+            out += strprintf(" c%u:I", cache->clientId());
+            continue;
+        }
+        out += strprintf(" c%u:%s[", cache->clientId(),
+                         std::string(stateName(line->state)).c_str());
+        for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
+            out += strprintf(
+                wi ? " 0x%llx" : "0x%llx",
+                static_cast<unsigned long long>(line->data[wi]));
+        }
+        out += "]";
+    }
+    out += " mem[";
+    for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
+        out += strprintf(
+            wi ? " 0x%llx" : "0x%llx",
+            static_cast<unsigned long long>(memory_.peekWord(la, wi)));
+    }
+    out += "] image[";
+    for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
+        const Word *v = oracle_.find(la * wordsPerLine_ + wi);
+        out += strprintf(wi ? " 0x%llx" : "0x%llx",
+                         static_cast<unsigned long long>(v ? *v : 0));
+    }
+    out += "]";
+    return out;
 }
 
 void
@@ -188,14 +224,14 @@ CoherenceChecker::checkLine(LineAddr la,
         }
     }
 
-    // Stamp the reproduction tag (fault seed/schedule) onto every
-    // violation this line contributed.
+    // Stamp the full per-cache/memory/image state vector and the
+    // reproduction tag (fault seed/schedule) onto every violation this
+    // line contributed, so an empirical violation reads exactly like a
+    // model-checker counterexample node.
     if (violations.size() > first) {
-        std::string tag = annotation();
-        if (!tag.empty()) {
-            for (std::size_t i = first; i < violations.size(); ++i)
-                violations[i] += tag;
-        }
+        std::string suffix = describeLine(la) + annotation();
+        for (std::size_t i = first; i < violations.size(); ++i)
+            violations[i] += suffix;
     }
 }
 

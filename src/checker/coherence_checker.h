@@ -91,6 +91,17 @@ class CoherenceChecker : public TraceSink
         return v ? *v : 0;
     }
 
+    /**
+     * Render the full system-wide picture of one line: every cache's
+     * consistency state and data words, the memory words, and the
+     * shared-image (oracle) words.  Appended to every violation and
+     * read-mismatch message so empirical failures and model-checker
+     * counterexamples describe states identically, and usable directly
+     * by tests and the mc replayer as the canonical state-vector
+     * rendering.
+     */
+    std::string describeLine(LineAddr la) const;
+
     /** TraceSink: every completed transaction dirties its line. */
     void onBusTransaction(const BusRequest &req,
                           const BusResult &result,

@@ -13,14 +13,19 @@
  *                       points and applies the paper's notes 9-12
  *                       weakenings;
  *   - RandomChooser:    a different uniformly random legal action at
- *                       every decision (the paper's "extreme case").
+ *                       every decision (the paper's "extreme case");
+ *   - SequenceChooser:  every decision is *driven* from an external
+ *                       ChoiceSource, so an enumerator or a replayer
+ *                       can inject an explicit choice sequence.
  */
 
 #ifndef FBSIM_CORE_POLICY_H_
 #define FBSIM_CORE_POLICY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/random.h"
 #include "core/actions.h"
@@ -173,6 +178,116 @@ class RandomChooser : public ActionChooser
 
   private:
     Rng rng_;
+};
+
+/**
+ * Where a SequenceChooser's decisions come from.  pick() is called
+ * once per chooser consultation - i.e. once for *every* non-empty
+ * table cell the cache walks, singleton cells included - so a recorded
+ * stream replays position-for-position against any consumer that
+ * walks the same cells in the same order (the model checker's
+ * transition executor is written to match the engine cell-for-cell).
+ */
+class ChoiceSource
+{
+  public:
+    virtual ~ChoiceSource() = default;
+
+    /** Index of the chosen alternative; must be < n_alts (n_alts >= 1). */
+    virtual std::size_t pick(std::size_t n_alts) = 0;
+};
+
+/** Uniform random choices from a seeded Rng (tape-free fuzzing that a
+ *  model driven from an equally-seeded source can mirror exactly). */
+class RngChoiceSource : public ChoiceSource
+{
+  public:
+    explicit RngChoiceSource(std::uint64_t seed) : rng_(seed) {}
+
+    std::size_t
+    pick(std::size_t n_alts) override
+    {
+        return static_cast<std::size_t>(rng_.below(n_alts));
+    }
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * A pre-recorded choice script (counterexample replay).  Indices out
+ * of range for the presented cell, or consultations past the end of
+ * the script, fall back to alternative 0 and are counted in
+ * overruns() - a replayed trace that stays aligned never overruns.
+ */
+class ScriptChoiceSource : public ChoiceSource
+{
+  public:
+    explicit ScriptChoiceSource(std::vector<std::uint8_t> script)
+        : script_(std::move(script))
+    {
+    }
+
+    std::size_t
+    pick(std::size_t n_alts) override
+    {
+        if (pos_ >= script_.size()) {
+            ++overruns_;
+            return 0;
+        }
+        std::size_t idx = script_[pos_++];
+        if (idx >= n_alts) {
+            ++overruns_;
+            return 0;
+        }
+        return idx;
+    }
+
+    /** Script entries consumed so far. */
+    std::size_t consumed() const { return pos_; }
+
+    /** Picks that ran past the script or presented a short cell. */
+    std::size_t overruns() const { return overruns_; }
+
+  private:
+    std::vector<std::uint8_t> script_;
+    std::size_t pos_ = 0;
+    std::size_t overruns_ = 0;
+};
+
+/**
+ * Driven selection: every decision comes from a ChoiceSource.  This is
+ * the injection point the section 3.4 enumeration machinery needs -
+ * PreferredChooser/PolicyChooser/RandomChooser only ever *draw*
+ * choices; this chooser lets a model checker or replayer *dictate*
+ * them.  deterministic() is false so caches neither memoize the first
+ * decision nor take the fast local-hit path (both would skip
+ * consultations and desynchronise the stream).  The source must
+ * outlive the chooser.
+ */
+class SequenceChooser : public ActionChooser
+{
+  public:
+    explicit SequenceChooser(ChoiceSource &source) : source_(source) {}
+
+    LocalAction
+    chooseLocal(ClientKind, State, LocalEvent,
+                std::span<const LocalAction> alts) override
+    {
+        return alts[source_.pick(alts.size())];
+    }
+
+    SnoopAction
+    chooseSnoop(ClientKind, State, BusEvent,
+                std::span<const SnoopAction> alts) override
+    {
+        return alts[source_.pick(alts.size())];
+    }
+
+    bool deterministic() const override { return false; }
+
+  private:
+    ChoiceSource &source_;
 };
 
 } // namespace fbsim

@@ -1,0 +1,206 @@
+#include "mc/differential.h"
+
+#include <deque>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/policy.h"
+#include "sim/system.h"
+
+namespace fbsim {
+namespace mc {
+
+namespace {
+
+/** Per-cache Rng streams mirroring the engine's RngChoiceSources. */
+class RngFeed : public ChoiceFeed
+{
+  public:
+    RngFeed(std::size_t n, std::uint64_t seed)
+    {
+        for (std::size_t c = 0; c < n; ++c)
+            rngs_.emplace_back(cacheSeed(seed, c));
+    }
+
+    static std::uint64_t
+    cacheSeed(std::uint64_t seed, std::size_t cache)
+    {
+        return seed ^ ((cache + 1) * 0x9e3779b97f4a7c15ull);
+    }
+
+    std::size_t
+    pick(std::size_t cache, std::size_t n_alts) override
+    {
+        return static_cast<std::size_t>(rngs_[cache].below(n_alts));
+    }
+
+  private:
+    std::vector<Rng> rngs_;
+};
+
+/** Overwrite the model state with the engine's (stutter resync). */
+void
+adoptEngineState(const ModelConfig &mcfg, System &sys, ModelState &st)
+{
+    for (std::size_t c = 0; c < mcfg.numCaches(); ++c) {
+        for (std::size_t l = 0; l < mcfg.lines; ++l) {
+            const CacheLine *line =
+                sys.cacheOf(static_cast<MasterId>(c))->peekLine(l);
+            copyAt(mcfg, st, c, l) =
+                line ? ModelCopy{line->state, line->data[0]}
+                     : ModelCopy{};
+        }
+    }
+    for (std::size_t l = 0; l < mcfg.lines; ++l) {
+        st.mem[l] = sys.memory().peekWord(l, 0);
+        st.image[l] =
+            sys.checker().expected(static_cast<Addr>(l) * kWordBytes);
+    }
+}
+
+} // namespace
+
+DiffResult
+runDifferential(const DiffConfig &cfg)
+{
+    DiffResult res;
+    ModelConfig mcfg;
+    mcfg.tables = cfg.tables;
+    mcfg.lines = cfg.lines;
+    mcfg.maxBusRetries = cfg.maxBusRetries;
+    const std::size_t n = mcfg.numCaches();
+
+    SystemConfig sc;
+    sc.lineBytes = kWordBytes;
+    sc.maxBusRetries = cfg.maxBusRetries;
+    sc.checkEveryAccess = true;
+    sc.quarantineOnWatchdog = false;
+    if (cfg.faults) {
+        FaultConfig fc;
+        fc.seed = cfg.seed;
+        // Timing-only sites: they perturb when transactions complete,
+        // never what data they carry.
+        fc.spuriousAbort.probability = 0.05;
+        // Storms outlast the retry budget, so some accesses come back
+        // faulted and the stutter-resync path is genuinely exercised.
+        fc.abortStormProb = 0.05;
+        fc.abortStormLength = cfg.maxBusRetries + 4;
+        fc.memoryDelay.probability = 0.05;
+        fc.memoryDrop.probability = 0.02;
+        sc.faults = fc;
+    }
+    System sys(sc);
+
+    std::deque<RngChoiceSource> sources;
+    for (std::size_t c = 0; c < n; ++c) {
+        CacheSpec spec;
+        spec.table = cfg.tables[c];
+        spec.numSets = 1;
+        spec.assoc = cfg.lines;
+        if (!cfg.faults) {
+            sources.emplace_back(RngFeed::cacheSeed(cfg.seed, c));
+            RngChoiceSource &src = sources.back();
+            spec.makeChooser = [&src] {
+                return std::make_unique<SequenceChooser>(src);
+            };
+        }
+        // Faults on: the default PreferredChooser, whose draws are
+        // position-independent, so fault-induced retry rounds cannot
+        // shift any choice tape.
+        sys.addCache(spec);
+    }
+
+    std::unique_ptr<ChoiceFeed> feed;
+    if (cfg.faults)
+        feed = std::make_unique<PreferredFeed>();
+    else
+        feed = std::make_unique<RngFeed>(n, cfg.seed);
+
+    auto systemRender = [&] {
+        std::string out;
+        for (std::size_t l = 0; l < cfg.lines; ++l)
+            out += sys.checker().describeLine(l);
+        return out;
+    };
+
+    ModelState mst = initialState(mcfg);
+    Rng driver(cfg.seed * 0x2545f4914f6cdd1dull + 0xb5297a4d3u);
+
+    for (std::size_t i = 0; i < cfg.steps; ++i) {
+        std::vector<ModelEvent> events = legalEvents(mcfg, mst);
+        const ModelEvent ev = events[driver.below(events.size())];
+        const Addr addr = static_cast<Addr>(ev.line) * kWordBytes;
+        const auto id = static_cast<MasterId>(ev.cache);
+
+        Word wval = 0;
+        if (ev.ev == LocalEvent::Write)
+            wval = nextWriteValue(mst, ev.line);
+
+        AccessOutcome out;
+        switch (ev.ev) {
+          case LocalEvent::Read:
+            out = sys.read(id, addr);
+            break;
+          case LocalEvent::Write:
+            out = sys.write(id, addr, wval);
+            break;
+          case LocalEvent::Pass:
+            out = sys.flush(id, addr, /*keep_copy=*/true);
+            break;
+          case LocalEvent::Flush:
+            out = sys.flush(id, addr, /*keep_copy=*/false);
+            break;
+        }
+        ++res.stepsRun;
+
+        if (out.faulted) {
+            fbsim_assert(cfg.faults);
+            // Stutter: the model cannot express the half-completed
+            // transaction; adopt the engine's state and carry on.
+            ++res.faultedSteps;
+            adoptEngineState(mcfg, sys, mst);
+            continue;
+        }
+
+        StepResult mr = stepModel(mcfg, mst, ev, *feed, nullptr);
+        if (!mr.ok) {
+            res.ok = false;
+            res.errors.push_back(strprintf(
+                "step %zu: model rejected the transition the engine "
+                "executed: %s",
+                i,
+                mr.violations.empty() ? "?"
+                                      : mr.violations[0].c_str()));
+            break;
+        }
+        if (ev.ev == LocalEvent::Read && out.value != mr.value) {
+            res.ok = false;
+            res.errors.push_back(strprintf(
+                "step %zu: engine read 0x%llx, model read 0x%llx", i,
+                static_cast<unsigned long long>(out.value),
+                static_cast<unsigned long long>(mr.value)));
+        }
+        std::string mrender = renderStateVector(mcfg, mst);
+        std::string srender = systemRender();
+        if (mrender != srender) {
+            res.ok = false;
+            res.errors.push_back(
+                strprintf("step %zu: state vectors diverge\n"
+                          "  model :%s\n  system:%s",
+                          i, mrender.c_str(), srender.c_str()));
+        }
+        if (res.errors.size() >= 5)
+            break;
+    }
+
+    if (!sys.violations().empty()) {
+        res.ok = false;
+        res.errors.push_back("engine recorded checker violations: " +
+                             sys.violations()[0]);
+    }
+    return res;
+}
+
+} // namespace mc
+} // namespace fbsim

@@ -70,13 +70,19 @@ System::addCache(const CacheSpec &spec)
                                  : ClientKind::CopyBack;
     cfg.seed = spec.seed;
     cfg.discardNearReplacement = spec.discardNearReplacement;
-    if (spec.writeThrough && spec.protocol != ProtocolKind::Moesi)
+    if (spec.writeThrough && !spec.table &&
+        spec.protocol != ProtocolKind::Moesi)
         fbsim_fatal("write-through clients use the MOESI table's \"*\" "
                     "entries; pick ProtocolKind::Moesi");
 
+    const ProtocolTable &table =
+        spec.table ? *spec.table : protocolTable(spec.protocol);
+    auto chooser = spec.makeChooser
+                       ? spec.makeChooser()
+                       : makeChooser(spec.chooser, spec.policy,
+                                     spec.seed);
     auto cache = std::make_unique<SnoopingCache>(
-        id, *bus_, protocolTable(spec.protocol),
-        makeChooser(spec.chooser, spec.policy, spec.seed), cfg);
+        id, *bus_, table, std::move(chooser), cfg);
     if (faults_)
         cache->setFaultTolerant(true);
     bus_->attach(cache.get());

@@ -11,6 +11,7 @@
 #ifndef FBSIM_SIM_SYSTEM_H_
 #define FBSIM_SIM_SYSTEM_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -110,6 +111,18 @@ struct CacheSpec
     bool writeThrough = false;           ///< "*" client (MOESI only)
     bool discardNearReplacement = false; ///< section 5.2 refinement
     std::uint64_t seed = 1;
+    /**
+     * Explicit protocol table overriding `protocol` (testing: deliber-
+     * ately perturbed tables for counterexample studies).  Must outlive
+     * the system.  Null = the stock table for `protocol`.
+     */
+    const ProtocolTable *table = nullptr;
+    /**
+     * Explicit chooser overriding `chooser`/`policy` (a SequenceChooser
+     * driven from a recorded script, for counterexample replay and
+     * lockstep model comparison).  Called once per addCache.
+     */
+    std::function<std::unique_ptr<ActionChooser>()> makeChooser;
 };
 
 /** A shared-bus multiprocessor. */
