@@ -157,6 +157,92 @@ BM_EngineThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_EngineThroughput)->Arg(2)->Arg(8)->Arg(32);
 
+/** Engine throughput pinned to one ordering mode. */
+void
+engineThroughputOrdered(benchmark::State &state, EngineOrdering ordering)
+{
+    std::size_t procs = state.range(0);
+    Arch85Params params;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        ProtocolSetup setup;
+        auto sys = makeSystem(setup, procs);
+        auto streams = makeArch85Streams(params, procs, 3);
+        std::vector<RefStream *> raw;
+        for (auto &s : streams)
+            raw.push_back(s.get());
+        state.ResumeTiming();
+        EngineConfig cfg;
+        cfg.ordering = ordering;
+        Engine engine(*sys, cfg);
+        engine.run(raw, 2000);
+        total += 2000 * procs;
+    }
+    state.SetItemsProcessed(total);
+}
+
+/**
+ * The reference point for the speculative loop: the plain interleaved
+ * scheduler, whose results the strict speculative mode reproduces
+ * byte-for-byte.  The speculative/interleaved pair on the same
+ * workload is the honest speedup measurement - same semantics, same
+ * per-read verification, different execution strategy.
+ */
+void
+BM_InterleavedEngineThroughput(benchmark::State &state)
+{
+    engineThroughputOrdered(state, EngineOrdering::Interleaved);
+}
+BENCHMARK(BM_InterleavedEngineThroughput)->Arg(8);
+
+/**
+ * Strict speculative post-grant execution: runs of provable local
+ * hits batch-execute between bus transactions and commit at the next
+ * serialization point, with epoch rollback on snoop conflicts.
+ */
+void
+BM_SpeculativeEngineThroughput(benchmark::State &state)
+{
+    engineThroughputOrdered(state, EngineOrdering::Strict);
+}
+BENCHMARK(BM_SpeculativeEngineThroughput)->Arg(8)->Arg(32);
+
+/**
+ * Adversarial rollback storm: every processor ping-pongs over the
+ * same four hot lines under an invalidating protocol (Berkeley), so
+ * speculated hit runs are constantly killed by foreign write
+ * invalidations and replayed.  Guards the rollback path's worst case:
+ * speculation must not fall off a cliff when conflicts dominate.
+ */
+void
+BM_SpeculativeRollbackStorm(benchmark::State &state)
+{
+    const std::size_t procs = state.range(0);
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        ProtocolSetup setup;
+        setup.protocol = ProtocolKind::Berkeley;
+        auto sys = makeSystem(setup, procs);
+        std::vector<std::unique_ptr<RefStream>> streams;
+        std::vector<RefStream *> raw;
+        for (std::size_t p = 0; p < procs; ++p) {
+            streams.push_back(std::make_unique<PingPongWorkload>(
+                32, 4, p, p + 11, 2));
+            raw.push_back(streams.back().get());
+        }
+        state.ResumeTiming();
+        EngineConfig cfg;
+        cfg.ordering = EngineOrdering::Strict;
+        Engine engine(*sys, cfg);
+        engine.run(raw, 2000);
+        total += 2000 * procs;
+    }
+    state.SetItemsProcessed(total);
+}
+BENCHMARK(BM_SpeculativeRollbackStorm)->Arg(8);
+
 /**
  * Engine throughput with the observability layer attached: a
  * per-master LatencyRecorder plus a buffering Perfetto sink on the bus

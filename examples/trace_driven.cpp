@@ -6,6 +6,7 @@
  *
  * Usage:
  *   trace_driven <trace-file> [protocol|all] [procs] [--jobs N]
+ *                [--ordering strict|perline|interleaved]
  *                [--trace-out out.json [--trace-job N]]
  *                [--metrics-out out.json] [--warn-limit N] [--faults]
  *   trace_driven --generate <trace-file> [procs] [refs]
@@ -24,6 +25,13 @@
  * over the same trace in one CampaignRunner invocation and `--jobs N`
  * spreads the sweep over N worker threads (the merged table is
  * bit-identical for every N).
+ *
+ * --ordering picks the engine scheduling mode (DESIGN.md §5.17):
+ * `strict` (the default) batches provable local hits speculatively but
+ * stays byte-identical to `interleaved`; `perline` relaxes cross-line
+ * ordering for the fastest replay.  When a mode actually commits
+ * speculative batches the sweep table grows spec%/batches/rollbk
+ * columns.
  *
  * The --generate mode writes a synthetic Archibald-Baer style trace so
  * the example is runnable with no external data (the paper itself had
@@ -98,6 +106,8 @@ main(int argc, char **argv)
     const char *metrics_out = nullptr;
     std::size_t trace_job = 0;
     bool with_faults = false;
+    EngineOrdering ordering = EngineOrdering::Strict;
+    const char *ordering_name = "strict";
     std::vector<char *> args;
     auto flagValue = [&](int &i, const char *name,
                          const char **value) {
@@ -132,6 +142,21 @@ main(int argc, char **argv)
             metrics_out = value;
         } else if (flagValue(i, "--trace-job", &value)) {
             trace_job = static_cast<std::size_t>(std::atoll(value));
+        } else if (flagValue(i, "--ordering", &value)) {
+            if (std::strcmp(value, "strict") == 0) {
+                ordering = EngineOrdering::Strict;
+            } else if (std::strcmp(value, "perline") == 0) {
+                ordering = EngineOrdering::PerLine;
+            } else if (std::strcmp(value, "interleaved") == 0) {
+                ordering = EngineOrdering::Interleaved;
+            } else {
+                std::fprintf(stderr,
+                             "--ordering wants strict, perline or "
+                             "interleaved, not %s\n",
+                             value);
+                return 1;
+            }
+            ordering_name = value;
         } else if (flagValue(i, "--warn-limit", &value)) {
             setWarnSiteLimit(static_cast<unsigned>(std::atoi(value)));
         } else if (std::strcmp(argv[i], "--faults") == 0) {
@@ -148,7 +173,9 @@ main(int argc, char **argv)
     if (args.empty()) {
         std::fprintf(stderr,
                      "usage: %s <trace-file> [protocol|all] [procs] "
-                     "[--jobs N] [--timeout-ms N] [--retries N] "
+                     "[--jobs N] "
+                     "[--ordering strict|perline|interleaved] "
+                     "[--timeout-ms N] [--retries N] "
                      "[--journal path [--resume]] "
                      "[--trace-out path [--trace-job N]] "
                      "[--metrics-out path] [--warn-limit N] "
@@ -195,14 +222,15 @@ main(int argc, char **argv)
         shortest = std::min(shortest, n ? n : 1);
 
     std::printf("%zu references, %zu processors, protocol %s, "
-                "--jobs %u\n",
+                "--jobs %u, --ordering %s\n",
                 trace->size(), procs,
                 sweep_all ? "all"
                           : std::string(protocolKindName(kind)).c_str(),
-                jobs);
+                jobs, ordering_name);
 
     CampaignSpec spec;
     spec.refsPerProc = shortest;
+    spec.engine.ordering = ordering;
     if (with_faults) {
         // Timing faults only (no data corruption), so every job stays
         // consistent while the retry/watchdog/quarantine/reintegration

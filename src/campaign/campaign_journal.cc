@@ -17,7 +17,10 @@ constexpr char kMagic[] = "fbsim-campaign-journal";
 // v2: records carry the job's metric snapshot (resumed rows must
 // reproduce the metric blocks byte-identically).  v1 journals fail
 // the header match and are treated as a different campaign's file.
-constexpr char kVersion[] = "v2";
+// v3: records carry the job's SpecStats (the sweep table grows
+// speculation columns when a job committed batches, and resumed rows
+// must render them identically).
+constexpr char kVersion[] = "v3";
 
 /** FNV-1a over a byte string. */
 std::uint64_t
@@ -316,6 +319,32 @@ encodeJournalRecord(const CampaignResult &r)
     putU64(out, f.responseFlips);
     putU64(out, f.snooperMutes);
 
+    // Speculation counters + log2 histograms, same sparse bucket
+    // encoding as the metric snapshot below.
+    auto putHist = [&out](const HistogramData &h) {
+        putU64(out, h.count);
+        putU64(out, h.sum);
+        putU64(out, h.min);
+        putU64(out, h.max);
+        std::uint64_t nonzero = 0;
+        for (std::uint64_t b : h.buckets)
+            nonzero += (b != 0);
+        putU64(out, nonzero);
+        for (std::size_t i = 0; i < HistogramData::kBuckets; ++i) {
+            if (h.buckets[i] != 0) {
+                putU64(out, i);
+                putU64(out, h.buckets[i]);
+            }
+        }
+    };
+    const SpecStats &sp = r.speculation;
+    putU64(out, sp.batches);
+    putU64(out, sp.specRefs);
+    putU64(out, sp.rollbacks);
+    putU64(out, sp.rolledBackRefs);
+    putHist(sp.batchLen.data());
+    putHist(sp.rollbackDepth.data());
+
     putU64(out, r.watchdogTrips);
     putU64(out, r.quarantines);
     putU64(out, r.reintegrations);
@@ -427,6 +456,31 @@ decodeJournalRecord(const std::string &line)
         !u64(f.memoryDelays) || !u64(f.memoryDrops) ||
         !u64(f.dataFlips) || !u64(f.responseFlips) ||
         !u64(f.snooperMutes))
+        return std::nullopt;
+
+    auto hist = [&](Histogram &out) {
+        HistogramData h;
+        std::uint64_t nonzero = 0;
+        if (!u64(h.count) || !u64(h.sum) || !u64(h.min) ||
+            !u64(h.max) || !t.u64(nonzero) ||
+            nonzero > HistogramData::kBuckets)
+            return false;
+        for (std::uint64_t i = 0; i < nonzero; ++i) {
+            std::uint64_t idx = 0, count = 0;
+            if (!t.u64(idx) || idx >= HistogramData::kBuckets ||
+                !t.u64(count))
+                return false;
+            h.buckets[idx] = count;
+        }
+        // A fresh Histogram is empty, so merging the decoded data
+        // restores it exactly (min/max widen from the empty extremes).
+        out.merge(h);
+        return true;
+    };
+    SpecStats &sp = r.speculation;
+    if (!u64(sp.batches) || !u64(sp.specRefs) || !u64(sp.rollbacks) ||
+        !u64(sp.rolledBackRefs) || !hist(sp.batchLen) ||
+        !hist(sp.rollbackDepth))
         return std::nullopt;
 
     std::uint64_t status = 0, attempts = 0;

@@ -145,6 +145,9 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
     result.job = job;
     EngineConfig ecfg = spec.engine;
     ecfg.latency = &latency;
+    // Speculation counters are captured per job (a spec-level pointer
+    // would be shared across worker threads); the result carries them.
+    ecfg.specStats = &result.speculation;
     if (trace)
         ecfg.trace = trace;
     Engine engine(system, ecfg);

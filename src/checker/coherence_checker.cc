@@ -12,6 +12,7 @@ CoherenceChecker::CoherenceChecker(const MainMemory &memory,
       wordsPerLine_(line_bytes / kWordBytes)
 {
     fbsim_assert(wordsPerLine_ == memory.wordsPerLine());
+    fbsim_assert((line_bytes & (line_bytes - 1)) == 0);
 }
 
 void
@@ -72,10 +73,11 @@ CoherenceChecker::describeLine(LineAddr la) const
             static_cast<unsigned long long>(memory_.peekWord(la, wi)));
     }
     out += "] image[";
+    const Word *ow = expectedLine(la);
     for (std::size_t wi = 0; wi < wordsPerLine_; ++wi) {
-        const Word *v = oracle_.find(la * wordsPerLine_ + wi);
-        out += strprintf(wi ? " 0x%llx" : "0x%llx",
-                         static_cast<unsigned long long>(v ? *v : 0));
+        out += strprintf(
+            wi ? " 0x%llx" : "0x%llx",
+            static_cast<unsigned long long>(ow ? ow[wi] : 0));
     }
     out += "]";
     return out;
@@ -103,9 +105,8 @@ CoherenceChecker::checkInvariants() const
     }
     memory_.forEachLine(
         [&](LineAddr la, std::span<const Word>) { lines.insert(la); });
-    oracle_.forEach([&](Addr word_idx, Word) {
-        lines.insert(word_idx / wordsPerLine_);
-    });
+    oracleSlot_.forEach(
+        [&](std::uint64_t la, std::uint64_t) { lines.insert(la); });
 
     for (LineAddr la : lines)
         checkLine(la, violations);
@@ -133,11 +134,10 @@ CoherenceChecker::checkLine(LineAddr la,
     int valid_holders = 0;
     const SnoopingCache *exclusive_cache = nullptr;
 
-    // Oracle lookup by flat word index - one multiply, no byte-address
-    // remasking per word.
+    // One slab probe for the whole line; absent means never written.
+    const Word *ow = expectedLine(la);
     auto expected_word = [&](std::size_t wi) {
-        const Word *v = oracle_.find(la * wordsPerLine_ + wi);
-        return v ? *v : Word{0};
+        return ow ? ow[wi] : Word{0};
     };
 
     for (const SnoopingCache *cache : caches_) {

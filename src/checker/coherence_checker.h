@@ -73,7 +73,7 @@ class CoherenceChecker : public TraceSink
      *  line). */
     void noteWrite(Addr addr, Word value)
     {
-        oracle_[wordKey(addr)] = value;
+        oracleLine(addr / lineBytes_)[wordIndexOf(addr)] = value;
         if (trackDirty_)
             dirty_.insert(addr / lineBytes_);
     }
@@ -87,8 +87,30 @@ class CoherenceChecker : public TraceSink
     /** Oracle value for a word address. */
     Word expected(Addr addr) const
     {
-        const Word *v = oracle_.find(wordKey(addr));
-        return v ? *v : 0;
+        const Word *w = expectedLine(addr / lineBytes_);
+        return w ? w[wordIndexOf(addr)] : 0;
+    }
+
+    /**
+     * The oracle's wordsPerLine contiguous words for `la`, or null
+     * when no word of the line was ever written (every word then
+     * reads as 0).  One hash probe per line instead of one per word;
+     * stable across reads, so a drain loop may memoize it for a run
+     * of same-line hits and verify each with an indexed load.
+     * Invalidated by any noteWrite.
+     */
+    const Word *expectedLine(LineAddr la) const
+    {
+        // Dense fast path: workloads address lines from 0, so the
+        // common case is a bounds check and an indexed load instead of
+        // a hash probe.  Entry 0 means "never written"; offsets are
+        // stored +1.
+        if (la < denseOff_.size()) {
+            std::uint64_t off = denseOff_[la];
+            return off ? oracleWords_.data() + (off - 1) : nullptr;
+        }
+        const std::uint64_t *off = oracleSlot_.find(la);
+        return off ? oracleWords_.data() + *off : nullptr;
     }
 
     /**
@@ -162,6 +184,18 @@ class CoherenceChecker : public TraceSink
     /** Total checks performed (for reporting). */
     std::uint64_t checksRun() const { return checksRun_; }
 
+    /**
+     * Pre-size the value oracle for an expected number of distinct
+     * written words.  Purely an allocation hint: the oracle contents
+     * and lookup results are identical with or without it, it only
+     * moves the incremental rehashes to the front of the run.
+     */
+    void reserveOracle(std::size_t expected_words)
+    {
+        oracleSlot_.reserve(expected_words / wordsPerLine_ + 1);
+        oracleWords_.reserve(expected_words);
+    }
+
   private:
     /** Run all invariants for one line, appending violations. */
     void checkLine(LineAddr la, std::vector<std::string> &out) const;
@@ -170,14 +204,40 @@ class CoherenceChecker : public TraceSink
     std::string annotation() const
     { return annotator_ ? " " + annotator_() : std::string(); }
 
-    /** Oracle key: word-aligned index into the flat address space. */
-    static Addr wordKey(Addr addr) { return addr / kWordBytes; }
+    /** Word index within a line (line sizes are powers of two). */
+    std::size_t wordIndexOf(Addr addr) const
+    { return (addr / kWordBytes) & (wordsPerLine_ - 1); }
+
+    /** The line's oracle slab, allocating a zero-filled one if new. */
+    Word *oracleLine(LineAddr la)
+    {
+        std::uint64_t *off = oracleSlot_.find(la);
+        if (off == nullptr) {
+            std::uint64_t at = oracleWords_.size();
+            oracleSlot_[la] = at;
+            oracleWords_.resize(at + wordsPerLine_, 0);
+            if (la < kDenseLines) {
+                if (la >= denseOff_.size())
+                    denseOff_.resize(
+                        static_cast<std::size_t>(la) + 1, 0);
+                denseOff_[static_cast<std::size_t>(la)] = at + 1;
+            }
+            return oracleWords_.data() + at;
+        }
+        return oracleWords_.data() + *off;
+    }
+
+    /// Largest line address mirrored in the dense lookup array (caps
+    /// its memory at 512 KiB even for adversarial sparse traces).
+    static constexpr LineAddr kDenseLines = 1u << 16;
 
     const MainMemory &memory_;
     std::size_t lineBytes_;
     std::size_t wordsPerLine_;
     std::vector<const SnoopingCache *> caches_;
-    FlatMap64<Word> oracle_;                  ///< word index -> value
+    FlatMap64<std::uint64_t> oracleSlot_;  ///< line -> oracleWords_ offset
+    std::vector<Word> oracleWords_;        ///< zero-filled line slabs
+    std::vector<std::uint64_t> denseOff_;  ///< low lines: offset + 1, 0 = absent
     std::unordered_set<LineAddr> dirty_;
     bool trackDirty_ = true;
     std::function<std::string()> annotator_;

@@ -123,6 +123,20 @@ class FlatMap64
         return false;
     }
 
+    /**
+     * Grow the table so that `expected` entries fit without further
+     * rehashing (load kept under 3/4).  Contents and lookups are
+     * unaffected; forEach order is unspecified either way.
+     */
+    void reserve(std::size_t expected)
+    {
+        std::size_t want = kMinSlots;
+        while (expected + 1 > (want / 4) * 3)
+            want *= 2;
+        if (want > slots_.size())
+            rehash(want);
+    }
+
     /** Visit every (key, value) pair in unspecified order. */
     template <typename Fn>
     void forEach(Fn &&fn) const

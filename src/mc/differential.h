@@ -27,6 +27,7 @@
 #define FBSIM_MC_DIFFERENTIAL_H_
 
 #include "mc/model.h"
+#include "sim/engine.h"
 
 namespace fbsim {
 namespace mc {
@@ -55,6 +56,34 @@ struct DiffResult
 
 /** Run the lockstep walk; stops early after a few divergences. */
 DiffResult runDifferential(const DiffConfig &cfg);
+
+/**
+ * Sharded-engine differential: the timed Engine runs one seeded
+ * workload at every shard count in `shardCounts`, and each run's
+ * functional access log, timing result and final checker state vector
+ * must be byte-identical - intra-run sharding must never change what
+ * the engine computes, only how fast.  The serial run's access log is
+ * then replayed against the abstract model (PreferredFeed on both
+ * sides), which must accept every transition and land on the same
+ * state vector; together the two checks pin the sharded drain to the
+ * interleaved semantics the model formalizes.
+ */
+struct ShardDiffConfig
+{
+    /** One table per cache/processor (2-4). */
+    std::vector<const ProtocolTable *> tables;
+    std::size_t lines = 2;
+    std::size_t refsPerProc = 4000;
+    std::uint64_t seed = 1;
+    /** Engine ordering mode under test (sharding applies to the
+     *  deferred fast paths; Strict also covers the speculative
+     *  loop's sharded cold round). */
+    EngineOrdering ordering = EngineOrdering::PerLine;
+    /** Shard counts to cross-compare; the first is the reference. */
+    std::vector<unsigned> shardCounts = {1, 4};
+};
+
+DiffResult runShardDifferential(const ShardDiffConfig &cfg);
 
 } // namespace mc
 } // namespace fbsim

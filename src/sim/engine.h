@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bus/arbiter.h"
+#include "obs/metrics.h"
 #include "sim/system.h"
 #include "trace/ref_stream.h"
 
@@ -27,6 +28,52 @@ namespace fbsim {
 class LatencyRecorder;
 class ThreadPool;
 class TraceSink;
+
+/**
+ * How the engine orders references relative to bus transactions.
+ *
+ * Strict is the default: the speculative batch loop whose observable
+ * outcome (EngineResult, cache/bus/checker state, violation strings)
+ * is byte-identical to the classic interleaved loop - speculation is
+ * purely an execution strategy.  PerLine relaxes that to the window
+ * discipline, which retains only per-line ordering (each line still
+ * sees its accesses in a legal serialization; the global interleaving
+ * differs) - validated against the src/mc differential oracle rather
+ * than bit-exactly.  Interleaved forces the classic loop (the
+ * reference semantics both other modes are measured against).
+ */
+enum class EngineOrdering : std::uint8_t
+{
+    Strict = 0,
+    PerLine = 1,
+    Interleaved = 2,
+};
+
+/**
+ * Speculation observability: deterministic counters and log2
+ * histograms in the simulation domain (two runs of one seed produce
+ * equal contents).  Lives outside EngineResult so the byte-identity
+ * contract of EngineResult::operator== is untouched.
+ */
+struct SpecStats
+{
+    std::uint64_t batches = 0;        ///< nonzero commit batches
+    std::uint64_t specRefs = 0;       ///< refs committed from speculation
+    std::uint64_t rollbacks = 0;      ///< conflict-triggered rollbacks
+    std::uint64_t rolledBackRefs = 0; ///< refs undone (later replayed)
+    Histogram batchLen;               ///< per-proc commit batch lengths
+    Histogram rollbackDepth;          ///< refs undone per rollback
+};
+
+/** One functionally-committed access, in commit order. */
+struct EngineAccess
+{
+    MasterId proc = 0;
+    bool write = false;
+    Addr addr = 0;
+
+    bool operator==(const EngineAccess &) const = default;
+};
 
 /**
  * Cooperative cancellation for supervised runs.  Worker threads cannot
@@ -85,6 +132,24 @@ struct EngineConfig
     /** Optional trace sink for per-reference bus spans.  Null =
      *  detached.  Not owned. */
     TraceSink *trace = nullptr;
+    /**
+     * Reference-vs-transaction ordering discipline; see
+     * EngineOrdering.  Strict and PerLine take effect only on the
+     * plain access path with eligible caches; anything else falls
+     * back to the interleaved loop, whose semantics both represent.
+     */
+    EngineOrdering ordering = EngineOrdering::Strict;
+    /** Speculation counters sink (not owned; null = detached).  Only
+     *  the speculative strict loop writes it. */
+    SpecStats *specStats = nullptr;
+    /**
+     * Functional access log sink (not owned; null = detached).  Every
+     * loop appends each reference at its functional commit point, so
+     * the log is byte-identical across shard counts and, per line,
+     * across orderings - the lockstep cross-validation harness
+     * replays it against the abstract model.
+     */
+    std::vector<EngineAccess> *accessLog = nullptr;
 };
 
 /** Per-processor timing results. */
@@ -196,6 +261,23 @@ class Engine
     EngineResult runWindowed(const std::vector<RefStream *> &streams,
                              std::uint64_t refs_per_proc,
                              const RunControl *control);
+
+    /**
+     * Strict-mode speculative loop: between bus transactions every
+     * processor batch-executes its run of provable local hits ahead
+     * of the global order, with a bounded undo log per cache; at each
+     * serialization point the prefix preceding the transaction (in
+     * the interleaved functional order) commits and conflicting
+     * suffixes roll back and replay.  Observable outcome is
+     * byte-identical to runInterleaved.  Requires every client to be
+     * a speculation-eligible cache (SnoopingCache::specEligible).
+     */
+    EngineResult runSpeculative(const std::vector<RefStream *> &streams,
+                                std::uint64_t refs_per_proc,
+                                const RunControl *control);
+
+    /** True when runSpeculative may serve this system. */
+    bool specEligible() const;
 
     System &system_;
     EngineConfig config_;

@@ -31,6 +31,20 @@ class RefStream
 
     /** Produce the next reference. */
     virtual ProcRef next() = 0;
+
+    /**
+     * Produce the next `n` references into `out`, exactly the
+     * sequence n calls to next() would yield.  The default loops
+     * next(); generators with a cheap inner loop override it so batch
+     * consumers (the speculative engine) skip the virtual dispatch
+     * per reference.
+     */
+    virtual void
+    nextBatch(ProcRef *out, std::size_t n)
+    {
+        for (std::size_t k = 0; k < n; ++k)
+            out[k] = next();
+    }
 };
 
 /** Replays a fixed vector, cycling when exhausted. */
@@ -48,6 +62,15 @@ class VectorStream : public RefStream
         ProcRef r = refs_[pos_];
         pos_ = (pos_ + 1) % refs_.size();
         return r;
+    }
+
+    void
+    nextBatch(ProcRef *out, std::size_t n) override
+    {
+        for (std::size_t k = 0; k < n; ++k) {
+            out[k] = refs_[pos_];
+            pos_ = (pos_ + 1) % refs_.size();
+        }
     }
 
   private:
@@ -72,6 +95,15 @@ class SpanStream : public RefStream
         ProcRef r = refs_[pos_];
         pos_ = (pos_ + 1) % refs_.size();
         return r;
+    }
+
+    void
+    nextBatch(ProcRef *out, std::size_t n) override
+    {
+        for (std::size_t k = 0; k < n; ++k) {
+            out[k] = refs_[pos_];
+            pos_ = (pos_ + 1) % refs_.size();
+        }
     }
 
   private:

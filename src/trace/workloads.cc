@@ -73,6 +73,32 @@ Arch85Workload::next()
     return ref;
 }
 
+void
+Arch85Workload::nextBatch(ProcRef *out, std::size_t n)
+{
+    // Same draw sequence as n calls to next(); the generator state,
+    // thresholds and bases live in registers across the loop.
+    const std::size_t words = params_.lineBytes / kWordBytes;
+    for (std::size_t k = 0; k < n; ++k) {
+        ProcRef ref;
+        if (rng_.next() < sharedThresh_) {
+            std::size_t line = rng_.below(params_.sharedLines);
+            Addr base = sharedBase() + line * params_.lineBytes;
+            ref.addr = base + rng_.below(words) * kWordBytes;
+            ref.write = rng_.next() < sharedWriteThresh_;
+        } else {
+            std::size_t depth = rng_.geometric(params_.pLocality);
+            std::size_t line = depth < params_.privateLines
+                                   ? depth
+                                   : depth % params_.privateLines;
+            Addr base = privateBase_ + line * params_.lineBytes;
+            ref.addr = base + rng_.below(words) * kWordBytes;
+            ref.write = rng_.next() < privateWriteThresh_;
+        }
+        out[k] = ref;
+    }
+}
+
 PingPongWorkload::PingPongWorkload(std::size_t line_bytes,
                                    std::size_t hot_lines,
                                    std::size_t proc, std::uint64_t seed,

@@ -66,6 +66,8 @@ class Arch85Workload : public RefStream
 
     ProcRef next() override;
 
+    void nextBatch(ProcRef *out, std::size_t n) override;
+
     /** Base byte address of the shared region (line 0). */
     static Addr sharedBase() { return 0; }
 
