@@ -9,6 +9,7 @@
  *                [--ordering strict|perline|interleaved]
  *                [--trace-out out.json [--trace-job N]]
  *                [--metrics-out out.json] [--warn-limit N] [--faults]
+ *                [--clusters N] [--shrink]
  *   trace_driven --generate <trace-file> [procs] [refs]
  *
  * --trace-out writes a Chrome/Perfetto trace_event JSON of the
@@ -20,6 +21,16 @@
  * delays/drops - consistency-preserving by construction) with the
  * quarantine/reintegration ladder enabled, so the exported trace
  * demonstrates the full event vocabulary.
+ *
+ * --clusters N replays the trace over an N-leaf multi-bus hierarchy
+ * (caches round-robined across clusters behind BusBridges) instead of
+ * one flat bus; MOESI-class protocols only, and with --faults the
+ * bridge fault sites (dropped/delayed/duplicated forwards, stale
+ * filter bits, leaf stalls) and the segment quarantine ladder are
+ * armed too.  --shrink greedily minimizes the fault schedule of the
+ * first failing job (site elimination, window bisection, script
+ * thinning) and prints the minimal "[fault-min ...]" replay tag; a
+ * fully consistent campaign has nothing to shrink.
  *
  * The replay runs as a campaign job, so `all` sweeps every protocol
  * over the same trace in one CampaignRunner invocation and `--jobs N`
@@ -43,6 +54,7 @@
 #include <memory>
 
 #include "campaign/campaign_runner.h"
+#include "fault/shrinker.h"
 #include "obs/perfetto_sink.h"
 #include "sim/engine.h"
 #include "sim/system.h"
@@ -106,6 +118,8 @@ main(int argc, char **argv)
     const char *metrics_out = nullptr;
     std::size_t trace_job = 0;
     bool with_faults = false;
+    bool shrink = false;
+    std::size_t clusters = 1;
     EngineOrdering ordering = EngineOrdering::Strict;
     const char *ordering_name = "strict";
     std::vector<char *> args;
@@ -161,6 +175,12 @@ main(int argc, char **argv)
             setWarnSiteLimit(static_cast<unsigned>(std::atoi(value)));
         } else if (std::strcmp(argv[i], "--faults") == 0) {
             with_faults = true;
+        } else if (std::strcmp(argv[i], "--shrink") == 0) {
+            shrink = true;
+        } else if (flagValue(i, "--clusters", &value)) {
+            clusters = static_cast<std::size_t>(std::atoi(value));
+            if (clusters == 0)
+                clusters = 1;
         } else {
             args.push_back(argv[i]);
         }
@@ -179,7 +199,7 @@ main(int argc, char **argv)
                      "[--journal path [--resume]] "
                      "[--trace-out path [--trace-job N]] "
                      "[--metrics-out path] [--warn-limit N] "
-                     "[--faults]\n"
+                     "[--faults] [--clusters N] [--shrink]\n"
                      "       %s --generate <trace-file> [procs] "
                      "[refs]\n",
                      argv[0], argv[0]);
@@ -250,17 +270,46 @@ main(int argc, char **argv)
         faults.memoryDrop.probability = 1.0;
         faults.memoryDrop.windowStart = 300;
         faults.memoryDrop.windowEnd = 500;
+        if (clusters > 1) {
+            // Arm the bridge fabric too: dropped/delayed/duplicated
+            // cross-bus forwards, stale filter bits and a leaf-stall
+            // window, all timing-only, so the hier recovery ladder
+            // (forward retries, bridge watchdog, segment quarantine,
+            // filter scrub) carries the campaign to a consistent end.
+            faults.bridgeDrop.probability = 0.02;
+            faults.bridgeDelay.probability = 0.02;
+            faults.bridgeDup.probability = 0.01;
+            faults.filterStale.probability = 0.02;
+            faults.leafStall.probability = 1.0;
+            faults.leafStall.windowStart = 600;
+            faults.leafStall.windowEnd = 680;
+        }
         spec.faults.push_back({"timing", faults});
         spec.base.maxBusRetries = 4;
         spec.base.watchdogRounds = 2;
         spec.base.quarantineAfterTrips = 1;
         spec.base.reintegrateAfterCycles = 2000;
+        spec.hier.maxBusRetries = 64;
+        spec.hier.watchdogRounds = 4;
+        spec.hier.quarantineAfterTrips = 2;
+        spec.hier.reintegrateAfterCycles = 4000;
+        spec.hier.scrubEveryAccesses = 512;
     }
+    spec.clusters = clusters;
     if (sweep_all) {
-        for (ProtocolKind k :
-             {ProtocolKind::Moesi, ProtocolKind::Berkeley,
-              ProtocolKind::Dragon, ProtocolKind::WriteOnce,
-              ProtocolKind::Illinois, ProtocolKind::Firefly})
+        // Only MOESI-class protocols can live on a leaf bus (aborts
+        // cannot cross a bridge), so the hier sweep is the compatible
+        // subset of the flat one.
+        std::vector<ProtocolKind> kinds =
+            clusters > 1
+                ? std::vector<ProtocolKind>{ProtocolKind::Moesi,
+                                            ProtocolKind::Berkeley,
+                                            ProtocolKind::Dragon}
+                : std::vector<ProtocolKind>{
+                      ProtocolKind::Moesi, ProtocolKind::Berkeley,
+                      ProtocolKind::Dragon, ProtocolKind::WriteOnce,
+                      ProtocolKind::Illinois, ProtocolKind::Firefly};
+        for (ProtocolKind k : kinds)
             spec.mixes.push_back(traceMix(k, procs));
     } else {
         spec.mixes.push_back(traceMix(kind, procs));
@@ -282,6 +331,45 @@ main(int argc, char **argv)
         writeCampaignMetricsJson(report, metrics_out);
         std::printf("metrics: written to %s\n", metrics_out);
     }
+
+    if (shrink) {
+        const CampaignResult *failing = nullptr;
+        for (const CampaignResult &r : report.results) {
+            if (!r.consistent) {
+                failing = &r;
+                break;
+            }
+        }
+        if (!failing || spec.faults.empty() ||
+            !spec.faults[failing->job.faultIdx].faults) {
+            std::printf("shrink: campaign consistent, "
+                        "nothing to minimize\n");
+        } else {
+            // Re-run only the failing job's slice (its mix over the
+            // same trace) under each candidate schedule; "still
+            // fails" = any violation recorded.  Site streams are
+            // name-derived, so disabling one site never perturbs the
+            // others' draws.
+            CampaignSpec probe = spec;
+            probe.mixes = {spec.mixes[failing->job.mixIdx]};
+            ShrinkResult minimal = shrinkFaultConfig(
+                *spec.faults[failing->job.faultIdx].faults,
+                [&probe](const FaultConfig &candidate) {
+                    probe.faults = {{"probe", candidate}};
+                    return !CampaignRunner(1).run(probe)
+                                .allConsistent();
+                },
+                failing->bus.transactions);
+            std::printf(
+                "shrink: %zu probes, %zu sites disabled, %zu script "
+                "entries dropped, %llu window transactions trimmed\n",
+                minimal.probes, minimal.sitesDisabled,
+                minimal.scriptEntriesDropped,
+                static_cast<unsigned long long>(
+                    minimal.windowTrimmed));
+            std::printf("%s\n", minimal.tag().c_str());
+        }
+    }
     std::fputs(warnSuppressionSummary().c_str(), stderr);
 
     if (sweep_all) {
@@ -293,6 +381,8 @@ main(int argc, char **argv)
     const CampaignResult &r = report.at(0);
     std::printf("\n%s\n%s", renderEngineResult(r.engine).c_str(),
                 renderBusStats(r.bus).c_str());
+    if (!r.faultReport.empty())
+        std::printf("\n%s", r.faultReport.c_str());
     std::printf("\ncoherence: %s\n",
                 r.consistent ? "consistent"
                              : r.violations.front().c_str());

@@ -20,7 +20,11 @@ constexpr char kMagic[] = "fbsim-campaign-journal";
 // v3: records carry the job's SpecStats (the sweep table grows
 // speculation columns when a job committed batches, and resumed rows
 // must render them identically).
-constexpr char kVersion[] = "v3";
+// v4: records carry scrubDivergence (hier jobs count bridge-filter
+// entries repaired by the audit-and-scrub pass) and the bridge-site
+// fault counters, and the fingerprint covers the cluster count (a
+// hier campaign must not resume from a flat campaign's journal).
+constexpr char kVersion[] = "v4";
 
 /** FNV-1a over a byte string. */
 std::uint64_t
@@ -223,7 +227,7 @@ campaignFingerprint(const CampaignSpec &spec)
 {
     std::uint64_t h = 0xcbf29ce484222325ull;
     std::uint64_t scalars[] = {spec.campaignSeed, spec.refsPerProc,
-                               spec.numJobs()};
+                               spec.numJobs(), spec.clusters};
     h = fnv1a(h, scalars, sizeof scalars);
     for (const ProtocolMix &m : spec.mixes) {
         h = fnvString(h, m.name);
@@ -318,6 +322,11 @@ encodeJournalRecord(const CampaignResult &r)
     putU64(out, f.dataFlips);
     putU64(out, f.responseFlips);
     putU64(out, f.snooperMutes);
+    putU64(out, f.bridgeDrops);
+    putU64(out, f.bridgeDelays);
+    putU64(out, f.bridgeDups);
+    putU64(out, f.filterStales);
+    putU64(out, f.leafStalls);
 
     // Speculation counters + log2 histograms, same sparse bucket
     // encoding as the metric snapshot below.
@@ -348,6 +357,7 @@ encodeJournalRecord(const CampaignResult &r)
     putU64(out, r.watchdogTrips);
     putU64(out, r.quarantines);
     putU64(out, r.reintegrations);
+    putU64(out, r.scrubDivergence);
     putU64(out, r.consistent ? 1 : 0);
     putU64(out, static_cast<std::uint64_t>(r.status));
     putU64(out, r.attempts);
@@ -455,7 +465,9 @@ decodeJournalRecord(const std::string &line)
     if (!u64(f.spuriousAborts) || !u64(f.stormAborts) ||
         !u64(f.memoryDelays) || !u64(f.memoryDrops) ||
         !u64(f.dataFlips) || !u64(f.responseFlips) ||
-        !u64(f.snooperMutes))
+        !u64(f.snooperMutes) || !u64(f.bridgeDrops) ||
+        !u64(f.bridgeDelays) || !u64(f.bridgeDups) ||
+        !u64(f.filterStales) || !u64(f.leafStalls))
         return std::nullopt;
 
     auto hist = [&](Histogram &out) {
@@ -485,7 +497,8 @@ decodeJournalRecord(const std::string &line)
 
     std::uint64_t status = 0, attempts = 0;
     if (!u64(r.watchdogTrips) || !u64(r.quarantines) ||
-        !u64(r.reintegrations) || !boolean(r.consistent) ||
+        !u64(r.reintegrations) || !u64(r.scrubDivergence) ||
+        !boolean(r.consistent) ||
         !t.u64(status) || status > 2 || !t.u64(attempts))
         return std::nullopt;
     r.status = static_cast<JobStatus>(status);

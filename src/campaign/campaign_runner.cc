@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "hier/hier_engine.h"
 #include "obs/export.h"
 #include "obs/latency.h"
 #include "obs/trace_sink.h"
@@ -83,38 +84,18 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
     // never dangle, even during System teardown.
     LatencyRecorder latency(procs);
 
-    // Per-job configuration: base overridden by the job's axis points.
-    SystemConfig config = spec.base;
+    // Per-job axis points, applied below to whichever configuration
+    // (flat SystemConfig or HierConfig) the job builds.
     const GeometryPoint *geometry =
         spec.geometries.empty() ? nullptr
                                 : &spec.geometries[job.geometryIdx];
-    if (geometry && geometry->lineBytes)
-        config.lineBytes = geometry->lineBytes;
-    if (!spec.costs.empty())
-        config.cost = spec.costs[job.costIdx].cost;
+    const bool haveFaultAxis =
+        static_cast<bool>(spec.faultFactory) || !spec.faults.empty();
+    std::optional<FaultConfig> jobFaults;
     if (spec.faultFactory)
-        config.faults = spec.faultFactory(job.seed, job.index);
+        jobFaults = spec.faultFactory(job.seed, job.index);
     else if (!spec.faults.empty())
-        config.faults = spec.faults[job.faultIdx].faults;
-
-    // The job's own shared-nothing System (and, via config.faults,
-    // its own FaultInjector - injectors are per-System by contract).
-    System system(config);
-    system.bus().setLatencyRecorder(&latency);
-    if (trace)
-        system.attachTrace(trace);
-    for (const MixSlot &slot : mix.slots) {
-        if (slot.nonCaching) {
-            system.addNonCachingMaster(slot.broadcastWrites);
-            continue;
-        }
-        CacheSpec cache = slot.cache;
-        if (geometry && geometry->numSets)
-            cache.numSets = geometry->numSets;
-        if (geometry && geometry->assoc)
-            cache.assoc = geometry->assoc;
-        system.addCache(cache);
-    }
+        jobFaults = spec.faults[job.faultIdx].faults;
 
     // Reference streams: trace shards (worker-cached) or the
     // workload factory, seeded from the job seed.
@@ -144,12 +125,117 @@ runCampaignJob(const CampaignSpec &spec, const CampaignJob &job,
     CampaignResult result;
     result.job = job;
     EngineConfig ecfg = spec.engine;
-    ecfg.latency = &latency;
     // Speculation counters are captured per job (a spec-level pointer
     // would be shared across worker threads); the result carries them.
     ecfg.specStats = &result.speculation;
     if (trace)
         ecfg.trace = trace;
+
+    if (spec.clusters > 1) {
+        // Hierarchical job: a private HierSystem (root bus, bridges,
+        // leaf buses) driven by a HierEngine.  HierEngine::run has no
+        // cancellation hook, so a supervised deadline cannot interrupt
+        // a hier job mid-run - the run always completes and supervision
+        // only classifies it afterwards.  Per-master latency recording
+        // is skipped: leaf master ids are cluster-local and would
+        // collide in one recorder.
+        (void)control;
+        HierConfig hc = spec.hier;
+        hc.lineBytes = spec.base.lineBytes;
+        if (geometry && geometry->lineBytes)
+            hc.lineBytes = geometry->lineBytes;
+        if (!spec.costs.empty()) {
+            hc.rootCost = spec.costs[job.costIdx].cost;
+            hc.leafCost = hc.rootCost;
+        }
+        if (haveFaultAxis)
+            hc.faults = jobFaults;
+        HierSystem system(hc, spec.clusters);
+        if (trace)
+            system.attachTrace(trace);
+        std::size_t slotIdx = 0;
+        for (const MixSlot &slot : mix.slots) {
+            const std::size_t cluster = slotIdx++ % spec.clusters;
+            if (slot.nonCaching) {
+                system.addNonCachingMaster(cluster,
+                                           slot.broadcastWrites);
+                continue;
+            }
+            CacheSpec cache = slot.cache;
+            if (geometry && geometry->numSets)
+                cache.numSets = geometry->numSets;
+            if (geometry && geometry->assoc)
+                cache.assoc = geometry->assoc;
+            system.addCache(cluster, cache);
+        }
+
+        HierEngine engine(system, ecfg);
+        HierEngineResult hres = engine.run(scratch.raw, refs);
+        result.engine.elapsed = hres.elapsed;
+        result.engine.busBusy = hres.rootBusy;
+        result.engine.faultedRefs = hres.faultedRefs;
+        result.engine.watchdogTrips = hres.watchdogTrips;
+        result.engine.quarantines = hres.quarantines;
+        result.engine.reintegrations = hres.reintegrations;
+        result.engine.procs = std::move(hres.procs);
+
+        result.bus = system.rootBus().stats();
+        for (MasterId id = 0; id < system.numClients(); ++id) {
+            if (const SnoopingCache *cache = system.cacheOf(id))
+                result.cacheTotals += cache->stats();
+        }
+        result.violations = system.violations();
+        if (spec.terminalCheck) {
+            for (std::string &v : system.checkNow())
+                result.violations.push_back(std::move(v));
+        }
+        result.consistent = result.violations.empty();
+        result.faultEvents = system.faultEvents();
+        result.watchdogTrips = system.watchdogTrips();
+        result.quarantines = system.quarantineCount();
+        result.reintegrations = system.reintegrationCount();
+        result.scrubDivergence = system.scrubDivergence();
+        if (const FaultInjector *injector = system.faults()) {
+            result.faults = injector->stats();
+            result.faultReport = renderFaultReport(system);
+        }
+
+        MetricRegistry reg;
+        exportEngineMetrics(reg, result.engine);
+        exportHierMetrics(reg, system);
+        result.metrics = reg.snapshot();
+        return result;
+    }
+
+    // Per-job configuration: base overridden by the job's axis points.
+    SystemConfig config = spec.base;
+    if (geometry && geometry->lineBytes)
+        config.lineBytes = geometry->lineBytes;
+    if (!spec.costs.empty())
+        config.cost = spec.costs[job.costIdx].cost;
+    if (haveFaultAxis)
+        config.faults = jobFaults;
+
+    // The job's own shared-nothing System (and, via config.faults,
+    // its own FaultInjector - injectors are per-System by contract).
+    System system(config);
+    system.bus().setLatencyRecorder(&latency);
+    if (trace)
+        system.attachTrace(trace);
+    for (const MixSlot &slot : mix.slots) {
+        if (slot.nonCaching) {
+            system.addNonCachingMaster(slot.broadcastWrites);
+            continue;
+        }
+        CacheSpec cache = slot.cache;
+        if (geometry && geometry->numSets)
+            cache.numSets = geometry->numSets;
+        if (geometry && geometry->assoc)
+            cache.assoc = geometry->assoc;
+        system.addCache(cache);
+    }
+
+    ecfg.latency = &latency;
     Engine engine(system, ecfg);
     result.engine = engine.run(scratch.raw, refs, control);
 

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "hier/hier_system.h"
 #include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/system.h"
@@ -175,6 +176,23 @@ struct CampaignSpec
     SystemConfig base;
     EngineConfig engine;
 
+    /**
+     * Multi-bus fabric: when > 1, every job builds a HierSystem of
+     * this many leaf buses (mix slot i joins cluster i % clusters)
+     * driven by a HierEngine instead of the flat System/Engine.
+     * MOESI-class caches only (HierSystem rejects abort protocols on
+     * leaves).  The geometry/cost/fault axes override `hier` exactly
+     * as they override `base`: geometry line size -> hier.lineBytes,
+     * the cost point -> both rootCost and leafCost, the fault axis or
+     * factory -> hier.faults.
+     */
+    std::size_t clusters = 1;
+
+    /** Hierarchy base configuration (used when clusters > 1); carries
+     *  the recovery-ladder knobs the flat SystemConfig has no slot
+     *  for (bridge retry policy, quarantine ladder, scrub cadence). */
+    HierConfig hier;
+
     /** Run the terminal full-universe check at the end of each job. */
     bool terminalCheck = true;
 
@@ -279,6 +297,8 @@ struct CampaignResult
     std::uint64_t watchdogTrips = 0;
     std::uint64_t quarantines = 0;
     std::uint64_t reintegrations = 0;
+    std::uint64_t scrubDivergence = 0; ///< bridge filter entries
+                              ///  repaired (hier jobs; 0 on flat)
     bool consistent = true;   ///< no violations at all; false when
                               ///  the job failed or timed out
 

@@ -33,6 +33,103 @@ CoherenceChecker::removeCache(const SnoopingCache *cache)
     }
 }
 
+void
+CoherenceChecker::attachClusterFilter(
+    std::size_t cluster, std::function<bool(LineAddr)> may_local,
+    std::function<bool(LineAddr)> may_remote)
+{
+    for (ClusterFilter &f : clusterFilters_) {
+        if (f.cluster == cluster) {
+            f.active = true;
+            f.mayLocal = std::move(may_local);
+            f.mayRemote = std::move(may_remote);
+            return;
+        }
+    }
+    clusterFilters_.push_back({cluster, true, std::move(may_local),
+                               std::move(may_remote)});
+}
+
+void
+CoherenceChecker::detachClusterFilter(std::size_t cluster)
+{
+    for (ClusterFilter &f : clusterFilters_) {
+        if (f.cluster == cluster)
+            f.active = false;
+    }
+}
+
+void
+CoherenceChecker::setCacheCluster(const SnoopingCache *cache,
+                                  std::size_t cluster)
+{
+    cacheCluster_[cache] = cluster;
+}
+
+std::size_t
+CoherenceChecker::ownerCluster(LineAddr la) const
+{
+    for (const SnoopingCache *cache : caches_) {
+        const CacheLine *line = cache->peekLine(la);
+        if (line && isOwned(line->state)) {
+            auto it = cacheCluster_.find(cache);
+            return it == cacheCluster_.end()
+                       ? static_cast<std::size_t>(-1)
+                       : it->second;
+        }
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+void
+CoherenceChecker::checkClusterFilters(
+    LineAddr la, std::vector<std::string> &violations) const
+{
+    // Second pass over the caches, hier-mode only: count the line's
+    // valid holders per cluster.
+    std::vector<int> holders;
+    int total = 0;
+    for (const SnoopingCache *cache : caches_) {
+        if (cache->peekLine(la) == nullptr)
+            continue;
+        auto it = cacheCluster_.find(cache);
+        if (it == cacheCluster_.end())
+            continue;
+        if (it->second >= holders.size())
+            holders.resize(it->second + 1, 0);
+        ++holders[it->second];
+        ++total;
+    }
+    if (total == 0)
+        return;
+
+    for (const ClusterFilter &f : clusterFilters_) {
+        if (!f.active)
+            continue;
+        const int inside = f.cluster < holders.size()
+                               ? holders[f.cluster]
+                               : 0;
+        // H1: inclusion - the bridge may never filter a down-forward
+        // its own cluster needed.
+        if (inside > 0 && !f.mayLocal(la)) {
+            violations.push_back(strprintf(
+                "H1: bridge %zu localHeld excludes line 0x%llx held "
+                "valid by %d cache(s) in its cluster",
+                f.cluster, static_cast<unsigned long long>(la),
+                inside));
+        }
+        // H2: remote visibility - the bridge may never filter an
+        // invalidating up-forward that remote copies needed.
+        if (total - inside > 0 && !f.mayRemote(la)) {
+            violations.push_back(strprintf(
+                "H2: bridge %zu remoteShared excludes line 0x%llx "
+                "held valid by %d cache(s) outside its cluster",
+                f.cluster, static_cast<unsigned long long>(la),
+                total - inside));
+        }
+    }
+}
+
 std::string
 CoherenceChecker::noteRead(Addr addr, Word value) const
 {
@@ -223,6 +320,11 @@ CoherenceChecker::checkLine(LineAddr la,
             }
         }
     }
+
+    // H1/H2: bridge-filter inclusion, only when a hierarchy attached
+    // its probes (flat systems pay this one empty-vector branch).
+    if (!clusterFilters_.empty())
+        checkClusterFilters(la, violations);
 
     // Stamp the full per-cache/memory/image state vector and the
     // reproduction tag (fault seed/schedule) onto every violation this

@@ -181,6 +181,53 @@ class CoherenceChecker : public TraceSink
             dirty_.clear();
     }
 
+    /**
+     * Hierarchical mode (two-level fabric): register one bridge's
+     * conservative filter probes.  With any filter attached, every
+     * line check also verifies the bridge-filter inclusion invariants
+     * that make snoop filtering safe across buses:
+     *
+     *   H1  any valid copy inside cluster k implies the bridge's
+     *       localHeld filter covers the line (inclusion - a
+     *       down-forward the cluster needed can never be skipped);
+     *   H2  any valid copy outside cluster k implies the bridge's
+     *       remoteShared filter covers the line (an invalidating
+     *       up-forward remote copies needed can never be skipped).
+     *
+     * Both filters are conservative supersets, so injected staleness
+     * (suppressed erases) never trips H1/H2; only an unsafely missing
+     * bit does.  With no filters attached checkLine() pays a single
+     * branch on an empty vector - the flat hot path is untouched.
+     *
+     * `cluster` identifies the bridge; re-attaching the same cluster
+     * replaces its probes (reintegration re-arms a scrubbed bridge).
+     */
+    void attachClusterFilter(std::size_t cluster,
+                             std::function<bool(LineAddr)> may_local,
+                             std::function<bool(LineAddr)> may_remote);
+
+    /**
+     * Suspend one cluster's filter checks (segment quarantine: while
+     * the bridge is suspended from the root bus it sees no traffic,
+     * so its remoteShared set lawfully decays).  Reintegration calls
+     * attachClusterFilter() again after the scrub.
+     */
+    void detachClusterFilter(std::size_t cluster);
+
+    /** Map a cache to its cluster, so H1/H2 can attribute holders
+     *  (and ownerCluster() can track owners) across buses. */
+    void setCacheCluster(const SnoopingCache *cache,
+                         std::size_t cluster);
+
+    /**
+     * The cluster holding the line's owner (M/O), tracked through the
+     * bridges; SIZE_MAX when memory is the owner (or no mapping is
+     * registered).  This is what keeps dirty-line incremental
+     * checking exact under faults in the hierarchy: the owner is
+     * located across buses, not assumed to sit on the root.
+     */
+    std::size_t ownerCluster(LineAddr la) const;
+
     /** Total checks performed (for reporting). */
     std::uint64_t checksRun() const { return checksRun_; }
 
@@ -197,8 +244,21 @@ class CoherenceChecker : public TraceSink
     }
 
   private:
+    /** One bridge's registered filter probes. */
+    struct ClusterFilter
+    {
+        std::size_t cluster = 0;
+        bool active = true;
+        std::function<bool(LineAddr)> mayLocal;
+        std::function<bool(LineAddr)> mayRemote;
+    };
+
     /** Run all invariants for one line, appending violations. */
     void checkLine(LineAddr la, std::vector<std::string> &out) const;
+
+    /** H1/H2 for one line (hier mode only; cold path). */
+    void checkClusterFilters(LineAddr la,
+                             std::vector<std::string> &out) const;
 
     /** The annotator's tag (" [ ... ]"), or empty when unset. */
     std::string annotation() const
@@ -242,6 +302,10 @@ class CoherenceChecker : public TraceSink
     bool trackDirty_ = true;
     std::function<std::string()> annotator_;
     mutable std::uint64_t checksRun_ = 0;
+    /** Hierarchical mode state; both empty in flat systems. */
+    std::vector<ClusterFilter> clusterFilters_;
+    std::unordered_map<const SnoopingCache *, std::size_t>
+        cacheCluster_;
 };
 
 } // namespace fbsim

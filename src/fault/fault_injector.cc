@@ -38,17 +38,75 @@ appendSite(std::string &out, const char *name, const FaultSchedule &s,
     out += ')';
 }
 
+/** Fixed stable names for the flat fault sites.  These are part of
+ *  the reproducibility contract: schedules derive from them, so they
+ *  may never be renamed without invalidating recorded seeds. */
+const char *const kFlatSiteName[] = {
+    "abort", "mem-delay", "mem-drop", "data-flip", "resp-flip", "mute",
+};
+
+/** FNV-1a over the site name; folded into deriveSeed so the stream is
+ *  a pure function of (seed, name) - no registration order anywhere. */
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 } // namespace
+
+std::string
+summarizeFaultSites(const FaultConfig &config)
+{
+    std::string out;
+    appendSite(out, "abort", config.spuriousAbort,
+               config.abortStormProb > 0.0
+                   ? strprintf("storm=%.3gx%u", config.abortStormProb,
+                               config.abortStormLength)
+                   : std::string());
+    appendSite(out, "delay", config.memoryDelay,
+               strprintf("+%llu", static_cast<unsigned long long>(
+                                      config.memoryDelayCycles)));
+    appendSite(out, "drop", config.memoryDrop);
+    appendSite(out, "flip", config.dataFlip);
+    appendSite(out, "resp", config.responseFlip);
+    appendSite(out, "mute", config.snooperMute);
+    appendSite(out, "bdrop", config.bridgeDrop);
+    appendSite(out, "bdelay", config.bridgeDelay,
+               strprintf("+%llu", static_cast<unsigned long long>(
+                                      config.bridgeDelayCycles)));
+    appendSite(out, "bdup", config.bridgeDup);
+    appendSite(out, "bstale", config.filterStale);
+    appendSite(out, "bstall", config.leafStall,
+               strprintf("x%u", config.leafStallForwards));
+    if (out.empty())
+        out = "idle";
+    return out;
+}
+
+std::uint64_t
+FaultInjector::siteSeed(std::uint64_t seed, std::string_view name)
+{
+    return Rng::deriveSeed(seed, fnv1a(name));
+}
 
 FaultInjector::FaultInjector(const FaultConfig &config) : config_(config)
 {
-    // One independent stream per site: enabling or re-ordering one
-    // site's draws never perturbs another's schedule, which keeps
-    // ablation campaigns (one site at a time) comparable.
+    // One independent stream per site, seeded from the site's stable
+    // name: enabling, re-ordering or *adding* sites (hier assembly
+    // registers bridge sites after the flat ones) never perturbs
+    // another site's schedule, which keeps ablation campaigns (one
+    // site at a time) comparable and flat schedules immune to
+    // hierarchy assembly.
+    static_assert(sizeof(kFlatSiteName) / sizeof(kFlatSiteName[0]) ==
+                  kNumSites);
     for (int i = 0; i < kNumSites; ++i)
-        rng_[i] = Rng(config_.seed +
-                      static_cast<std::uint64_t>(i + 1) *
-                          0x9e3779b97f4a7c15ull);
+        rng_[i] = Rng(siteSeed(config_.seed, kFlatSiteName[i]));
     for (int i = 0; i < kNumSites; ++i) {
         const FaultSchedule *s = nullptr;
         switch (static_cast<Site>(i)) {
@@ -65,20 +123,89 @@ FaultInjector::FaultInjector(const FaultConfig &config) : config_(config)
                 fbsim_assert(s->scriptAt[k - 1] <= s->scriptAt[k]);
         }
     }
-    appendSite(siteSummary_, "abort", config_.spuriousAbort,
-               config_.abortStormProb > 0.0
-                   ? strprintf("storm=%.3gx%u", config_.abortStormProb,
-                               config_.abortStormLength)
-                   : std::string());
-    appendSite(siteSummary_, "delay", config_.memoryDelay,
-               strprintf("+%llu", static_cast<unsigned long long>(
-                                      config_.memoryDelayCycles)));
-    appendSite(siteSummary_, "drop", config_.memoryDrop);
-    appendSite(siteSummary_, "flip", config_.dataFlip);
-    appendSite(siteSummary_, "resp", config_.responseFlip);
-    appendSite(siteSummary_, "mute", config_.snooperMute);
-    if (siteSummary_.empty())
-        siteSummary_ = "idle";
+    for (const FaultSchedule *s :
+         {&config_.bridgeDrop, &config_.bridgeDelay, &config_.bridgeDup,
+          &config_.filterStale, &config_.leafStall}) {
+        for (std::size_t k = 1; k < s->scriptAt.size(); ++k)
+            fbsim_assert(s->scriptAt[k - 1] <= s->scriptAt[k]);
+    }
+    siteSummary_ = summarizeFaultSites(config_);
+}
+
+FaultSite &
+FaultInjector::site(std::string_view name)
+{
+    for (FaultSite &s : namedSites_) {
+        if (s.name_ == name)
+            return s;
+    }
+    namedSites_.push_back(FaultSite(
+        std::string(name), siteSeed(config_.seed, name)));
+    return namedSites_.back();
+}
+
+bool
+FaultInjector::fireAt(FaultSite &site, const FaultSchedule &sched)
+{
+    // Same schedule semantics as fire(), over the site's own stream
+    // and script cursor.
+    if (quiesced_)
+        return false;
+    if (site.cursor_ < sched.scriptAt.size() &&
+        sched.scriptAt[site.cursor_] <= txn_) {
+        ++site.cursor_;
+        return true;
+    }
+    if (sched.probability <= 0.0)
+        return false;
+    if (txn_ < sched.windowStart || txn_ >= sched.windowEnd)
+        return false;
+    return site.rng_.chance(sched.probability);
+}
+
+bool
+FaultInjector::fireBridgeDrop(FaultSite &site)
+{
+    if (!fireAt(site, config_.bridgeDrop))
+        return false;
+    ++stats_.bridgeDrops;
+    return true;
+}
+
+Cycles
+FaultInjector::fireBridgeDelay(FaultSite &site)
+{
+    if (!fireAt(site, config_.bridgeDelay))
+        return 0;
+    ++stats_.bridgeDelays;
+    return config_.bridgeDelayCycles;
+}
+
+bool
+FaultInjector::fireBridgeDup(FaultSite &site)
+{
+    if (!fireAt(site, config_.bridgeDup))
+        return false;
+    ++stats_.bridgeDups;
+    return true;
+}
+
+bool
+FaultInjector::fireFilterStale(FaultSite &site)
+{
+    if (!fireAt(site, config_.filterStale))
+        return false;
+    ++stats_.filterStales;
+    return true;
+}
+
+bool
+FaultInjector::fireLeafStall(FaultSite &site)
+{
+    if (!fireAt(site, config_.leafStall))
+        return false;
+    ++stats_.leafStalls;
+    return true;
 }
 
 bool
@@ -86,6 +213,8 @@ FaultInjector::fire(Site site, const FaultSchedule &sched)
 {
     // Scripted entries fire once each, at the site's first opportunity
     // in (or after) their transaction.
+    if (quiesced_)
+        return false;
     std::size_t &cur = scriptCursor_[site];
     if (cur < sched.scriptAt.size() && sched.scriptAt[cur] <= txn_) {
         ++cur;
@@ -101,6 +230,8 @@ FaultInjector::fire(Site site, const FaultSchedule &sched)
 bool
 FaultInjector::fireSpuriousAbort(LineAddr line)
 {
+    if (quiesced_)
+        return false;   // active storms freeze, they do not drain
     if (stormRemaining_ > 0 && line == stormLine_) {
         --stormRemaining_;
         ++stats_.stormAborts;

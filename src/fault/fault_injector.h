@@ -18,11 +18,21 @@
  *  - intermittently unresponsive snoopers (a module that misses an
  *    address cycle entirely).
  *
+ * The two-level fabric (src/hier) adds bridge fault sites: dropped,
+ * delayed or duplicated cross-bus forwards, stale snoop-filter bits
+ * (a scheduled remoteShared/localHeld erase that never lands - the
+ * conservative, safe direction of filter decay), and a stalled leaf
+ * segment whose up-forwards all time out, modeling a partitioned
+ * board bus that cannot win backbone arbitration.
+ *
  * Every fault site is schedulable independently: by per-opportunity
  * probability, by a transaction window, or by an explicit script of
  * transaction indices.  All draws come from per-site xoshiro streams
- * forked from one seed, so a campaign is reproducible from the seed
- * alone and enabling one site never perturbs another's schedule.
+ * whose seeds are derived from the *site name* (never a registration
+ * index), so a campaign is reproducible from the seed alone, enabling
+ * one site never perturbs another's schedule, and - crucially for the
+ * hierarchy - assembling extra clusters, bridges or caches never
+ * shifts the schedule of a site that already existed.
  *
  * The injector only *injects*; recovery and detection live elsewhere
  * (bounded retry with backoff in bus/, the livelock watchdog and cache
@@ -36,8 +46,10 @@
 #define FBSIM_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
@@ -99,12 +111,50 @@ struct FaultConfig
     /** A snooping cache misses an address cycle entirely. */
     FaultSchedule snooperMute;
 
+    /**
+     * Bridge sites (two-level fabric only; flat systems never draw
+     * from them).  Each bridge owns a private stream per site, keyed
+     * by "bridge<cluster>.<site>", so one bridge's faults never
+     * perturb another's schedule.
+     */
+    /** A cross-bus forward is lost before reaching the root bus; the
+     *  bridge retries with backoff (bounded by maxForwardRetries). */
+    FaultSchedule bridgeDrop;
+    /** A cross-bus forward is delayed by `bridgeDelayCycles`. */
+    FaultSchedule bridgeDelay;
+    Cycles bridgeDelayCycles = 16;
+    /** A non-fill forward (invalidate/write-through/copyback) is
+     *  delivered twice.  Fill reads are never duplicated: re-reading
+     *  memory after a remote owner invalidated without updating it
+     *  would manufacture stale data rather than a timing fault. */
+    FaultSchedule bridgeDup;
+    /** A scheduled snoop-filter erase is skipped, leaving a stale
+     *  remoteShared/localHeld entry.  Deliberately only the safe
+     *  (conservative, wasteful) direction: stale presence bits cost
+     *  forwards, never correctness.  Scrub finds and repairs them. */
+    FaultSchedule filterStale;
+    /** A leaf segment partitions: the next `leafStallForwards`
+     *  up-forwards from the drawn bridge are all lost, driving the
+     *  retry -> watchdog -> segment-quarantine ladder. */
+    FaultSchedule leafStall;
+    unsigned leafStallForwards = 12;
+
     bool
     anyEnabled() const
     {
         return spuriousAbort.enabled() || memoryDelay.enabled() ||
                memoryDrop.enabled() || dataFlip.enabled() ||
-               responseFlip.enabled() || snooperMute.enabled();
+               responseFlip.enabled() || snooperMute.enabled() ||
+               anyBridgeEnabled();
+    }
+
+    /** True when any bridge-level site is armed. */
+    bool
+    anyBridgeEnabled() const
+    {
+        return bridgeDrop.enabled() || bridgeDelay.enabled() ||
+               bridgeDup.enabled() || filterStale.enabled() ||
+               leafStall.enabled();
     }
 };
 
@@ -118,6 +168,11 @@ struct FaultStats
     std::uint64_t dataFlips = 0;
     std::uint64_t responseFlips = 0;
     std::uint64_t snooperMutes = 0;
+    std::uint64_t bridgeDrops = 0;
+    std::uint64_t bridgeDelays = 0;
+    std::uint64_t bridgeDups = 0;
+    std::uint64_t filterStales = 0;  ///< suppressed filter erases
+    std::uint64_t leafStalls = 0;    ///< stall windows opened
 
     bool operator==(const FaultStats &) const = default;
 
@@ -126,20 +181,49 @@ struct FaultStats
     injected() const
     {
         return spuriousAborts + stormAborts + memoryDelays +
-               memoryDrops + dataFlips + responseFlips + snooperMutes;
+               memoryDrops + dataFlips + responseFlips + snooperMutes +
+               bridgeDrops + bridgeDelays + bridgeDups + filterStales +
+               leafStalls;
     }
 
     /**
      * Faults that can perturb the memory image (and must therefore be
-     * caught by the checker or watchdog).  Aborts, delays and drops
-     * are pure timing faults: the retry machinery recovers them with
-     * no state divergence.
+     * caught by the checker or watchdog).  Aborts, delays, drops and
+     * the bridge timing sites are pure timing faults: the retry
+     * machinery recovers them with no state divergence.  Stale filter
+     * bits decay only in the conservative direction (extra forwards),
+     * so they cost cycles - counted and repaired by the scrub - but
+     * never corrupt the image.
      */
     std::uint64_t
     corrupting() const
     {
         return dataFlips + responseFlips + snooperMutes;
     }
+};
+
+/**
+ * One named fault site's private draw state: an xoshiro stream seeded
+ * from (campaign seed, site name) plus the site's script cursor.
+ * Handles are created on demand by FaultInjector::site() and stay
+ * valid for the injector's lifetime; callers (bridges) resolve their
+ * sites once at arming time and draw through the handle afterwards.
+ */
+class FaultSite
+{
+  public:
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class FaultInjector;
+    FaultSite(std::string name, std::uint64_t seed)
+        : name_(std::move(name)), rng_(seed)
+    {
+    }
+
+    std::string name_;
+    Rng rng_;
+    std::size_t cursor_ = 0;
 };
 
 /**
@@ -192,6 +276,50 @@ class FaultInjector
     /** Count one applied data flip. */
     void noteDataFlip() { ++stats_.dataFlips; }
 
+    /**
+     * Resolve (creating on first use) the named site's draw state.
+     * The stream seed is a pure function of (config.seed, name), so
+     * resolution order - and therefore system assembly order - cannot
+     * shift any site's schedule.  The reference stays valid for the
+     * injector's lifetime.
+     */
+    FaultSite &site(std::string_view name);
+
+    /** Schedule test for a named site (consumes at most one draw from
+     *  that site's private stream). */
+    bool fireAt(FaultSite &site, const FaultSchedule &sched);
+
+    /** Should this cross-bus forward be dropped at `site`? */
+    bool fireBridgeDrop(FaultSite &site);
+
+    /** Extra forward latency at `site` (0 = none). */
+    Cycles fireBridgeDelay(FaultSite &site);
+
+    /** Should this non-fill forward be delivered twice at `site`? */
+    bool fireBridgeDup(FaultSite &site);
+
+    /** Should this scheduled filter erase be skipped at `site`? */
+    bool fireFilterStale(FaultSite &site);
+
+    /** Should a leaf-stall window open at `site`?  The bridge owns
+     *  the countdown; this only draws the window's start. */
+    bool fireLeafStall(FaultSite &site);
+
+    /** Seed of the private stream for `name` under `seed` (exposed so
+     *  determinism tests can pin the derivation). */
+    static std::uint64_t siteSeed(std::uint64_t seed,
+                                  std::string_view name);
+
+    /**
+     * P896 maintenance window: while quiesced no site fires and no
+     * stream or script entry is consumed.  Quarantine and
+     * reintegration flushes run under it (live removal holds the
+     * backplane quiesced), so recovery traffic provably converges
+     * instead of racing the campaign it is recovering from.
+     */
+    void setQuiesced(bool on) { quiesced_ = on; }
+    bool quiesced() const { return quiesced_; }
+
     const FaultConfig &config() const { return config_; }
     const FaultStats &stats() const { return stats_; }
 
@@ -223,11 +351,21 @@ class FaultInjector
     Rng rng_[kNumSites];
     std::size_t scriptCursor_[kNumSites] = {};
     std::uint64_t txn_ = 0;
+    bool quiesced_ = false;
     LineAddr stormLine_ = 0;
     unsigned stormRemaining_ = 0;
     FaultStats stats_;
     std::string siteSummary_;   ///< precomputed schedule description
+    /** Named-site pool; deque so site() references never invalidate. */
+    std::deque<FaultSite> namedSites_;
 };
+
+/**
+ * Human-readable summary of a config's armed sites ("abort(p=0.01)
+ * bdrop(p=0.02,w=[5,90))"); the schedule half of the replay tag, and
+ * the rendering of a shrinker's minimal schedule.
+ */
+std::string summarizeFaultSites(const FaultConfig &config);
 
 } // namespace fbsim
 

@@ -1,0 +1,141 @@
+#include "fault/shrinker.h"
+
+#include "common/logging.h"
+
+namespace fbsim {
+
+namespace {
+
+/** The shrinkable sites, as member pointers so one loop covers all. */
+FaultSchedule FaultConfig::*const kSites[] = {
+    &FaultConfig::spuriousAbort, &FaultConfig::memoryDelay,
+    &FaultConfig::memoryDrop,    &FaultConfig::dataFlip,
+    &FaultConfig::responseFlip,  &FaultConfig::snooperMute,
+    &FaultConfig::bridgeDrop,    &FaultConfig::bridgeDelay,
+    &FaultConfig::bridgeDup,     &FaultConfig::filterStale,
+    &FaultConfig::leafStall,
+};
+
+/** Budgeted predicate probe. */
+struct Prober
+{
+    const FaultPredicate &pred;
+    std::size_t budget;
+    std::size_t used = 0;
+
+    bool
+    fails(const FaultConfig &cfg)
+    {
+        if (used >= budget)
+            return false;   // out of budget: treat as "passed", keep
+                            // the larger (known-failing) schedule
+        ++used;
+        return pred(cfg);
+    }
+};
+
+} // namespace
+
+std::string
+ShrinkResult::tag() const
+{
+    return strprintf("[fault-min seed=0x%llx %s]",
+                     static_cast<unsigned long long>(minimal.seed),
+                     summarizeFaultSites(minimal).c_str());
+}
+
+ShrinkResult
+shrinkFaultConfig(const FaultConfig &failing,
+                  const FaultPredicate &stillFails,
+                  std::uint64_t horizon, std::size_t maxProbes)
+{
+    ShrinkResult res;
+    res.minimal = failing;
+    Prober probe{stillFails, maxProbes};
+
+    // Pass 1: site elimination, one at a time.  Name-derived streams
+    // make this sound: removing a site cannot shift the survivors'
+    // schedules, so each elimination probe tests exactly one cause.
+    for (auto site : kSites) {
+        if (!(res.minimal.*site).enabled())
+            continue;
+        FaultConfig trial = res.minimal;
+        trial.*site = FaultSchedule{};
+        if (probe.fails(trial)) {
+            res.minimal = std::move(trial);
+            ++res.sitesDisabled;
+        }
+    }
+
+    // Pass 2: window bisection on the surviving probabilistic sites.
+    for (auto site : kSites) {
+        FaultSchedule &s = res.minimal.*site;
+        if (s.probability <= 0.0)
+            continue;
+        // Clamp the open window to the observed horizon first; a
+        // window past the last transaction is trivially removable.
+        if (horizon > 0 && s.windowEnd > horizon) {
+            FaultConfig trial = res.minimal;
+            (trial.*site).windowEnd = horizon;
+            if (probe.fails(trial)) {
+                res.windowTrimmed += s.windowEnd == ~std::uint64_t{0}
+                                         ? 0
+                                         : s.windowEnd - horizon;
+                s.windowEnd = horizon;
+            }
+        }
+        if (s.windowEnd == ~std::uint64_t{0})
+            continue;   // unbounded and clamping failed: leave it
+        // Largest still-failing windowStart.
+        std::uint64_t lo = s.windowStart, hi = s.windowEnd;
+        while (lo + 1 < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            FaultConfig trial = res.minimal;
+            (trial.*site).windowStart = mid;
+            if (probe.fails(trial))
+                lo = mid;
+            else
+                hi = mid;
+        }
+        res.windowTrimmed += lo - s.windowStart;
+        s.windowStart = lo;
+        // Smallest still-failing windowEnd.
+        lo = s.windowStart;
+        hi = s.windowEnd;
+        while (lo + 1 < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            FaultConfig trial = res.minimal;
+            (trial.*site).windowEnd = mid;
+            if (probe.fails(trial))
+                hi = mid;
+            else
+                lo = mid;
+        }
+        res.windowTrimmed += s.windowEnd - hi;
+        s.windowEnd = hi;
+    }
+
+    // Pass 3: script thinning, last entry first (earlier entries are
+    // more often the cause; testing them against minimal tails keeps
+    // the greedy pass effective).
+    for (auto site : kSites) {
+        FaultSchedule &s = res.minimal.*site;
+        if (s.scriptAt.empty())
+            continue;
+        for (std::size_t k = s.scriptAt.size(); k-- > 0;) {
+            FaultConfig trial = res.minimal;
+            auto &script = (trial.*site).scriptAt;
+            script.erase(script.begin() +
+                         static_cast<std::ptrdiff_t>(k));
+            if (probe.fails(trial)) {
+                res.minimal = std::move(trial);
+                ++res.scriptEntriesDropped;
+            }
+        }
+    }
+
+    res.probes = probe.used;
+    return res;
+}
+
+} // namespace fbsim

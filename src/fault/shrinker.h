@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Greedy fault-schedule shrinker.
+ *
+ * A failing fault campaign's replay tag pins (seed, schedule), but a
+ * broad schedule - five sites armed over the whole run - is a poor
+ * starting point for debugging.  The shrinker minimizes the schedule
+ * while a caller-supplied predicate ("re-run and the checker still
+ * fails") keeps returning true:
+ *
+ *   1. site elimination - disable each armed site in turn and keep it
+ *      disabled if the failure survives;
+ *   2. window bisection  - for each surviving probabilistic site,
+ *      binary-search the largest windowStart and smallest windowEnd
+ *      (within a caller-supplied horizon) that still fail;
+ *   3. script thinning   - drop surviving scriptAt entries one at a
+ *      time (last to first, so earlier causal entries are tested with
+ *      minimal tails).
+ *
+ * Everything is deterministic: site streams are name-derived, so
+ * disabling one site never perturbs another's schedule, which is what
+ * makes greedy per-site elimination sound.
+ */
+
+#ifndef FBSIM_FAULT_SHRINKER_H_
+#define FBSIM_FAULT_SHRINKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fault/fault_injector.h"
+
+namespace fbsim {
+
+/** Re-runs the campaign under `config`; true = still fails. */
+using FaultPredicate = std::function<bool(const FaultConfig &config)>;
+
+struct ShrinkResult
+{
+    /** The minimized configuration (still fails the predicate). */
+    FaultConfig minimal;
+    /** Predicate evaluations spent (each one is a full re-run). */
+    std::size_t probes = 0;
+    /** Sites eliminated outright. */
+    std::size_t sitesDisabled = 0;
+    /** scriptAt entries dropped. */
+    std::size_t scriptEntriesDropped = 0;
+    /** Transactions trimmed off probabilistic windows. */
+    std::uint64_t windowTrimmed = 0;
+
+    /** "[fault-min seed=0x2a bdrop(p=0.02,w=[37,41))]" - the minimal
+     *  replay schedule, printed next to the original replay tag. */
+    std::string tag() const;
+};
+
+/**
+ * Shrink `failing` against `stillFails`.
+ *
+ * `horizon` bounds window bisection: open windows are first clamped
+ * to [0, horizon) (callers pass the failing run's final transaction
+ * index).  `maxProbes` caps predicate evaluations; the shrinker
+ * returns the best config found when the budget runs out.  The input
+ * config is assumed to fail (callers verify before shrinking).
+ */
+ShrinkResult shrinkFaultConfig(const FaultConfig &failing,
+                               const FaultPredicate &stillFails,
+                               std::uint64_t horizon,
+                               std::size_t maxProbes = 256);
+
+} // namespace fbsim
+
+#endif // FBSIM_FAULT_SHRINKER_H_

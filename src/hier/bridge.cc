@@ -1,5 +1,7 @@
 #include "hier/bridge.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fbsim {
@@ -18,6 +20,104 @@ BusBridge::setLeafBus(Bus *leaf)
     fbsim_assert(leaf_ == nullptr && leaf != nullptr);
     fbsim_assert(leaf->wordsPerLine() == wordsPerLine_);
     leaf_ = leaf;
+}
+
+void
+BusBridge::setFaultInjector(FaultInjector *faults, std::size_t cluster)
+{
+    faults_ = faults;
+    cluster_ = cluster;
+    if (!faults_) {
+        dropSite_ = delaySite_ = dupSite_ = staleSite_ = stallSite_ =
+            nullptr;
+        return;
+    }
+    // Site names are keyed by the cluster index, a stable property of
+    // the topology - never by attach order - so each bridge's streams
+    // are a pure function of (seed, cluster).
+    const std::string base = strprintf("bridge%zu.", cluster);
+    dropSite_ = &faults_->site(base + "drop");
+    delaySite_ = &faults_->site(base + "delay");
+    dupSite_ = &faults_->site(base + "dup");
+    staleSite_ = &faults_->site(base + "stale");
+    stallSite_ = &faults_->site(base + "stall");
+}
+
+bool
+BusBridge::forwardLost()
+{
+    if (!faults_ || maintenance_)
+        return false;
+    if (stallRemaining_ == 0 && faults_->fireLeafStall(*stallSite_)) {
+        stallRemaining_ = faults_->config().leafStallForwards;
+        ++stats_.stallWindows;
+        fbsim_warn("bridge %zu: leaf segment partitioned, next %u "
+                   "forwards lost %s",
+                   cluster_, stallRemaining_,
+                   faults_->describe().c_str());
+    }
+    if (stallRemaining_ > 0) {
+        --stallRemaining_;
+        ++stats_.stallDrops;
+        return true;
+    }
+    return faults_->fireBridgeDrop(*dropSite_);
+}
+
+void
+BusBridge::eraseRemoteShared(LineAddr la)
+{
+    // The filterStale site only ever *suppresses* erases: the filter
+    // decays in the conservative direction (stale presence costs
+    // forwards), never the unsafe one (a missing bit would skip a
+    // required invalidation).  Draw only when the erase would land.
+    if (faults_ && !maintenance_ && remoteShared_.count(la) != 0 &&
+        faults_->fireFilterStale(*staleSite_)) {
+        ++stats_.staleFilterSkips;
+        return;
+    }
+    remoteShared_.erase(la);
+}
+
+void
+BusBridge::eraseLocalHeld(LineAddr la)
+{
+    if (faults_ && !maintenance_ && localHeld_.count(la) != 0 &&
+        faults_->fireFilterStale(*staleSite_)) {
+        ++stats_.staleFilterSkips;
+        return;
+    }
+    localHeld_.erase(la);
+}
+
+FilterAudit
+BusBridge::auditFilters(const std::unordered_set<LineAddr> &local,
+                        const std::unordered_set<LineAddr> &remote,
+                        bool repair)
+{
+    FilterAudit a;
+    for (LineAddr la : localHeld_) {
+        if (local.count(la) == 0)
+            ++a.staleLocal;
+    }
+    for (LineAddr la : local) {
+        if (localHeld_.count(la) == 0)
+            ++a.missingLocal;
+    }
+    for (LineAddr la : remoteShared_) {
+        if (remote.count(la) == 0)
+            ++a.staleRemote;
+    }
+    for (LineAddr la : remote) {
+        if (remoteShared_.count(la) == 0)
+            ++a.missingRemote;
+    }
+    if (repair && a.total() != 0) {
+        localHeld_ = local;
+        remoteShared_ = remote;
+        stats_.scrubbedEntries += a.total();
+    }
+    return a;
 }
 
 SlaveResult
@@ -39,17 +139,85 @@ BusBridge::forwardUp(const BusRequest &req, BusCmd cmd,
     up.chHint = req.chHint || local_ch;
 
     ++stats_.upForwards;
-    BusResult r = root_.execute(up);
-    if (cmd == BusCmd::Read && !read_out.empty()) {
-        fbsim_assert(r.line.size() == read_out.size());
-        std::copy(r.line.begin(), r.line.end(), read_out.begin());
+    Cycles extra = 0;
+
+    // Give up on this forward: report it dropped so the leaf bus's
+    // own abort-retry machinery re-drives the whole transaction, and
+    // feed the per-bridge livelock watchdog.
+    auto exhausted = [&]() {
+        ++stats_.forwardExhausted;
+        if (watchdogThreshold_ != 0 &&
+            ++exhaustStreak_ >= watchdogThreshold_) {
+            ++stats_.watchdogTrips;
+            exhaustStreak_ = 0;
+            fbsim_warn("bridge %zu: forward watchdog tripped after %u "
+                       "consecutive exhausted forwards %s",
+                       cluster_, watchdogThreshold_,
+                       faults_ ? faults_->describe().c_str() : "");
+        }
+        SlaveResult out;
+        out.dropped = true;
+        out.extraDelay = extra;
+        return out;
+    };
+
+    for (unsigned attempt = 0;; ++attempt) {
+        if (forwardLost()) {
+            if (attempt >= maxForwardRetries_)
+                return exhausted();
+            // Exponential backoff before the re-send; the cycles are
+            // charged to the leaf transaction via extraDelay.
+            ++stats_.forwardRetries;
+            const Cycles b = backoffBase_
+                             << std::min(attempt, 6u);
+            stats_.forwardBackoffCycles += b;
+            extra += b;
+            continue;
+        }
+        BusResult r = root_.execute(up);
+        if (!r.converged) {
+            // The root bus itself gave up under faults; same contract
+            // as a lost forward, minus further in-place retries (the
+            // root already burned its own budget).
+            if (!r.line.empty())
+                root_.recycleLineBuffer(std::move(r.line));
+            extra += r.cost;
+            return exhausted();
+        }
+        exhaustStreak_ = 0;
+        if (cmd == BusCmd::Read && !read_out.empty()) {
+            fbsim_assert(r.line.size() == read_out.size());
+            std::copy(r.line.begin(), r.line.end(), read_out.begin());
+        }
+        if (!r.line.empty())
+            root_.recycleLineBuffer(std::move(r.line));
+        if (faults_ && !maintenance_) {
+            // Duplicate delivery, only for non-fill forwards: every
+            // such command is value-idempotent at the root (the same
+            // invalidation, write-through or copyback lands twice).
+            // A duplicated fill Read would instead re-read memory the
+            // remote owner never updated - stale data, not a timing
+            // fault - so fills are exempt by construction.
+            if (cmd != BusCmd::Read &&
+                faults_->fireBridgeDup(*dupSite_)) {
+                ++stats_.dupForwards;
+                BusResult r2 = root_.execute(up);
+                if (!r2.line.empty())
+                    root_.recycleLineBuffer(std::move(r2.line));
+                r.cost += r2.cost;
+            }
+            if (const Cycles d =
+                    faults_->fireBridgeDelay(*delaySite_)) {
+                ++stats_.delayedForwards;
+                extra += d;
+            }
+        }
+        SlaveResult out;
+        out.resp = r.resp;
+        out.cost = r.cost;
+        out.extraDelay = extra;
+        return out;
     }
-    if (!r.line.empty())
-        root_.recycleLineBuffer(std::move(r.line));
-    SlaveResult out;
-    out.resp = r.resp;
-    out.cost = r.cost;
-    return out;
 }
 
 SlaveResult
@@ -71,10 +239,16 @@ BusBridge::transact(const BusRequest &req, bool local_owner,
             // Fill: the data authority is above this bus.
             SlaveResult res =
                 forwardUp(req, BusCmd::Read, req.sig, local_ch, read_out, {});
-            if (req.sig.ca)
-                localHeld_.insert(req.line);
-            if (req.sig.im)
-                remoteShared_.erase(req.line);
+            // A dropped forward never ran at the root: the fill did
+            // not happen and - critically - remote copies were NOT
+            // invalidated, so neither filter may change.  (Recording
+            // the erase anyway would be the unsafe direction.)
+            if (!res.dropped) {
+                if (req.sig.ca)
+                    localHeld_.insert(req.line);
+                if (req.sig.im)
+                    eraseRemoteShared(req.line);
+            }
             return res;
         }
         // Served by a cluster owner.  Remote copies only matter if
@@ -87,7 +261,8 @@ BusBridge::transact(const BusRequest &req, bool local_owner,
         if (req.sig.im) {
             SlaveResult res =
                 forwardUp(req, BusCmd::AddrOnly, kInvalidate, local_ch, {}, {});
-            remoteShared_.erase(req.line);
+            if (!res.dropped)
+                eraseRemoteShared(req.line);
             return res;
         }
         return forwardUp(req, BusCmd::Read, req.sig, local_ch, {}, {});
@@ -95,20 +270,25 @@ BusBridge::transact(const BusRequest &req, bool local_owner,
       case BusCmd::WriteWord:
         if (req.sig.bc) {
             if (req.sig.ca) {
-                localHeld_.insert(req.line);
                 // A broadcasting cache master ends the transaction as
                 // the line's owner (CH:O/M), so root memory need not
                 // see the write when no remote copy may exist - the
                 // ownership invariant covers the stale memory.
                 if (!mayBeRemote(req.line)) {
+                    localHeld_.insert(req.line);
                     ++stats_.upFiltered;
                     return {};
                 }
             }
             // Otherwise (remote copies possible, or a non-owning
             // col-10 broadcast) the write must reach the root.
-            return forwardUp(req, BusCmd::WriteWord, req.sig, local_ch,
-                             {}, {});
+            {
+                SlaveResult res = forwardUp(req, BusCmd::WriteWord,
+                                            req.sig, local_ch, {}, {});
+                if (req.sig.ca && !res.dropped)
+                    localHeld_.insert(req.line);
+                return res;
+            }
         }
         if (local_owner) {
             // Captured by the cluster owner; invalidate remote copies.
@@ -118,7 +298,8 @@ BusBridge::transact(const BusRequest &req, bool local_owner,
             }
             SlaveResult res =
                 forwardUp(req, BusCmd::AddrOnly, kInvalidate, local_ch, {}, {});
-            remoteShared_.erase(req.line);
+            if (!res.dropped)
+                eraseRemoteShared(req.line);
             return res;
         }
         // Write-through to memory (a remote owner may capture via DI).
@@ -139,7 +320,8 @@ BusBridge::transact(const BusRequest &req, bool local_owner,
             SlaveResult res =
                 forwardUp(req, BusCmd::AddrOnly, req.sig, local_ch, {},
                           {});
-            remoteShared_.erase(req.line);
+            if (!res.dropped)
+                eraseRemoteShared(req.line);
             return res;
         }
 
@@ -162,6 +344,30 @@ BusBridge::snoop(const BusRequest &req)
     // master asserts CA leaves a retained copy somewhere remote.
     bool will_retain_remote = req.sig.ca;
 
+    if (salvagedValid_ && req.line == salvagedAddr_) {
+        // A prior invalidating down-forward emptied this cluster of
+        // the line, then the root attempt aborted after the leaf had
+        // committed (spurious-abort injection): the bridge holds the
+        // only copy.  Serve from the salvage buffer instead of
+        // re-forwarding into the now-empty cluster.
+        if (req.cmd == BusCmd::Read) {
+            pendingLine_ = salvagedLine_;
+            pendingValid_ = true;
+            reply.resp.di = true;
+            ++stats_.salvageServes;
+        } else if (req.cmd == BusCmd::WriteWord) {
+            // Snarf the word so the buffer stays the newest copy
+            // (root memory's other words are still stale).
+            salvagedLine_[req.wordIdx] = req.wdata;
+        } else if (req.cmd == BusCmd::WriteLine) {
+            // A full-line push makes root memory current again.
+            salvagedValid_ = false;
+        }
+        if (will_retain_remote)
+            remoteShared_.insert(req.line);
+        return reply;
+    }
+
     if (!mayBeLocal(req.line)) {
         ++stats_.downFiltered;
         if (will_retain_remote)
@@ -176,11 +382,36 @@ BusBridge::snoop(const BusRequest &req)
         down.chHint = true;
     ++stats_.downForwards;
     BusResult r = leaf_->execute(down);
+    if (!r.converged) {
+        // The cluster was NOT serviced (every leaf attempt aborted
+        // before commit, so no state changed below).  Completing the
+        // root transaction anyway would let an invalidation count as
+        // delivered while stale copies survive down here - so assert
+        // BS: the root bus abort-retries the whole transaction, which
+        // re-drives every cluster (idempotent for MOESI-class leaves).
+        // Only reachable under fault injection; fault-free leaf
+        // executes always converge.
+        if (!r.line.empty())
+            leaf_->recycleLineBuffer(std::move(r.line));
+        ++stats_.downAborts;
+        reply.resp.bs = true;
+        return reply;
+    }
 
     if (req.cmd == BusCmd::Read && r.resp.di) {
         pendingLine_.swap(r.line);
         pendingValid_ = true;
         ++stats_.remoteInterventions;
+        if (req.sig.im) {
+            // The down-forward invalidated the owner that supplied
+            // this data; if the root attempt aborts from here on, the
+            // buffer below is the only copy anywhere.  Latch it until
+            // a root Read on the line commits.
+            salvagedLine_ = pendingLine_;
+            salvagedAddr_ = req.line;
+            salvagedValid_ = true;
+            ++stats_.salvagedLines;
+        }
     }
     if (!r.line.empty())
         leaf_->recycleLineBuffer(std::move(r.line));
@@ -189,10 +420,10 @@ BusBridge::snoop(const BusRequest &req)
     // invalidate kills every copy; a plain (col 9) write leaves a
     // capturing owner alive.
     if (req.sig.im && !req.sig.bc && !r.resp.di)
-        localHeld_.erase(req.line);
+        eraseLocalHeld(req.line);
     if (req.cmd == BusCmd::AddrOnly ||
         (req.cmd == BusCmd::Read && req.sig.im)) {
-        localHeld_.erase(req.line);
+        eraseLocalHeld(req.line);
     }
 
     if (will_retain_remote)
@@ -215,16 +446,24 @@ BusBridge::supplyLine(const BusRequest &req, std::span<Word> out)
 }
 
 void
-BusBridge::commit(const BusRequest &, bool)
+BusBridge::commit(const BusRequest &req, bool)
 {
     // The cluster already committed during the down-forward.
+    if (salvagedValid_ && req.line == salvagedAddr_ &&
+        req.cmd == BusCmd::Read) {
+        // The line reached a new owner of record (the requester, via
+        // our DI supply on the non-aborted attempt).
+        salvagedValid_ = false;
+    }
     pendingValid_ = false;
 }
 
 void
 BusBridge::performAbortPush(const BusRequest &)
 {
-    fbsim_panic("bridges never assert BS");
+    // A bridge's BS is a pure busy-abort (a down-forward failed under
+    // faults); there is no dirty line to push.  The root master simply
+    // retries.
 }
 
 } // namespace fbsim

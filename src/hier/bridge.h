@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "bus/bus.h"
+#include "fault/fault_injector.h"
 
 namespace fbsim {
 
@@ -53,6 +54,58 @@ struct BridgeStats
     std::uint64_t downForwards = 0;    ///< root -> leaf transactions
     std::uint64_t downFiltered = 0;    ///< skipped by localHeld
     std::uint64_t remoteInterventions = 0; ///< data served from cluster
+    // Resilience counters (all zero in fault-free runs).
+    std::uint64_t forwardRetries = 0;  ///< dropped forwards re-sent
+    std::uint64_t forwardBackoffCycles = 0; ///< backoff charged
+    std::uint64_t forwardExhausted = 0; ///< forwards given up (the
+                                        ///< leaf bus re-drives them)
+    std::uint64_t dupForwards = 0;     ///< duplicated deliveries
+    std::uint64_t delayedForwards = 0; ///< forwards with extra latency
+    std::uint64_t stallWindows = 0;    ///< leaf-stall windows opened
+    std::uint64_t stallDrops = 0;      ///< forwards lost to stalls
+    std::uint64_t downAborts = 0;      ///< failed down-forwards that
+                                       ///< BS-aborted the root bus
+    std::uint64_t staleFilterSkips = 0; ///< filter erases suppressed
+    std::uint64_t watchdogTrips = 0;   ///< consecutive-exhaust trips
+    std::uint64_t scrubbedEntries = 0; ///< filter divergence repaired
+    std::uint64_t salvagedLines = 0;   ///< dirty lines latched against
+                                       ///< a root abort (im forwards)
+    std::uint64_t salvageServes = 0;   ///< retries served from the
+                                       ///< salvage buffer
+
+    bool operator==(const BridgeStats &) const = default;
+};
+
+/**
+ * One filter audit's findings, split by direction.  "Stale" entries
+ * (present in the filter, absent from the TagStores) are the safe,
+ * wasteful direction silent drops and injected filterStale faults
+ * produce; "missing" entries would be unsafe (a skipped forward that
+ * was needed) and must stay zero outside quarantine windows - the
+ * hierarchical checker's H1/H2 invariants enforce exactly that.
+ */
+struct FilterAudit
+{
+    std::uint64_t staleLocal = 0;    ///< localHeld entries not held
+    std::uint64_t missingLocal = 0;  ///< held lines absent from filter
+    std::uint64_t staleRemote = 0;   ///< remoteShared entries not held
+    std::uint64_t missingRemote = 0; ///< remote lines absent from filter
+
+    std::uint64_t
+    total() const
+    {
+        return staleLocal + missingLocal + staleRemote + missingRemote;
+    }
+
+    FilterAudit &
+    operator+=(const FilterAudit &o)
+    {
+        staleLocal += o.staleLocal;
+        missingLocal += o.missingLocal;
+        staleRemote += o.staleRemote;
+        missingRemote += o.missingRemote;
+        return *this;
+    }
 };
 
 /** Couples a leaf bus to the root bus. */
@@ -105,12 +158,66 @@ class BusBridge : public MemorySlave, public Snooper
     bool mayBeRemote(LineAddr la) const
     { return remoteShared_.count(la); }
 
+    /**
+     * Arm this bridge's fault sites.  `cluster` keys the site names
+     * ("bridge<cluster>.drop" etc.), so every bridge draws from its
+     * own name-derived streams and assembling additional clusters
+     * never shifts an existing bridge's schedule.  Null disarms.
+     */
+    void setFaultInjector(FaultInjector *faults, std::size_t cluster);
+
+    /**
+     * Cross-bus forward retry policy: a dropped/stalled forward is
+     * re-sent up to `retries` times, charging `backoff_base << k`
+     * cycles before retry k; after that the forward is reported
+     * dropped and the leaf bus's own retry machinery re-drives the
+     * whole transaction.
+     */
+    void setForwardRetryPolicy(unsigned retries, Cycles backoff_base)
+    {
+        maxForwardRetries_ = retries;
+        backoffBase_ = backoff_base;
+    }
+
+    /** Consecutive forward exhaustions before the per-bridge livelock
+     *  watchdog trips (stats().watchdogTrips). */
+    void setWatchdogThreshold(unsigned exhausts)
+    { watchdogThreshold_ = exhausts; }
+
+    /**
+     * Maintenance bypass: while set, forwards draw no faults and any
+     * open stall window is frozen.  Segment quarantine/reintegration
+     * flushes run under it - P896 live-removal holds the backplane in
+     * a quiesced window, so maintenance traffic is not exposed to the
+     * modeled transient faults (and quarantine flushes provably
+     * converge, keeping owned data intact).
+     */
+    void setMaintenanceBypass(bool on) { maintenance_ = on; }
+
+    /**
+     * Audit (and with `repair` fix) both filters against the exact
+     * per-cluster presence sets recomputed from the leaf TagStores:
+     * `local` = lines valid inside this cluster, `remote` = lines
+     * valid in any other cluster.  Returns the divergence found;
+     * repairs count into stats().scrubbedEntries.
+     */
+    FilterAudit auditFilters(const std::unordered_set<LineAddr> &local,
+                             const std::unordered_set<LineAddr> &remote,
+                             bool repair);
+
   private:
     /** Forward a leaf transaction up to the root bus. */
     SlaveResult forwardUp(const BusRequest &req, BusCmd cmd,
                           MasterSignals sig, bool local_ch,
                           std::span<Word> read_out,
                           std::span<const Word> wline);
+
+    /** Is this forward attempt lost (injected drop or stall)? */
+    bool forwardLost();
+
+    /** Filter erases, routed through the filterStale fault site. */
+    void eraseRemoteShared(LineAddr la);
+    void eraseLocalHeld(LineAddr la);
 
     MasterId rootId_;
     MasterId leafId_;
@@ -123,9 +230,39 @@ class BusBridge : public MemorySlave, public Snooper
     std::unordered_set<LineAddr> remoteShared_;
     std::unordered_set<LineAddr> localHeld_;
 
+    // Fault plumbing (null/idle in fault-free runs: forwards pay one
+    // branch on faults_ and nothing else).
+    FaultInjector *faults_ = nullptr;
+    FaultSite *dropSite_ = nullptr;
+    FaultSite *delaySite_ = nullptr;
+    FaultSite *dupSite_ = nullptr;
+    FaultSite *staleSite_ = nullptr;
+    FaultSite *stallSite_ = nullptr;
+    std::size_t cluster_ = 0;
+    unsigned maxForwardRetries_ = 4;
+    Cycles backoffBase_ = 2;
+    unsigned watchdogThreshold_ = 4;
+    unsigned stallRemaining_ = 0;   ///< forwards left in the window
+    unsigned exhaustStreak_ = 0;    ///< consecutive exhausted forwards
+    bool maintenance_ = false;
+
     /** Line data fetched from the cluster between snoop and supply. */
     std::vector<Word> pendingLine_;
     bool pendingValid_ = false;
+
+    /**
+     * Dirty data captured by an invalidating down-forward, retained
+     * until a root transaction actually delivers the line.  The
+     * down-forward commits the cluster during the root SNOOP phase:
+     * if the root attempt then aborts (spurious-abort injection draws
+     * after the snoops), the supplying owner is already invalidated
+     * and this buffer is the only copy anywhere.  The bridge stays
+     * the line's owner of record, serving retries with DI from here;
+     * commit() of a Read on the line releases it.
+     */
+    std::vector<Word> salvagedLine_;
+    LineAddr salvagedAddr_ = 0;
+    bool salvagedValid_ = false;
 };
 
 } // namespace fbsim

@@ -99,10 +99,15 @@ HierEngine::run(const std::vector<RefStream *> &streams,
         if (p.ref.write) {
             Word value =
                 (static_cast<Word>(imin + 1) << 48) ^ (++seq[imin]);
-            system_.write(static_cast<MasterId>(imin), p.ref.addr,
-                          value);
+            AccessOutcome o = system_.write(
+                static_cast<MasterId>(imin), p.ref.addr, value);
+            if (o.faulted)
+                ++result.faultedRefs;
         } else {
-            system_.read(static_cast<MasterId>(imin), p.ref.addr);
+            AccessOutcome o =
+                system_.read(static_cast<MasterId>(imin), p.ref.addr);
+            if (o.faulted)
+                ++result.faultedRefs;
         }
 
         Cycles root_delta =
@@ -142,6 +147,10 @@ HierEngine::run(const std::vector<RefStream *> &streams,
 
     for (const ProcTiming &p : result.procs)
         result.elapsed = std::max(result.elapsed, p.finishTime);
+    result.watchdogTrips = system_.watchdogTrips();
+    result.quarantines = system_.quarantineCount();
+    result.reintegrations = system_.reintegrationCount();
+    result.scrubDivergence = system_.scrubDivergence();
     return result;
 }
 

@@ -37,6 +37,13 @@ struct HierEngineResult
     Cycles rootBusy = 0;
     std::vector<Cycles> leafBusy;   ///< per cluster
 
+    // Resilience ladder summary (all zero in fault-free runs).
+    std::uint64_t faultedRefs = 0;      ///< accesses that gave up
+    std::uint64_t watchdogTrips = 0;
+    std::uint64_t quarantines = 0;      ///< leaf segments pulled
+    std::uint64_t reintegrations = 0;   ///< leaf segments rejoined
+    std::uint64_t scrubDivergence = 0;  ///< filter entries repaired
+
     /** Sum of per-processor utilizations. */
     double systemPower() const;
 
@@ -57,6 +64,9 @@ struct HierEngineResult
 class HierEngine
 {
   public:
+    /** EngineConfig::shards is accepted but ignored: hier scheduling
+     *  is one global readiness order, so results are byte-identical
+     *  at any shard setting (pinned by hier_test). */
     HierEngine(HierSystem &system, const EngineConfig &config);
 
     /** Run every stream for refs_per_proc references; streams[i]

@@ -18,6 +18,8 @@
 #define FBSIM_HIER_HIER_SYSTEM_H_
 
 #include <memory>
+#include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "checker/coherence_checker.h"
@@ -41,6 +43,39 @@ struct HierConfig
     bool snoopFilterCrossCheck = false;
     /** checkEveryAccess re-verifies only dirtied lines (see SystemConfig). */
     bool incrementalCheck = true;
+
+    /**
+     * Fault campaign (nullopt = fault-free).  One injector serves the
+     * whole fabric: root bus, root memory slave, every leaf bus, and
+     * the bridges' own fault sites ("bridge<k>.drop" etc., keyed by
+     * cluster index so assembly order never shifts a schedule).
+     */
+    std::optional<FaultConfig> faults;
+    /** Consecutive faulted accesses by one master before its cluster's
+     *  watchdog trips (see SystemConfig::watchdogRounds). */
+    unsigned watchdogRounds = 8;
+    bool quarantineOnWatchdog = true;
+    /** Watchdog trips charged to a cluster (by its masters or its
+     *  bridge's forward watchdog) before the whole leaf segment is
+     *  quarantined - the hierarchy's board is the board-bus. */
+    unsigned quarantineAfterTrips = 1;
+    /** Schedule a quarantined segment's reintegration this many
+     *  root-bus busy cycles after it was pulled; 0 = permanent. */
+    Cycles reintegrateAfterCycles = 0;
+    /** Bridge cross-bus forward retry policy (see
+     *  BusBridge::setForwardRetryPolicy). */
+    unsigned bridgeForwardRetries = 4;
+    Cycles bridgeBackoffBase = 2;
+    /** Consecutive exhausted forwards before a bridge's livelock
+     *  watchdog trips (charged to its cluster's ladder). */
+    unsigned bridgeWatchdogThreshold = 4;
+    /**
+     * Audit-and-scrub cadence: every N accesses, recompute the exact
+     * per-cluster presence sets from the leaf TagStores and repair
+     * every bridge filter to them, counting the divergence.  0 =
+     * never (scrubFilters() can still be called by hand).
+     */
+    std::uint64_t scrubEveryAccesses = 0;
 };
 
 /** A root bus plus clusters of caches behind bridges. */
@@ -93,6 +128,49 @@ class HierSystem
     MainMemory &memory() { return *memory_; }
     CoherenceChecker &checker() { return *checker_; }
 
+    /** Observe fault/recovery instants on every bus (Perfetto etc.). */
+    void attachTrace(TraceSink *sink);
+
+    /**
+     * Pull one leaf segment (P896 live removal of a board-bus): every
+     * cache in the cluster is flushed and isolated, the bridge is
+     * suspended from the root bus, and the cluster's filter checks are
+     * detached.  The flushes run under the injector's quiesced window
+     * and the bridge's maintenance bypass, so owned data provably
+     * drains to memory.  Returns false when already quarantined (or no
+     * fault machinery is armed).
+     */
+    bool quarantineCluster(std::size_t cluster);
+
+    /**
+     * Rejoin a quarantined segment: caches rejoin cold (all lines
+     * invalid), the bridge's filters are scrubbed to the *exact*
+     * recomputed presence sets before it resumes snooping, and the
+     * cluster's H1/H2 checks re-attach.  Returns false when not
+     * quarantined.
+     */
+    bool reintegrateCluster(std::size_t cluster);
+
+    bool clusterQuarantined(std::size_t cluster) const
+    { return clusterQuarantined_[cluster]; }
+
+    /**
+     * Audit-and-scrub every active bridge's filters against the exact
+     * presence sets recomputed from the leaf TagStores; repairs are
+     * applied and the total divergence (stale + missing entries) is
+     * returned and accumulated into scrubDivergence().
+     */
+    std::uint64_t scrubFilters();
+
+    /** Fault/recovery ladder counters and log (mirror System's). */
+    const std::vector<std::string> &faultEvents() const
+    { return faultEvents_; }
+    std::uint64_t watchdogTrips() const { return watchdogTrips_; }
+    std::uint64_t quarantineCount() const { return quarantines_; }
+    std::uint64_t reintegrationCount() const { return reintegrations_; }
+    std::uint64_t scrubDivergence() const { return scrubDivergence_; }
+    const FaultInjector *faults() const { return faults_.get(); }
+
   private:
     struct Cluster
     {
@@ -110,6 +188,27 @@ class HierSystem
 
     void afterAccess();
 
+    /** Watchdog/ladder bookkeeping after every access. */
+    void postAccess(MasterId id, const AccessOutcome &outcome);
+
+    /** Apply a due dataFlip fault to a random live cache. */
+    void maybeFlipData();
+
+    /** Charge one watchdog trip to a cluster's escalation ladder. */
+    void tripCluster(std::size_t cluster, const std::string &why);
+
+    /** Fire scheduled segment rejoins whose due cycle passed. */
+    void serviceRejoins();
+
+    /** Re-attach cluster `k`'s H1/H2 probes to its bridge. */
+    void attachFilterChecks(std::size_t k);
+
+    /** Exact per-cluster presence sets from the leaf TagStores. */
+    void computePresence(
+        std::vector<std::unordered_set<LineAddr>> &held) const;
+
+    void recordFaultEvent(std::string event);
+
     HierConfig config_;
     std::unique_ptr<MainMemory> memory_;
     std::unique_ptr<MainMemorySlave> rootSlave_;
@@ -118,6 +217,22 @@ class HierSystem
     std::vector<ClientRef> clients_;
     std::unique_ptr<CoherenceChecker> checker_;
     std::vector<std::string> violations_;
+
+    // Fault/recovery machinery (all idle when faults_ is null).
+    std::unique_ptr<FaultInjector> faults_;
+    TraceSink *trace_ = nullptr;
+    std::vector<unsigned> noProgress_;       ///< per master
+    std::vector<unsigned> clusterTrips_;     ///< per cluster, since join
+    std::vector<std::uint64_t> bridgeTripsSeen_; ///< polled bridge trips
+    std::vector<bool> clusterQuarantined_;
+    std::vector<Cycles> rejoinDue_;          ///< root busy-cycle clock
+    std::size_t scheduledRejoins_ = 0;
+    std::vector<std::string> faultEvents_;
+    std::uint64_t watchdogTrips_ = 0;
+    std::uint64_t quarantines_ = 0;
+    std::uint64_t reintegrations_ = 0;
+    std::uint64_t scrubDivergence_ = 0;
+    std::uint64_t accessCount_ = 0;
 };
 
 } // namespace fbsim

@@ -26,6 +26,7 @@
 #ifndef FBSIM_MC_DIFFERENTIAL_H_
 #define FBSIM_MC_DIFFERENTIAL_H_
 
+#include "mc/hier_model.h"
 #include "mc/model.h"
 #include "sim/engine.h"
 
@@ -84,6 +85,37 @@ struct ShardDiffConfig
 };
 
 DiffResult runShardDifferential(const ShardDiffConfig &cfg);
+
+/**
+ * Hierarchical differential: a live HierSystem (leaf buses, bridges,
+ * root bus) and the hier abstract model execute the same seeded walk
+ * and must agree byte-for-byte after every step on BOTH the full state
+ * vector and the bridges' filter bits.
+ *
+ * Fault-free mode mirrors runDifferential (SequenceChooser engine vs
+ * identically-seeded RngFeed model).  Fault mode injects only
+ * hierarchy-safe timing faults - spurious aborts, memory delay/drop,
+ * bridge forward drop/delay/dup and leaf-stall windows - which perturb
+ * when transactions complete, never what data or filter state they
+ * leave behind; a faulted engine access is a stutter step that resyncs
+ * the model (filters included) from the engine.  Corrupting sites
+ * (filterStale and the flat data/response flips) are out of scope here;
+ * the resilience campaigns cover them.
+ */
+struct HierDiffConfig
+{
+    /** One table per cache (2-4); cache i joins cluster i % clusters. */
+    std::vector<const ProtocolTable *> tables;
+    std::size_t clusters = 2;
+    std::size_t lines = 2;
+    std::size_t steps = 10000;
+    std::uint64_t seed = 1;
+    /** Inject hier-safe timing faults into the engine (stutter mode). */
+    bool faults = false;
+    unsigned maxBusRetries = 64;
+};
+
+DiffResult runHierDifferential(const HierDiffConfig &cfg);
 
 } // namespace mc
 } // namespace fbsim

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
 
 #include "common/logging.h"
+#include "hier/hier_system.h"
 #include "sim/system.h"
 
 namespace fbsim {
@@ -61,12 +63,23 @@ runInterleaving(const LitmusTest &test, const LitmusRunConfig &cfg,
         for (const LitmusOp &op : thread)
             max_line = std::max<std::size_t>(max_line, op.line);
 
-    SystemConfig sc;
-    sc.lineBytes = kWordBytes;
-    sc.maxBusRetries = cfg.maxBusRetries;
-    sc.checkEveryAccess = true;
-    sc.quarantineOnWatchdog = false;
-    System sys(sc);
+    // Flat bus or a bridged hierarchy, behind one access surface.
+    std::unique_ptr<System> flat;
+    std::unique_ptr<HierSystem> hier;
+    if (cfg.clusters > 1) {
+        HierConfig hc;
+        hc.lineBytes = kWordBytes;
+        hc.maxBusRetries = cfg.maxBusRetries;
+        hc.checkEveryAccess = true;
+        hier = std::make_unique<HierSystem>(hc, cfg.clusters);
+    } else {
+        SystemConfig sc;
+        sc.lineBytes = kWordBytes;
+        sc.maxBusRetries = cfg.maxBusRetries;
+        sc.checkEveryAccess = true;
+        sc.quarantineOnWatchdog = false;
+        flat = std::make_unique<System>(sc);
+    }
     for (std::size_t t = 0; t < test.threads.size(); ++t) {
         CacheSpec spec;
         spec.table = cfg.tables[t];
@@ -75,7 +88,10 @@ runInterleaving(const LitmusTest &test, const LitmusRunConfig &cfg,
         spec.seed = cfg.seed + t;
         spec.numSets = 1;
         spec.assoc = max_line + 1;
-        sys.addCache(spec);
+        if (hier)
+            hier->addCache(t % cfg.clusters, spec);
+        else
+            flat->addCache(spec);
     }
 
     auto describe = [&] {
@@ -91,12 +107,16 @@ runInterleaving(const LitmusTest &test, const LitmusRunConfig &cfg,
     for (std::size_t t : order) {
         const LitmusOp &op = test.threads[t][pc[t]++];
         const Addr addr = static_cast<Addr>(op.line) * kWordBytes;
+        const auto id = static_cast<MasterId>(t);
         if (op.write) {
-            sys.write(static_cast<MasterId>(t), addr, op.value);
+            if (hier)
+                hier->write(id, addr, op.value);
+            else
+                flat->write(id, addr, op.value);
             ref[op.line] = op.value;
         } else {
             AccessOutcome out =
-                sys.read(static_cast<MasterId>(t), addr);
+                hier ? hier->read(id, addr) : flat->read(id, addr);
             if (out.value != ref[op.line]) {
                 failures.push_back(strprintf(
                     "%s: thread %zu read line %u = 0x%llx, reference "
@@ -109,9 +129,12 @@ runInterleaving(const LitmusTest &test, const LitmusRunConfig &cfg,
         }
     }
 
-    for (const std::string &v : sys.violations())
+    const std::vector<std::string> &violations =
+        hier ? hier->violations() : flat->violations();
+    for (const std::string &v : violations)
         failures.push_back(describe() + ": " + v);
-    for (const std::string &v : sys.checkNow())
+    for (const std::string &v : (hier ? hier->checkNow()
+                                      : flat->checkNow()))
         failures.push_back(describe() + ": final: " + v);
 }
 

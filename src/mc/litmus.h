@@ -64,6 +64,15 @@ struct LitmusRunConfig
     std::uint64_t seed = 1;
 
     unsigned maxBusRetries = 16;
+
+    /**
+     * Run each interleaving through a HierSystem with this many leaf
+     * buses instead of a flat System (1 = flat).  Thread t joins
+     * cluster t % clusters, so the shapes exercise cross-bridge
+     * serialization; tables must then be MOESI-class (the hierarchy
+     * excludes BS abort protocols from leaves).
+     */
+    std::size_t clusters = 1;
 };
 
 struct LitmusOutcome

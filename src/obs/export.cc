@@ -1,6 +1,7 @@
 #include "obs/export.h"
 
 #include "common/logging.h"
+#include "hier/hier_system.h"
 #include "sim/engine.h"
 #include "sim/system.h"
 
@@ -63,6 +64,96 @@ exportSystemMetrics(MetricRegistry &reg, const System &system)
     reg.counter("sys.watchdogTrips").add(system.watchdogTrips());
     reg.counter("sys.quarantines").add(system.quarantineCount());
     reg.counter("sys.reintegrations").add(system.reintegrationCount());
+    reg.counter("sys.violations").add(system.violations().size());
+}
+
+namespace {
+
+/** The bus.*-shaped counters of one bus, under `prefix`. */
+void
+exportBusCounters(MetricRegistry &reg, const std::string &prefix,
+                  const BusStats &b)
+{
+    reg.counter(prefix + "transactions").add(b.transactions);
+    reg.counter(prefix + "invalidates").add(b.invalidates);
+    reg.counter(prefix + "interventions").add(b.interventions);
+    reg.counter(prefix + "aborts").add(b.aborts);
+    reg.counter(prefix + "retryExhausted").add(b.retryExhausted);
+    reg.counter(prefix + "addressCycles").add(b.addressCycles);
+    reg.counter(prefix + "dataWords").add(b.dataWords);
+    reg.counter(prefix + "busyCycles").add(b.busyCycles);
+    reg.counter(prefix + "backoffCycles").add(b.backoffCycles);
+}
+
+} // namespace
+
+void
+exportHierMetrics(MetricRegistry &reg, HierSystem &system)
+{
+    exportBusCounters(reg, "hier.root.", system.rootBus().stats());
+    for (std::size_t k = 0; k < system.numClusters(); ++k) {
+        const std::string p = strprintf("hier.cluster%zu.", k);
+        exportBusCounters(reg, p + "leaf.",
+                          system.leafBus(k).stats());
+
+        const BridgeStats &s = system.bridge(k).stats();
+        reg.counter(p + "bridge.upForwards").add(s.upForwards);
+        reg.counter(p + "bridge.upFiltered").add(s.upFiltered);
+        reg.counter(p + "bridge.downForwards").add(s.downForwards);
+        reg.counter(p + "bridge.downFiltered").add(s.downFiltered);
+        reg.counter(p + "bridge.remoteInterventions")
+            .add(s.remoteInterventions);
+        reg.counter(p + "bridge.forwardRetries").add(s.forwardRetries);
+        reg.counter(p + "bridge.forwardBackoffCycles")
+            .add(s.forwardBackoffCycles);
+        reg.counter(p + "bridge.forwardExhausted")
+            .add(s.forwardExhausted);
+        reg.counter(p + "bridge.dupForwards").add(s.dupForwards);
+        reg.counter(p + "bridge.delayedForwards")
+            .add(s.delayedForwards);
+        reg.counter(p + "bridge.stallWindows").add(s.stallWindows);
+        reg.counter(p + "bridge.stallDrops").add(s.stallDrops);
+        reg.counter(p + "bridge.downAborts").add(s.downAborts);
+        reg.counter(p + "bridge.staleFilterSkips")
+            .add(s.staleFilterSkips);
+        reg.counter(p + "bridge.watchdogTrips").add(s.watchdogTrips);
+        reg.counter(p + "bridge.scrubbedEntries")
+            .add(s.scrubbedEntries);
+        reg.counter(p + "bridge.salvagedLines").add(s.salvagedLines);
+        reg.counter(p + "bridge.salvageServes").add(s.salvageServes);
+        reg.gauge(p + "quarantined")
+            .set(system.clusterQuarantined(k) ? 1 : 0);
+    }
+
+    CacheStats totals;
+    for (MasterId id = 0; id < system.numClients(); ++id) {
+        if (const SnoopingCache *cache = system.cacheOf(id))
+            totals += cache->stats();
+    }
+    reg.counter("cache.reads").add(totals.reads);
+    reg.counter("cache.writes").add(totals.writes);
+    reg.counter("cache.readMisses").add(totals.readMisses);
+    reg.counter("cache.writeMisses").add(totals.writeMisses);
+    reg.counter("cache.writebacks").add(totals.writebacks);
+    reg.counter("cache.invalidationsRecv").add(totals.invalidationsRecv);
+    reg.counter("cache.updatesRecv").add(totals.updatesRecv);
+    reg.counter("cache.faultedAccesses").add(totals.faultedAccesses);
+
+    if (const FaultInjector *fi = system.faults()) {
+        const FaultStats &f = fi->stats();
+        reg.counter("fault.spuriousAborts").add(f.spuriousAborts);
+        reg.counter("fault.stormAborts").add(f.stormAborts);
+        reg.counter("fault.memoryDelays").add(f.memoryDelays);
+        reg.counter("fault.memoryDrops").add(f.memoryDrops);
+        reg.counter("fault.dataFlips").add(f.dataFlips);
+        reg.counter("fault.responseFlips").add(f.responseFlips);
+        reg.counter("fault.snooperMutes").add(f.snooperMutes);
+    }
+
+    reg.counter("sys.watchdogTrips").add(system.watchdogTrips());
+    reg.counter("sys.quarantines").add(system.quarantineCount());
+    reg.counter("sys.reintegrations").add(system.reintegrationCount());
+    reg.counter("sys.scrubDivergence").add(system.scrubDivergence());
     reg.counter("sys.violations").add(system.violations().size());
 }
 

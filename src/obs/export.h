@@ -15,10 +15,21 @@
 namespace fbsim {
 
 class System;
+class HierSystem;
 struct EngineResult;
 
 /** bus.* / snoop.* / cache.* / fault.* / sys.* counters. */
 void exportSystemMetrics(MetricRegistry &reg, const System &system);
+
+/**
+ * Hierarchical counterpart of exportSystemMetrics: root-bus counters
+ * under hier.root.*, per-cluster leaf-bus and bridge counters under
+ * hier.cluster<k>.*, the usual cache.* / fault.* totals, and the
+ * fabric's recovery-ladder counters (including scrub divergence)
+ * under sys.*.  Non-const because HierSystem exposes its buses and
+ * bridges mutably; nothing is modified.
+ */
+void exportHierMetrics(MetricRegistry &reg, HierSystem &system);
 
 /** engine.* counters and gauges (elapsed, busBusy, refs, ...). */
 void exportEngineMetrics(MetricRegistry &reg,

@@ -59,6 +59,39 @@ System::attachTrace(TraceSink *sink)
     bus_->addTraceSink(sink);
 }
 
+void
+System::checkProtocolMix(ProtocolKind kind)
+{
+    // The paper's compatibility claim covers the protocols that keep
+    // ownership coherent through the O state or through memory
+    // updates; Write-Once's through-to-memory first write collides
+    // with a remote O-state owner (the WriteOnceOwnerCollision
+    // data-loss class pinned in mixed_system_test).  Refuse the mix at
+    // assembly time rather than let the checker find it at run time.
+    auto owns = [](ProtocolKind k) {
+        return k == ProtocolKind::Moesi || k == ProtocolKind::Berkeley ||
+               k == ProtocolKind::Dragon;
+    };
+    if (!config_.allowIncompatibleMix) {
+        for (ProtocolKind prev : stockKinds_) {
+            const bool clash =
+                (kind == ProtocolKind::WriteOnce && owns(prev)) ||
+                (prev == ProtocolKind::WriteOnce && owns(kind));
+            if (clash) {
+                fbsim_fatal(
+                    "incompatible protocol mix on one bus: %s + %s "
+                    "(Write-Once's through-to-memory first write "
+                    "collides with an O-state owner; set "
+                    "SystemConfig::allowIncompatibleMix to assemble "
+                    "anyway)",
+                    std::string(protocolKindName(prev)).c_str(),
+                    std::string(protocolKindName(kind)).c_str());
+            }
+        }
+    }
+    stockKinds_.push_back(kind);
+}
+
 MasterId
 System::addCache(const CacheSpec &spec)
 {
@@ -74,6 +107,11 @@ System::addCache(const CacheSpec &spec)
         spec.protocol != ProtocolKind::Moesi)
         fbsim_fatal("write-through clients use the MOESI table's \"*\" "
                     "entries; pick ProtocolKind::Moesi");
+    // Write-through clients never hold the O state (memory stays
+    // current under them), so only copy-back stock tables join the
+    // compatibility guard.
+    if (!spec.table && !spec.writeThrough)
+        checkProtocolMix(spec.protocol);
 
     const ProtocolTable &table =
         spec.table ? *spec.table : protocolTable(spec.protocol);
@@ -102,6 +140,7 @@ System::addSectorCache(const CacheSpec &spec,
     MasterId id = static_cast<MasterId>(clients_.size());
     if (spec.writeThrough)
         fbsim_fatal("sector caches are copy-back in fbsim");
+    checkProtocolMix(spec.protocol);
     SectorGeometry geom;
     geom.lineBytes = config_.lineBytes;
     geom.subsectorsPerSector = subsectors_per_sector;

@@ -97,6 +97,19 @@ struct SystemConfig
      * the formatting work stays off the hot path entirely).
      */
     std::size_t transactionLogCapacity = 0;
+    /**
+     * Assembly-time compatibility guard override.  The paper's
+     * compatibility claim (section 4) does not extend to mixing
+     * Write-Once with the ownership (O-state) protocols on one bus:
+     * Write-Once's first write goes through to memory while believing
+     * it gained ownership, so a remote O-state owner and the
+     * write-through collide on who holds the line's latest data (the
+     * pinned WriteOnceOwnerCollision data-loss class).  addCache()
+     * therefore refuses such a mix with a fatal naming both
+     * protocols; set this to assemble one deliberately (checker
+     * studies of the known-incompatible pair).
+     */
+    bool allowIncompatibleMix = false;
 };
 
 /** Everything needed to add one cache to the system. */
@@ -283,6 +296,11 @@ class System
   private:
     void afterAccess();
 
+    /** Assembly-time compatibility guard (see allowIncompatibleMix):
+     *  record a stock protocol joining the bus, fatal on a
+     *  Write-Once x O-state mix unless overridden. */
+    void checkProtocolMix(ProtocolKind kind);
+
     /** Per-access fault bookkeeping: watchdog progress counting and
      *  scheduled cache-array bit flips, then the configured checks. */
     void postAccess(MasterId id, const AccessOutcome &outcome);
@@ -314,6 +332,8 @@ class System
     std::vector<Cycles> reintegrateDue_;
     /** Entries of reintegrateDue_ not equal to kNeverDue. */
     std::size_t scheduledReintegrations_ = 0;
+    /** Stock protocols assembled so far (compatibility guard). */
+    std::vector<ProtocolKind> stockKinds_;
     std::vector<std::string> faultEvents_;
     std::uint64_t watchdogTrips_ = 0;
     std::uint64_t quarantines_ = 0;

@@ -137,6 +137,71 @@ renderFaultReport(const System &system)
 }
 
 std::string
+renderFaultReport(HierSystem &system)
+{
+    const FaultInjector *fi = system.faults();
+    if (!fi)
+        return {};
+    const FaultStats &s = fi->stats();
+    std::string out;
+    out += strprintf("fault campaign %s (%zu clusters)\n",
+                     fi->describe().c_str(), system.numClusters());
+    BridgeStats bridges;
+    for (std::size_t k = 0; k < system.numClusters(); ++k) {
+        const BridgeStats &b = system.bridge(k).stats();
+        bridges.forwardRetries += b.forwardRetries;
+        bridges.forwardExhausted += b.forwardExhausted;
+        bridges.dupForwards += b.dupForwards;
+        bridges.delayedForwards += b.delayedForwards;
+        bridges.stallDrops += b.stallDrops;
+        bridges.downAborts += b.downAborts;
+        bridges.staleFilterSkips += b.staleFilterSkips;
+        bridges.watchdogTrips += b.watchdogTrips;
+        bridges.scrubbedEntries += b.scrubbedEntries;
+        bridges.salvagedLines += b.salvagedLines;
+        bridges.salvageServes += b.salvageServes;
+    }
+    out += strprintf("  injected: %llu spurious aborts (%llu storm), "
+                     "%llu delays, %llu drops, %llu dup forwards, "
+                     "%llu delayed forwards, %llu stall drops, "
+                     "%llu stale filter skips\n",
+                     static_cast<unsigned long long>(s.spuriousAborts),
+                     static_cast<unsigned long long>(s.stormAborts),
+                     static_cast<unsigned long long>(s.memoryDelays),
+                     static_cast<unsigned long long>(s.memoryDrops),
+                     static_cast<unsigned long long>(
+                         bridges.dupForwards),
+                     static_cast<unsigned long long>(
+                         bridges.delayedForwards),
+                     static_cast<unsigned long long>(
+                         bridges.stallDrops),
+                     static_cast<unsigned long long>(
+                         bridges.staleFilterSkips));
+    out += strprintf(
+        "  recovery: %llu forward retries, %llu forward exhaustions, "
+        "%llu down aborts, %llu bridge watchdog trips, "
+        "%llu scrubbed filter entries, %llu salvage serves\n",
+        static_cast<unsigned long long>(bridges.forwardRetries),
+        static_cast<unsigned long long>(bridges.forwardExhausted),
+        static_cast<unsigned long long>(bridges.downAborts),
+        static_cast<unsigned long long>(bridges.watchdogTrips),
+        static_cast<unsigned long long>(bridges.scrubbedEntries),
+        static_cast<unsigned long long>(bridges.salvageServes));
+    out += strprintf(
+        "  ladder: %llu watchdog trips, %llu quarantines, "
+        "%llu reintegrations, %llu scrub divergence, "
+        "%llu violations recorded\n",
+        static_cast<unsigned long long>(system.watchdogTrips()),
+        static_cast<unsigned long long>(system.quarantineCount()),
+        static_cast<unsigned long long>(system.reintegrationCount()),
+        static_cast<unsigned long long>(system.scrubDivergence()),
+        static_cast<unsigned long long>(system.violations().size()));
+    for (const std::string &ev : system.faultEvents())
+        out += "  event: " + ev + "\n";
+    return out;
+}
+
+std::string
 renderCampaignTable(const CampaignReport &report)
 {
     std::string out;

@@ -33,6 +33,15 @@ std::string renderEngineResult(const EngineResult &result);
 std::string renderFaultReport(const System &system);
 
 /**
+ * Hierarchical fault-campaign summary: the same injected/recovery
+ * shape plus the bridge ladder (forward retries and exhaustions,
+ * bridge watchdog trips, scrub divergence) summed over clusters.
+ * Non-const because HierSystem exposes its bridges mutably; nothing
+ * is modified.  Empty string for a fault-free fabric.
+ */
+std::string renderFaultReport(HierSystem &system);
+
+/**
  * Campaign sweep table: one row per job in merge (job-index) order
  * with its axis coordinates and headline metrics (including the Jain
  * fairness index over per-processor bus service), plus a per-master

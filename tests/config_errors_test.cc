@@ -60,6 +60,37 @@ TEST(ConfigErrorTest, HierRejectsAbortProtocols)
     EXPECT_EXIT(bad(), ::testing::ExitedWithCode(1), "MOESI-class");
 }
 
+TEST(ConfigErrorTest, IncompatibleMixIsRefusedAtAssembly)
+{
+    // The known data-loss pair (Write-Once x an O-state protocol,
+    // pinned by McCounterexample.WriteOnceOwnerCollisionPinned) must
+    // be refused when the caches join the bus - and the fatal must
+    // name both offending protocols, in either assembly order.
+    auto mix = [](ProtocolKind first, ProtocolKind second) {
+        System sys(test::testConfig());
+        sys.addCache(test::smallCache(first));
+        sys.addCache(test::smallCache(second));
+    };
+    EXPECT_EXIT(mix(ProtocolKind::Moesi, ProtocolKind::WriteOnce),
+                ::testing::ExitedWithCode(1), "MOESI.*Write-Once");
+    EXPECT_EXIT(mix(ProtocolKind::WriteOnce, ProtocolKind::Berkeley),
+                ::testing::ExitedWithCode(1), "Write-Once.*Berkeley");
+    EXPECT_EXIT(mix(ProtocolKind::Dragon, ProtocolKind::WriteOnce),
+                ::testing::ExitedWithCode(1), "Dragon.*Write-Once");
+
+    // Opting in assembles the mix (the checker studies depend on it).
+    SystemConfig cfg = test::testConfig();
+    cfg.allowIncompatibleMix = true;
+    System sys(cfg);
+    sys.addCache(test::smallCache(ProtocolKind::Moesi));
+    sys.addCache(test::smallCache(ProtocolKind::WriteOnce));
+
+    // Non-ownership pairs stay assemblable without the override.
+    System ok(test::testConfig());
+    ok.addCache(test::smallCache(ProtocolKind::WriteOnce));
+    ok.addCache(test::smallCache(ProtocolKind::Illinois));
+}
+
 TEST(ConfigErrorTest, WriteThroughRequiresMoesiTable)
 {
     auto bad = [] {

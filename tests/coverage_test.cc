@@ -91,6 +91,9 @@ exercise(ProtocolKind kind)
 {
     MixPlan plan = planFor(kind);
     SystemConfig cfg;
+    // The companion mixes here are curated (transient ownership only,
+    // see broadcastCompanion) - opt past the assembly guard.
+    cfg.allowIncompatibleMix = true;
     System sys(cfg);
     std::vector<MasterId> subjects;
     for (int i = 0; i < 3; ++i) {

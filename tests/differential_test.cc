@@ -106,6 +106,74 @@ TEST(Differential, ShardedEngineLockstepStrict)
         << (res.errors.empty() ? "" : res.errors[0]);
 }
 
+// Hierarchical lockstep: a live HierSystem (2 leaf buses, bridges,
+// root bus) against the hier model, byte-identical on the full state
+// vector AND every bridge's filter bits after each of 10k steps.
+TEST(Differential, HierFaultFreeMoesiClass)
+{
+    for (ProtocolKind kind : {ProtocolKind::Moesi, ProtocolKind::Berkeley,
+                              ProtocolKind::Dragon}) {
+        mc::HierDiffConfig cfg;
+        cfg.tables.assign(4, &protocolTable(kind));
+        cfg.clusters = 2;
+        cfg.lines = 2;
+        cfg.steps = 10000;
+        cfg.seed = 0xfb51u + static_cast<std::uint64_t>(kind);
+        mc::DiffResult res = mc::runHierDifferential(cfg);
+        EXPECT_TRUE(res.ok)
+            << protocolKindName(kind) << ": "
+            << (res.errors.empty() ? "" : res.errors[0]);
+        EXPECT_EQ(res.stepsRun, 10000u);
+        EXPECT_EQ(res.faultedSteps, 0u);
+    }
+}
+
+// Same walks with bridge drops/delays/dups, leaf-stall windows,
+// spurious aborts and memory delay/drop armed: faulted accesses are
+// stutter steps, everything else must still match byte-for-byte, and
+// the engine's checker must stay silent throughout.
+TEST(Differential, HierFaultedMoesiClass)
+{
+    std::size_t total_faulted = 0;
+    for (ProtocolKind kind : {ProtocolKind::Moesi, ProtocolKind::Berkeley,
+                              ProtocolKind::Dragon}) {
+        mc::HierDiffConfig cfg;
+        cfg.tables.assign(4, &protocolTable(kind));
+        cfg.clusters = 2;
+        cfg.lines = 2;
+        cfg.steps = 10000;
+        cfg.seed = 0xfb51u + static_cast<std::uint64_t>(kind);
+        cfg.faults = true;
+        mc::DiffResult res = mc::runHierDifferential(cfg);
+        EXPECT_TRUE(res.ok)
+            << protocolKindName(kind) << ": "
+            << (res.errors.empty() ? "" : res.errors[0]);
+        EXPECT_EQ(res.stepsRun, 10000u);
+        total_faulted += res.faultedSteps;
+    }
+    EXPECT_GT(total_faulted, 0u);
+}
+
+// Mixed MOESI-class tables across the clusters, faults off and on.
+TEST(Differential, HierMixedClusters)
+{
+    mc::HierDiffConfig cfg;
+    cfg.tables = {&moesiTable(), &berkeleyTable(), &dragonTable(),
+                  &moesiTable()};
+    cfg.clusters = 2;
+    cfg.lines = 2;
+    cfg.steps = 10000;
+    cfg.seed = 11;
+    mc::DiffResult res = mc::runHierDifferential(cfg);
+    EXPECT_TRUE(res.ok)
+        << (res.errors.empty() ? "" : res.errors[0]);
+
+    cfg.faults = true;
+    res = mc::runHierDifferential(cfg);
+    EXPECT_TRUE(res.ok)
+        << (res.errors.empty() ? "" : res.errors[0]);
+}
+
 // Different seeds must exercise genuinely different walks yet always
 // agree; a quick spread guards against a degenerate driver.
 TEST(Differential, SeedSpread)

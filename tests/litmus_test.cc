@@ -80,6 +80,47 @@ TEST(Litmus, MixedProtocols)
     }
 }
 
+// The same shapes across a bridged hierarchy: threads split over two
+// leaf buses, so every cross-thread shape now serializes through the
+// root bus and the bridges' filters.  MOESI-class tables only (the
+// hierarchy excludes abort protocols from leaves).
+TEST(Litmus, HierTwoClustersMoesiClass)
+{
+    for (ProtocolKind kind : {ProtocolKind::Moesi, ProtocolKind::Berkeley,
+                              ProtocolKind::Dragon}) {
+        for (const mc::LitmusTest &test : mc::standardLitmusTests()) {
+            mc::LitmusRunConfig cfg;
+            cfg.clusters = 2;
+            cfg.tables.assign(test.threads.size(),
+                              &protocolTable(kind));
+            mc::LitmusOutcome out = mc::runLitmus(test, cfg);
+            EXPECT_GT(out.interleavings, 1u);
+            EXPECT_TRUE(out.failures.empty())
+                << "hier " << protocolKindName(kind) << " "
+                << test.name << ": " << out.failures[0];
+        }
+    }
+}
+
+// Hierarchical mixed clusters under the random chooser: bridge CH
+// propagation must satisfy every chooser-visible conditional.
+TEST(Litmus, HierMixedClustersRandomChooser)
+{
+    const ProtocolTable *mix[] = {&moesiTable(), &berkeleyTable(),
+                                  &dragonTable()};
+    for (const mc::LitmusTest &test : mc::standardLitmusTests()) {
+        mc::LitmusRunConfig cfg;
+        cfg.clusters = 2;
+        cfg.chooser = ChooserKind::Random;
+        cfg.seed = 0xfb07;
+        for (std::size_t t = 0; t < test.threads.size(); ++t)
+            cfg.tables.push_back(mix[t % 3]);
+        mc::LitmusOutcome out = mc::runLitmus(test, cfg);
+        EXPECT_TRUE(out.failures.empty())
+            << test.name << ": " << out.failures[0];
+    }
+}
+
 // The interleaving counter itself: a 1-op thread against a 2-op thread
 // has 3 interleavings; the 3-thread write-serialization shape
 // (1+1+2 ops) has 4!/(1!1!2!) = 12.

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "mc/explorer.h"
+#include "mc/hier_model.h"
 #include "mc/replay.h"
 #include "protocols/factory.h"
 
@@ -243,6 +244,79 @@ TEST(McOdometer, EnumeratesChoiceTree)
     const std::vector<std::vector<std::size_t>> want = {
         {0}, {1, 0}, {1, 1}, {2}};
     EXPECT_EQ(seen, want);
+}
+
+// --- Two-level hierarchy: BusBridge semantics in the model ---
+
+mc::HierExploreResult
+exploreHier2x2(ProtocolKind kind)
+{
+    mc::HierExploreConfig cfg;
+    cfg.model.base.tables.assign(4, &protocolTable(kind));
+    cfg.model.clusterOf = {0, 0, 1, 1};
+    cfg.model.base.lines = 1;
+    return mc::exploreHier(cfg);
+}
+
+// Every MOESI-class protocol keeps the flat invariants AND the bridge
+// filter invariants (H1 inclusion, H2 remote visibility) over the full
+// reachable space of a 2-leaf x 2-cache hierarchy.
+TEST(McHier, MoesiClassCleanTwoClusters)
+{
+    for (ProtocolKind kind : {ProtocolKind::Moesi, ProtocolKind::Berkeley,
+                              ProtocolKind::Dragon}) {
+        mc::HierExploreResult res = exploreHier2x2(kind);
+        EXPECT_TRUE(res.complete)
+            << protocolKindName(kind) << " did not finish";
+        EXPECT_FALSE(res.counterexample)
+            << protocolKindName(kind) << ": "
+            << res.counterexample->violations[0];
+        EXPECT_GT(res.nodes, 16u);
+    }
+}
+
+// Mixed MOESI-class tables across the two leaves: the compatibility
+// claim survives the bridge.
+TEST(McHier, MixedClustersCompatible)
+{
+    mc::HierExploreConfig cfg;
+    cfg.model.base.tables = {&moesiTable(), &berkeleyTable(),
+                             &dragonTable(), &moesiTable()};
+    cfg.model.clusterOf = {0, 0, 1, 1};
+    cfg.model.base.lines = 1;
+    mc::HierExploreResult res = mc::exploreHier(cfg);
+    EXPECT_TRUE(res.complete);
+    EXPECT_FALSE(res.counterexample)
+        << res.counterexample->violations[0];
+}
+
+// Golden hierarchical state-graph fingerprint (2 leaves x 2 caches,
+// MOESI, 1 line).  The canonical key includes every bridge's
+// localHeld/remoteShared bits, so any drift in the bridge's forward,
+// filter-maintenance or CH-propagation rules - in the model or,
+// via the differential suite, in the engine - lands here first.
+TEST(McHierGolden, MoesiTwoLeafFingerprint)
+{
+    mc::HierExploreResult res = exploreHier2x2(ProtocolKind::Moesi);
+    ASSERT_TRUE(res.complete);
+    EXPECT_EQ(res.nodes, 117u);
+    EXPECT_EQ(res.edges, 3196u);
+    EXPECT_EQ(res.depth, 4u);
+    EXPECT_EQ(res.nodeFingerprint, 0x2f36effa7436cfacull);
+    EXPECT_EQ(res.edgeFingerprint, 0x31e6485c196cba92ull);
+}
+
+// Abort-class protocols cannot live below a bridge: BS cannot cross,
+// so the explorer must surface a counterexample that says exactly
+// that, rather than wandering into undefined behaviour.
+TEST(McHier, AbortProtocolRejectedUnderBridge)
+{
+    mc::HierExploreResult res = exploreHier2x2(ProtocolKind::Illinois);
+    ASSERT_TRUE(res.counterexample.has_value());
+    EXPECT_NE(res.counterexample->violations[0].find(
+                  "asserted BS on a leaf bus"),
+              std::string::npos)
+        << res.counterexample->violations[0];
 }
 
 } // namespace

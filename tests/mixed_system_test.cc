@@ -149,6 +149,7 @@ TEST(MixedSystemTest, IncompatibleMixIsDetectedByTheChecker)
     // - demonstrating both why class membership matters and that the
     // checker is not vacuous.
     SystemConfig cfg = test::testConfig();
+    cfg.allowIncompatibleMix = true;   // assembling the failure on purpose
     System sys(cfg);
     MasterId moesi = sys.addCache(test::smallCache(ProtocolKind::Moesi));
     MasterId once =

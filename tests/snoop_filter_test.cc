@@ -69,6 +69,7 @@ mixedSystem(bool filter, bool cross_check)
     SystemConfig cfg = test::testConfig();
     cfg.snoopFilter = filter;
     cfg.snoopFilterCrossCheck = cross_check;
+    cfg.allowIncompatibleMix = true;   // the point of this suite
     auto sys = std::make_unique<System>(cfg);
     ProtocolKind kinds[] = {
         ProtocolKind::Moesi,    ProtocolKind::Berkeley,
@@ -189,6 +190,7 @@ TEST(SnoopFilterTest, IncrementalCheckerMatchesFullScan)
 
     SystemConfig full = test::testConfig();
     full.incrementalCheck = false;
+    full.allowIncompatibleMix = true;
 
     auto inc = mixedSystem(true, true);   // incremental (default)
     auto sys_full = std::make_unique<System>(full);
